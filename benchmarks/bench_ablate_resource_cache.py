@@ -1,0 +1,72 @@
+"""A2 — §IV-F ablation: resource caching vs re-transmission.
+
+Laminar 1.0 serialised the resources directory into *every* request;
+Laminar 2.0 uploads each file once (content-addressed) and the server
+caches it.  The bench runs the same file-consuming workflow repeatedly
+and reports bytes uploaded per run with and without the cache (the
+no-cache condition clears the cache between runs, reproducing 1.0's
+behaviour).
+"""
+
+from pathlib import Path
+
+from repro.laminar import LaminarClient
+from repro.laminar.server.app import LaminarServer
+
+CSV_WF = """
+class CsvSum(ProducerPE):
+    def _process(self, inputs):
+        with open(RESOURCES["payload.bin"], "rb") as fh:
+            return len(fh.read())
+
+g = WorkflowGraph()
+g.add(CsvSum("CsvSum"))
+"""
+
+PAYLOAD_SIZE = 256 * 1024
+RUNS = 5
+
+
+def test_resource_cache_transfer_bytes(report, tmp_path, benchmark):
+    payload = tmp_path / "payload.bin"
+    payload.write_bytes(b"\x42" * PAYLOAD_SIZE)
+
+    # With cache (Laminar 2.0).
+    server = LaminarServer()
+    client = LaminarClient(server=server)
+    client.register_Workflow(CSV_WF, name="csv_wf")
+    cached_per_run = []
+    for _ in range(RUNS):
+        before = server.engine.cache.stats.bytes_uploaded
+        summary = client.run("csv_wf", input=1, resources=[payload])
+        assert summary.ok
+        cached_per_run.append(server.engine.cache.stats.bytes_uploaded - before)
+
+    # Without cache (Laminar 1.0 behaviour): cache cleared between runs.
+    server2 = LaminarServer()
+    client2 = LaminarClient(server=server2)
+    client2.register_Workflow(CSV_WF, name="csv_wf")
+    uncached_per_run = []
+    for _ in range(RUNS):
+        server2.engine.cache.clear()
+        before = server2.engine.cache.stats.bytes_uploaded
+        summary = client2.run("csv_wf", input=1, resources=[payload])
+        assert summary.ok
+        uncached_per_run.append(server2.engine.cache.stats.bytes_uploaded - before)
+
+    total_cached = sum(cached_per_run)
+    total_uncached = sum(uncached_per_run)
+    report(
+        "A2 — resource cache: bytes uploaded per run",
+        [
+            f"payload: {PAYLOAD_SIZE // 1024} KiB, {RUNS} runs",
+            f"no cache (L1.0): {uncached_per_run} -> total {total_uncached // 1024} KiB",
+            f"cache    (L2.0): {cached_per_run} -> total {total_cached // 1024} KiB",
+            f"transfer reduction: {total_uncached / max(total_cached, 1):.1f}x",
+        ],
+    )
+    assert cached_per_run[0] == PAYLOAD_SIZE  # first run must upload
+    assert all(b == 0 for b in cached_per_run[1:])  # later runs must not
+    assert all(b == PAYLOAD_SIZE for b in uncached_per_run)
+
+    benchmark(lambda: client.run("csv_wf", input=1, resources=[payload]))

@@ -1,0 +1,79 @@
+"""E8 — Fig 5: the CLI register + parallel-run session.
+
+Replays the paper's screenshots: ``register_workflow isprime_wf.py``
+(Fig 5a — PE and workflow IDs echoed) and ``run <id> -i 10 --multi -v``
+(Fig 5b — partition plus per-rank "Processed N iterations" lines).
+Timed body: one CLI command dispatch end to end.
+"""
+
+import io
+
+import pytest
+
+from repro.laminar import LaminarClient
+from repro.laminar.client.cli import LaminarCLI
+
+ISPRIME_WF = '''
+import random
+
+class NumberProducer(ProducerPE):
+    def _process(self, inputs):
+        return random.randint(1, 1000)
+
+class IsPrime(IterativePE):
+    """Checks whether a given number is prime and returns the number."""
+    def _process(self, num):
+        if num > 1 and all(num % i != 0 for i in range(2, num)):
+            return num
+
+class PrintPrime(ConsumerPE):
+    def _process(self, num):
+        print(f"the num {num} is prime")
+
+producer = NumberProducer("NumberProducer")
+isprime = IsPrime("IsPrime")
+printer = PrintPrime("PrintPrime")
+graph = WorkflowGraph()
+graph.connect(producer, "output", isprime, "input")
+graph.connect(isprime, "output", printer, "input")
+'''
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    wf_file = tmp_path_factory.mktemp("cli") / "isprime_wf.py"
+    wf_file.write_text(ISPRIME_WF)
+    out = io.StringIO()
+    shell = LaminarCLI(LaminarClient(), stdout=out)
+    return shell, out, wf_file
+
+
+def run_cmd(shell, out, line: str) -> str:
+    out.truncate(0)
+    out.seek(0)
+    shell.onecmd(line)
+    return out.getvalue()
+
+
+def test_fig5_cli_session(report, session, benchmark):
+    shell, out, wf_file = session
+
+    register_text = run_cmd(shell, out, f"register_workflow {wf_file}")
+    wf_id = shell.client.get_Workflow("isprime_wf")["workflowId"]
+    run_text = run_cmd(shell, out, f"run {wf_id} -i 10 --multi -v")
+
+    rows = ["--- (laminar) register_workflow isprime_wf.py ---"]
+    rows += [f"  {line}" for line in register_text.strip().splitlines()]
+    rows += [f"--- (laminar) run {wf_id} -i 10 --multi -v ---"]
+    rows += [f"  {line}" for line in run_text.strip().splitlines()[:8]]
+    report("Fig 5 — CLI register + parallel run", rows)
+
+    # Fig 5a: PEs and workflow echoed with IDs.
+    for name in ("NumberProducer", "IsPrime", "PrintPrime"):
+        assert name in register_text
+    assert "Workflow (ID" in register_text
+    # Fig 5b: partition + per-rank iteration accounting.
+    assert "Partition" in run_text
+    assert "Processed" in run_text and "iterations." in run_text
+
+    benchmark(lambda: run_cmd(shell, out, "list"))

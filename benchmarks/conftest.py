@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench file regenerates one table or figure of the paper (see
+DESIGN.md §2) and *prints the same rows/series the paper reports* through
+the ``report`` fixture, which bypasses pytest's capture so the series are
+always visible in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_corpus
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print experiment rows uncaptured, prefixed for greppability."""
+
+    def _report(title: str, rows: list[str]) -> None:
+        with capsys.disabled():
+            print(f"\n─── {title} " + "─" * max(0, 60 - len(title)))
+            for row in rows:
+                print(f"  {row}")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def corpus_small():
+    """A compact stratified corpus for latency-focused benches."""
+    return generate_corpus(120)
+
+
+@pytest.fixture(scope="session")
+def corpus_eval():
+    """The evaluation-scale corpus used by the figure reproductions."""
+    return generate_corpus(720)

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+PEP 660 editable installs can't build; `python setup.py develop` still works."""
+from setuptools import setup
+
+setup()

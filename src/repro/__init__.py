@@ -1,0 +1,23 @@
+"""repro — a from-scratch reproduction of Laminar 2.0 (SC-W 2024).
+
+Laminar 2.0 is a serverless framework for dispel4py streaming workflows
+with deep-learning-style code search and Aroma structural code
+recommendation.  The package is organised as:
+
+* :mod:`repro.d4py` — the stream dataflow engine (PEs, workflow graphs,
+  sequential / multiprocessing / dynamic mappings, simulated Redis broker).
+* :mod:`repro.laminar` — the serverless framework: registry, server,
+  execution engine, streaming transport, client API and CLI.
+* :mod:`repro.models` — deterministic substitutes for the paper's language
+  models (CodeT5 describer, UniXcoder embedder, ReACC code retriever).
+* :mod:`repro.aroma` — the Aroma structural code search pipeline over
+  simplified parse trees (SPTs), plus the MinHash-LSH extension.
+* :mod:`repro.search` — literal / semantic / code search front-ends.
+* :mod:`repro.datasets` — the synthetic CodeSearchNet-PE corpus generator.
+* :mod:`repro.eval` — precision/recall machinery for the paper's figures.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "2.0.0"

@@ -1,0 +1,68 @@
+"""Iterative clustering of reranked candidates (Aroma §3.5).
+
+Similar candidates are grouped so the final recommendation list shows one
+entry per *coding pattern* instead of five near-duplicates.  Clustering is
+greedy and iterative: candidates are visited in rank order; each joins the
+first existing cluster whose representative it resembles (feature-set
+Jaccard above ``tau``), otherwise it founds a new cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Cluster", "cluster_candidates", "jaccard"]
+
+
+def jaccard(a: frozenset, b: frozenset) -> float:
+    """Jaccard similarity of two feature sets (0 when both empty)."""
+    if not a and not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass
+class Cluster:
+    """A group of structurally similar candidates.
+
+    The first (highest-ranked) member is the representative; ``common``
+    holds the feature intersection of all members — the shared pattern the
+    final recommendation is built from.
+    """
+
+    representative: Any
+    members: list[Any] = field(default_factory=list)
+    common: frozenset = frozenset()
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def cluster_candidates(
+    candidates: list[Any],
+    features_of,
+    tau: float = 0.4,
+) -> list[Cluster]:
+    """Greedy iterative clustering in rank order.
+
+    Parameters
+    ----------
+    candidates:
+        Items in descending rank order.
+    features_of:
+        Callable mapping a candidate to its ``frozenset`` of features.
+    tau:
+        Jaccard threshold for joining an existing cluster.
+    """
+    clusters: list[Cluster] = []
+    for cand in candidates:
+        fs = frozenset(features_of(cand))
+        for cluster in clusters:
+            if jaccard(fs, features_of(cluster.representative)) >= tau:
+                cluster.members.append(cand)
+                cluster.common = cluster.common & fs
+                break
+        else:
+            clusters.append(Cluster(representative=cand, members=[cand], common=fs))
+    return clusters

@@ -1,0 +1,132 @@
+"""MinHash-LSH acceleration for structural search (paper §IX future work).
+
+The paper's conclusion names locality-sensitive hashing (after Senatus,
+Silavong et al. 2021) as the planned scaling path for structural code
+search.  This module implements it: each snippet's SPT feature *set* is
+summarised by a MinHash signature; signatures are cut into bands and
+hashed into buckets, so querying touches only snippets sharing at least
+one band with the query instead of the whole corpus.
+
+MinHash signatures estimate Jaccard similarity; band/row parameters trade
+recall against candidate-set size in the standard way (probability of a
+pair colliding is ``1 − (1 − s^rows)^bands`` at Jaccard ``s``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["MinHashLSHIndex", "minhash_signature"]
+
+_PRIME = (1 << 61) - 1  # Mersenne prime for universal hashing
+
+
+def _feature_hash(feature: str) -> int:
+    digest = hashlib.md5(feature.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def minhash_signature(
+    features: Iterable[str], coeffs: np.ndarray
+) -> np.ndarray:
+    """MinHash signature of a feature set under ``coeffs`` ((k, 2) array).
+
+    Each of the k rows ``(a, b)`` defines the universal hash
+    ``h(x) = (a·x + b) mod PRIME``; the signature entry is the minimum
+    over the set.  An empty set yields an all-PRIME signature that never
+    collides with real sets by chance.
+    """
+    hashes = np.fromiter(
+        (_feature_hash(f) for f in features), dtype=np.uint64
+    )
+    k = coeffs.shape[0]
+    if hashes.size == 0:
+        return np.full(k, _PRIME, dtype=np.uint64)
+    # (k, n) = (a ⊗ hashes + b) mod PRIME — vectorised over both axes.
+    a = coeffs[:, 0][:, None].astype(np.object_)
+    b = coeffs[:, 1][:, None].astype(np.object_)
+    grid = (a * hashes[None, :].astype(np.object_) + b) % _PRIME
+    return np.array(grid.min(axis=1).tolist(), dtype=np.uint64)
+
+
+class MinHashLSHIndex:
+    """Banded MinHash index over feature sets.
+
+    Parameters
+    ----------
+    num_perm:
+        Signature length (``bands * rows`` must equal it).
+    bands, rows:
+        LSH banding; defaults (16 bands × 4 rows) target ~0.5 Jaccard.
+    seed:
+        Seed for the universal hash coefficients.
+    """
+
+    def __init__(
+        self, num_perm: int = 64, bands: int = 16, rows: int = 4, seed: int = 7
+    ) -> None:
+        if bands * rows != num_perm:
+            raise ValueError(
+                f"bands*rows must equal num_perm ({bands}*{rows} != {num_perm})"
+            )
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = rows
+        rng = np.random.default_rng(seed)
+        self._coeffs = np.stack(
+            [
+                rng.integers(1, _PRIME, size=num_perm, dtype=np.int64),
+                rng.integers(0, _PRIME, size=num_perm, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        self._buckets: list[dict[bytes, list[Any]]] = [
+            defaultdict(list) for _ in range(bands)
+        ]
+        self._signatures: dict[Any, np.ndarray] = {}
+        self._features: dict[Any, frozenset] = {}
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def add(self, item_id: Any, features: Iterable[str]) -> None:
+        """Index one item by its feature set."""
+        fs = frozenset(features)
+        sig = minhash_signature(fs, self._coeffs)
+        self._signatures[item_id] = sig
+        self._features[item_id] = fs
+        for band in range(self.bands):
+            key = sig[band * self.rows : (band + 1) * self.rows].tobytes()
+            self._buckets[band][key].append(item_id)
+
+    def candidates(self, features: Iterable[str]) -> set[Any]:
+        """Items sharing at least one LSH band with the query."""
+        sig = minhash_signature(frozenset(features), self._coeffs)
+        found: set[Any] = set()
+        for band in range(self.bands):
+            key = sig[band * self.rows : (band + 1) * self.rows].tobytes()
+            found.update(self._buckets[band].get(key, ()))
+        return found
+
+    def query(
+        self, features: Iterable[str], top_n: int = 5
+    ) -> list[tuple[Any, float]]:
+        """Top candidates with *exact* Jaccard computed only on collisions."""
+        fs = frozenset(features)
+        scored = []
+        for item_id in self.candidates(fs):
+            other = self._features[item_id]
+            union = len(fs | other)
+            score = len(fs & other) / union if union else 0.0
+            scored.append((item_id, score))
+        scored.sort(key=lambda t: -t[1])
+        return scored[:top_n]
+
+    def estimated_jaccard(self, a: Any, b: Any) -> float:
+        """Signature-based Jaccard estimate between two indexed items."""
+        sa, sb = self._signatures[a], self._signatures[b]
+        return float(np.mean(sa == sb))

@@ -1,0 +1,67 @@
+"""Prune-and-rerank: trim candidate snippets against the query (Aroma §3.4).
+
+After the fast overlap search, each candidate's SPT is *pruned*: subtrees
+contributing nothing toward the query are dropped, so the remaining code
+is the part that actually resembles the query.  Candidates are then
+reranked by the similarity of the **pruned** snippet to the query, which
+demotes large snippets that matched only incidentally.
+
+The greedy objective follows the paper: keep a subtree iff its features
+gain more intersection with the query than they add unmatched mass,
+``gain = |F(sub) ∩ F(q)| − γ·|F(sub) − F(q)|``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.aroma.features import extract_features
+from repro.aroma.spt import SPTLeaf, SPTNode
+
+__all__ = ["prune_spt", "rerank_score"]
+
+#: Placeholder leaf standing in for pruned-away code in rendered output.
+_ELLIPSIS = "..."
+
+
+def _gain(sub_features: Counter, query: Counter, gamma: float) -> float:
+    inter = sum(min(c, query[f]) for f, c in sub_features.items() if f in query)
+    extra = sum(c for f, c in sub_features.items() if f not in query)
+    return inter - gamma * extra
+
+
+def prune_spt(spt: SPTNode, query_features: Counter, gamma: float = 0.25) -> SPTNode:
+    """Return a copy of ``spt`` with unhelpful subtrees pruned.
+
+    Child subtrees whose gain against the query is non-positive are
+    replaced by an ``...`` placeholder leaf (keeping the label's child
+    slots aligned for rendering).  Kept subtrees are pruned recursively.
+    Leaves are never dropped — they are cheap and carry token features.
+    """
+    new_children: list[SPTNode | SPTLeaf] = []
+    for child in spt.children:
+        if isinstance(child, SPTLeaf):
+            new_children.append(child)
+            continue
+        child_features = extract_features(child)
+        if _gain(child_features, query_features, gamma) > 0:
+            new_children.append(prune_spt(child, query_features, gamma))
+        else:
+            new_children.append(SPTLeaf(_ELLIPSIS))
+    return SPTNode(spt.label, new_children)
+
+
+def rerank_score(pruned: SPTNode, query_features: Counter) -> float:
+    """Similarity of the pruned candidate to the query: feature-set F1.
+
+    ``2·|Fp ∩ Fq| / (|Fp| + |Fq|)`` over feature *sets* — 1.0 when the
+    pruned snippet matches the query exactly, falling as either side has
+    unmatched structure.
+    """
+    fp = set(extract_features(pruned))
+    fp.discard(_ELLIPSIS)
+    fq = set(query_features)
+    if not fp or not fq:
+        return 0.0
+    inter = len(fp & fq)
+    return 2.0 * inter / (len(fp) + len(fq))

@@ -1,0 +1,178 @@
+"""End-to-end code recommendation: full Aroma and Laminar's simplified cut.
+
+:class:`AromaRecommender` runs the complete pipeline of the original paper
+(search → prune → rerank → cluster → recommend).  :class:`LaminarSPTSearch`
+is what Laminar 2.0 actually ships (§VI-A): SPT featurisation plus a plain
+similarity ranking — "for efficiency, simplicity, and scalability, without
+the need for complex clustering or reranking steps" — returning up to five
+results whose score clears a configurable threshold (default 6.0, the
+value in the paper's Fig 9).  The ablation bench ``bench_ablate_aroma_
+variants`` quantifies what the simplification trades away.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.aroma.cluster import Cluster, cluster_candidates
+from repro.aroma.features import extract_features
+from repro.aroma.index import AromaIndex, SearchHit
+from repro.aroma.prune import prune_spt, rerank_score
+from repro.aroma.spt import ParseFailure, python_to_spt
+
+__all__ = ["AromaRecommender", "LaminarSPTSearch", "Recommendation", "spt_embedding"]
+
+
+def spt_embedding(source: str) -> dict[str, int]:
+    """JSON-able SPT feature multiset — the registry's ``sptEmbedding``.
+
+    This is exactly what Laminar stores per PE (paper Fig 6): the feature
+    counter serialised as a JSON object, computed once at registration.
+    """
+    return dict(extract_features(python_to_spt(source)))
+
+
+def embedding_to_counter(embedding: dict[str, int] | str) -> Counter:
+    """Inverse of :func:`spt_embedding`; accepts the JSON string form too."""
+    if isinstance(embedding, str):
+        embedding = json.loads(embedding)
+    return Counter(embedding)
+
+
+@dataclass
+class Recommendation:
+    """One recommended coding pattern."""
+
+    snippet_id: Any
+    score: float
+    source: str
+    pruned_code: str
+    metadata: dict
+    cluster_size: int = 1
+    cluster_member_ids: list = field(default_factory=list)
+
+
+class AromaRecommender:
+    """The full Aroma pipeline over an :class:`AromaIndex`.
+
+    Parameters
+    ----------
+    search_width:
+        Candidates taken from the fast overlap search before pruning
+        (Aroma retrieves a generous list, then reranks).
+    gamma:
+        Pruning penalty for unmatched features.
+    tau:
+        Clustering Jaccard threshold.
+    """
+
+    def __init__(
+        self,
+        search_width: int = 50,
+        gamma: float = 0.25,
+        tau: float = 0.4,
+    ) -> None:
+        self.index = AromaIndex()
+        self.search_width = search_width
+        self.gamma = gamma
+        self.tau = tau
+
+    def add(self, snippet_id: Any, source: str, metadata: dict | None = None) -> None:
+        """Index one snippet (call :meth:`fit` or build the index after)."""
+        self.index.add(snippet_id, source, metadata)
+
+    def fit(self, corpus: list[tuple[Any, str]] | list[tuple[Any, str, dict]]) -> "AromaRecommender":
+        """Index a corpus of ``(id, source)`` or ``(id, source, metadata)``."""
+        for entry in corpus:
+            self.add(*entry)
+        self.index.build()
+        return self
+
+    def recommend(self, query_source: str, top_n: int = 5) -> list[Recommendation]:
+        """Recommend up to ``top_n`` coding patterns for a (partial) query."""
+        try:
+            query_spt = python_to_spt(query_source)
+        except ParseFailure:
+            return []
+        query_features = extract_features(query_spt)
+
+        # 1. Fast overlap search.
+        hits = self.index.search(
+            query_source, top_n=self.search_width, mode="overlap", min_score=1.0
+        )
+        if not hits:
+            return []
+
+        # 2–3. Prune each candidate against the query, rerank by the
+        # similarity of the pruned snippet.
+        pruned_hits: list[tuple[SearchHit, Any, float]] = []
+        for hit in hits:
+            pruned = prune_spt(hit.spt, query_features, gamma=self.gamma)
+            pruned_hits.append((hit, pruned, rerank_score(pruned, query_features)))
+        pruned_hits.sort(key=lambda t: -t[2])
+
+        # 4. Iterative clustering of the reranked list.
+        clusters: list[Cluster] = cluster_candidates(
+            pruned_hits,
+            features_of=lambda t: frozenset(t[0].features),
+            tau=self.tau,
+        )
+
+        # 5. One recommendation per cluster: the representative, rendered
+        # after pruning against the query-shared pattern.
+        recs = []
+        for cluster in clusters[:top_n]:
+            hit, pruned, score = cluster.representative
+            recs.append(
+                Recommendation(
+                    snippet_id=hit.snippet_id,
+                    score=score,
+                    source=hit.source,
+                    pruned_code=pruned.render(),
+                    metadata=hit.metadata,
+                    cluster_size=len(cluster),
+                    cluster_member_ids=[m[0].snippet_id for m in cluster.members],
+                )
+            )
+        return recs
+
+
+class LaminarSPTSearch:
+    """Laminar 2.0's simplified structural search (§VI-A).
+
+    Ranks registered snippets by raw SPT-feature overlap with the query
+    and returns up to ``top_k`` whose score is at least ``threshold``
+    (defaults 5 and 6.0, the paper's values).  No pruning, reranking or
+    clustering — one sparse matrix product per query.
+    """
+
+    def __init__(self, top_k: int = 5, threshold: float = 6.0) -> None:
+        self.index = AromaIndex()
+        self.top_k = top_k
+        self.threshold = threshold
+
+    def add(self, snippet_id: Any, source: str, metadata: dict | None = None) -> None:
+        """Register one snippet in the searchable index."""
+        self.index.add(snippet_id, source, metadata)
+
+    def build(self) -> "LaminarSPTSearch":
+        """Freeze the index; must be called before :meth:`search`."""
+        self.index.build()
+        return self
+
+    def search(
+        self,
+        query_source: str,
+        top_k: int | None = None,
+        threshold: float | None = None,
+    ) -> list[SearchHit]:
+        """Structural hits above threshold, best first."""
+        return self.index.search(
+            query_source,
+            top_n=top_k if top_k is not None else self.top_k,
+            mode="overlap",
+            min_score=threshold if threshold is not None else self.threshold,
+        )

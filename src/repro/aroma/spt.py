@@ -1,0 +1,448 @@
+"""Simplified parse tree (SPT) generation for Python code.
+
+An SPT is Aroma's code representation: a tree whose internal nodes carry a
+*label* made of the node's keyword tokens with ``#`` marking non-keyword
+child slots (e.g. ``if#:#else#``), and whose leaves are the non-keyword
+tokens themselves.  Variable leaves are flagged so featurisation can
+abstract their names.
+
+The paper generates SPTs with ANTLR; here they are derived from the stdlib
+``ast``.  Each supported AST node has a label schema; unsupported nodes
+fall back to a generic label from the node class name, so *every* valid
+Python program produces an SPT.
+
+Partial snippets — the whole point of structural search — often do not
+parse.  :func:`python_to_spt` therefore runs a repair loop: dedent, strip
+trailing incomplete lines, and close dangling blocks with ``pass`` until
+the fragment parses (paper §VI: "even from incomplete code").
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = ["SPTLeaf", "SPTNode", "python_to_spt", "ParseFailure"]
+
+
+class ParseFailure(ValueError):
+    """Raised when a snippet cannot be parsed even after repair attempts."""
+
+
+@dataclass
+class SPTLeaf:
+    """A non-keyword token: identifier, literal marker or operator."""
+
+    token: str
+    is_variable: bool = False
+
+    def render(self) -> str:
+        """A leaf renders as its own token."""
+        return self.token
+
+
+@dataclass
+class SPTNode:
+    """An internal SPT node: keyword-token label plus ordered children."""
+
+    label: str
+    children: list[Union["SPTNode", SPTLeaf]] = field(default_factory=list)
+
+    def leaves(self) -> Iterator[SPTLeaf]:
+        """Yield every leaf of the subtree in DFS order."""
+        for child in self.children:
+            if isinstance(child, SPTLeaf):
+                yield child
+            else:
+                yield from child.leaves()
+
+    def size(self) -> int:
+        """Total number of nodes and leaves in the subtree."""
+        return 1 + sum(
+            1 if isinstance(c, SPTLeaf) else c.size() for c in self.children
+        )
+
+    def render(self) -> str:
+        """A compact, lossy linearisation (for debugging and pruned output)."""
+        parts: list[str] = []
+        slot = iter(c for c in self.children)
+        for piece in self.label.split("#"):
+            if piece:
+                parts.append(piece)
+            try:
+                child = next(slot)
+            except StopIteration:
+                continue
+            parts.append(child.render())
+        # Any children beyond the label's slots.
+        for child in slot:
+            parts.append(child.render())
+        return " ".join(p for p in parts if p)
+
+
+_OP_TOKENS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**", ast.LShift: "<<",
+    ast.RShift: ">>", ast.BitOr: "|", ast.BitXor: "^", ast.BitAnd: "&",
+    ast.MatMult: "@", ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<",
+    ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=", ast.Is: "is",
+    ast.IsNot: "is not", ast.In: "in", ast.NotIn: "not in",
+    ast.And: "and", ast.Or: "or", ast.Not: "not", ast.USub: "-",
+    ast.UAdd: "+", ast.Invert: "~",
+}
+
+
+class _VariableScan(ast.NodeVisitor):
+    """Collect names bound in the snippet: parameters, assignments, loops.
+
+    These are the names featurisation abstracts to ``#VAR``; unbound names
+    (builtins, imported helpers like ``len`` or ``randint``) stay concrete
+    because they carry structural meaning across codebases.
+    """
+
+    def __init__(self) -> None:
+        self.bound: set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.bound.add(node.id)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        self.bound.add(node.arg)
+
+    def _visit_func(self, node) -> None:
+        for a in list(node.args.args) + list(node.args.kwonlyargs) + list(
+            node.args.posonlyargs
+        ):
+            self.bound.add(a.arg)
+        if node.args.vararg:
+            self.bound.add(node.args.vararg.arg)
+        if node.args.kwarg:
+            self.bound.add(node.args.kwarg.arg)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+
+class _SPTBuilder:
+    def __init__(self, variables: set[str]) -> None:
+        self.variables = variables
+
+    # -- helpers -----------------------------------------------------------
+
+    def _leaf(self, token: str, variable: bool = False) -> SPTLeaf:
+        return SPTLeaf(token, is_variable=variable)
+
+    def build(self, node: ast.AST) -> SPTNode | SPTLeaf:
+        """Dispatch one AST node to its label schema (generic fallback)."""
+        method = getattr(self, f"_build_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self._generic(node)
+
+    def _body(self, stmts: list[ast.stmt]) -> list[SPTNode | SPTLeaf]:
+        return [self.build(s) for s in stmts]
+
+    def _generic(self, node: ast.AST) -> SPTNode | SPTLeaf:
+        label = type(node).__name__.lower()
+        children: list[SPTNode | SPTLeaf] = []
+        for _name, value in ast.iter_fields(node):
+            if isinstance(value, ast.AST):
+                children.append(self.build(value))
+            elif isinstance(value, list):
+                children.extend(
+                    self.build(v) for v in value if isinstance(v, ast.AST)
+                )
+        return SPTNode(label + "#" * len(children), children)
+
+    # -- modules / definitions ------------------------------------------------
+
+    def _build_Module(self, node: ast.Module) -> SPTNode:
+        return SPTNode("#" * len(node.body), self._body(node.body))
+
+    def _build_FunctionDef(self, node) -> SPTNode:
+        params: list[SPTNode | SPTLeaf] = []
+        for a in list(node.args.posonlyargs) + list(node.args.args):
+            params.append(self._leaf(a.arg, variable=True))
+        body = self._body(node.body)
+        children = [self._leaf(node.name)] + params + body
+        return SPTNode(
+            "def#(" + "#" * len(params) + "):" + "#" * len(body), children
+        )
+
+    _build_AsyncFunctionDef = _build_FunctionDef
+
+    def _build_ClassDef(self, node: ast.ClassDef) -> SPTNode:
+        bases = [self.build(b) for b in node.bases]
+        body = self._body(node.body)
+        children = [self._leaf(node.name)] + bases + body
+        return SPTNode(
+            "class#(" + "#" * len(bases) + "):" + "#" * len(body), children
+        )
+
+    def _build_Lambda(self, node: ast.Lambda) -> SPTNode:
+        params = [
+            self._leaf(a.arg, variable=True)
+            for a in list(node.args.posonlyargs) + list(node.args.args)
+        ]
+        children = params + [self.build(node.body)]
+        return SPTNode("lambda" + "#" * len(params) + ":#", children)
+
+    # -- statements ---------------------------------------------------------------
+
+    def _build_If(self, node: ast.If) -> SPTNode:
+        children = [self.build(node.test)] + self._body(node.body)
+        label = "if#:" + "#" * len(node.body)
+        if node.orelse:
+            label += "else:" + "#" * len(node.orelse)
+            children += self._body(node.orelse)
+        return SPTNode(label, children)
+
+    def _build_For(self, node: ast.For) -> SPTNode:
+        children = [self.build(node.target), self.build(node.iter)]
+        children += self._body(node.body)
+        label = "for#in#:" + "#" * len(node.body)
+        if node.orelse:
+            label += "else:" + "#" * len(node.orelse)
+            children += self._body(node.orelse)
+        return SPTNode(label, children)
+
+    def _build_While(self, node: ast.While) -> SPTNode:
+        children = [self.build(node.test)] + self._body(node.body)
+        return SPTNode("while#:" + "#" * len(node.body), children)
+
+    def _build_Return(self, node: ast.Return) -> SPTNode:
+        if node.value is None:
+            return SPTNode("return", [])
+        return SPTNode("return#", [self.build(node.value)])
+
+    def _build_Assign(self, node: ast.Assign) -> SPTNode:
+        children = [self.build(t) for t in node.targets] + [self.build(node.value)]
+        return SPTNode("#" * len(node.targets) + "=#", children)
+
+    def _build_AugAssign(self, node: ast.AugAssign) -> SPTNode:
+        op = _OP_TOKENS.get(type(node.op), "?")
+        return SPTNode(
+            f"#{op}=#", [self.build(node.target), self.build(node.value)]
+        )
+
+    def _build_Expr(self, node: ast.Expr) -> SPTNode | SPTLeaf:
+        return self.build(node.value)
+
+    def _build_Try(self, node: ast.Try) -> SPTNode:
+        body = self._body(node.body)
+        label = "try:" + "#" * len(body)
+        children = list(body)
+        for handler in node.handlers:
+            hbody = self._body(handler.body)
+            label += "except:" + "#" * (len(hbody) + (1 if handler.type else 0))
+            if handler.type:
+                children.append(self.build(handler.type))
+            children += hbody
+        if node.finalbody:
+            fin = self._body(node.finalbody)
+            label += "finally:" + "#" * len(fin)
+            children += fin
+        return SPTNode(label, children)
+
+    def _build_With(self, node: ast.With) -> SPTNode:
+        items: list[SPTNode | SPTLeaf] = []
+        for item in node.items:
+            items.append(self.build(item.context_expr))
+            if item.optional_vars is not None:
+                items.append(self.build(item.optional_vars))
+        body = self._body(node.body)
+        return SPTNode(
+            "with" + "#" * len(items) + ":" + "#" * len(body), items + body
+        )
+
+    def _build_Raise(self, node: ast.Raise) -> SPTNode:
+        children = [self.build(node.exc)] if node.exc else []
+        return SPTNode("raise" + "#" * len(children), children)
+
+    def _build_Import(self, node: ast.Import) -> SPTNode:
+        names = [self._leaf(a.name) for a in node.names]
+        return SPTNode("import" + "#" * len(names), names)
+
+    def _build_ImportFrom(self, node: ast.ImportFrom) -> SPTNode:
+        names = [self._leaf(a.name) for a in node.names]
+        children = [self._leaf(node.module or ".")] + names
+        return SPTNode("from#import" + "#" * len(names), children)
+
+    def _build_Pass(self, node: ast.Pass) -> SPTNode:
+        return SPTNode("pass", [])
+
+    def _build_Break(self, node: ast.Break) -> SPTNode:
+        return SPTNode("break", [])
+
+    def _build_Continue(self, node: ast.Continue) -> SPTNode:
+        return SPTNode("continue", [])
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _build_Name(self, node: ast.Name) -> SPTLeaf:
+        return self._leaf(node.id, variable=node.id in self.variables)
+
+    def _build_Attribute(self, node: ast.Attribute) -> SPTNode:
+        return SPTNode("#.#", [self.build(node.value), self._leaf(node.attr)])
+
+    def _build_Call(self, node: ast.Call) -> SPTNode:
+        args = [self.build(a) for a in node.args]
+        args += [self.build(kw.value) for kw in node.keywords]
+        return SPTNode(
+            "#(" + "#" * len(args) + ")", [self.build(node.func)] + args
+        )
+
+    def _build_BinOp(self, node: ast.BinOp) -> SPTNode:
+        op = _OP_TOKENS.get(type(node.op), "?")
+        return SPTNode(f"#{op}#", [self.build(node.left), self.build(node.right)])
+
+    def _build_UnaryOp(self, node: ast.UnaryOp) -> SPTNode:
+        op = _OP_TOKENS.get(type(node.op), "?")
+        return SPTNode(f"{op}#", [self.build(node.operand)])
+
+    def _build_BoolOp(self, node: ast.BoolOp) -> SPTNode:
+        op = _OP_TOKENS.get(type(node.op), "?")
+        label = ("#" + op) * (len(node.values) - 1) + "#"
+        return SPTNode(label, [self.build(v) for v in node.values])
+
+    def _build_Compare(self, node: ast.Compare) -> SPTNode:
+        label = "#"
+        children = [self.build(node.left)]
+        for op, comp in zip(node.ops, node.comparators):
+            label += _OP_TOKENS.get(type(op), "?") + "#"
+            children.append(self.build(comp))
+        return SPTNode(label, children)
+
+    def _build_Subscript(self, node: ast.Subscript) -> SPTNode:
+        return SPTNode("#[#]", [self.build(node.value), self.build(node.slice)])
+
+    def _build_Slice(self, node: ast.Slice) -> SPTNode:
+        children = [
+            self.build(part)
+            for part in (node.lower, node.upper, node.step)
+            if part is not None
+        ]
+        return SPTNode(":" + "#" * len(children), children)
+
+    def _build_Constant(self, node: ast.Constant) -> SPTLeaf:
+        value = node.value
+        if isinstance(value, str):
+            return self._leaf("<str>")
+        if isinstance(value, bool):
+            return self._leaf(str(value))
+        if isinstance(value, (int, float, complex)):
+            return self._leaf("<num>")
+        return self._leaf(repr(value))
+
+    def _build_List(self, node: ast.List) -> SPTNode:
+        return SPTNode(
+            "[" + "#" * len(node.elts) + "]", [self.build(e) for e in node.elts]
+        )
+
+    def _build_Tuple(self, node: ast.Tuple) -> SPTNode:
+        return SPTNode(
+            "(" + "#" * len(node.elts) + ")", [self.build(e) for e in node.elts]
+        )
+
+    def _build_Set(self, node: ast.Set) -> SPTNode:
+        return SPTNode(
+            "{" + "#" * len(node.elts) + "}", [self.build(e) for e in node.elts]
+        )
+
+    def _build_Dict(self, node: ast.Dict) -> SPTNode:
+        children: list[SPTNode | SPTLeaf] = []
+        for k, v in zip(node.keys, node.values):
+            if k is not None:
+                children.append(self.build(k))
+            children.append(self.build(v))
+        return SPTNode("{" + "#:#" * len(node.values) + "}", children)
+
+    def _comprehension(self, node, kind: str) -> SPTNode:
+        children = [self.build(node.elt if hasattr(node, "elt") else node.key)]
+        if isinstance(node, ast.DictComp):
+            children.append(self.build(node.value))
+        label = kind + "#"
+        for gen in node.generators:
+            label += "for#in#"
+            children.append(self.build(gen.target))
+            children.append(self.build(gen.iter))
+            for cond in gen.ifs:
+                label += "if#"
+                children.append(self.build(cond))
+        closer = {"[": "]", "(": ")", "{": "}"}.get(kind, "")
+        return SPTNode(label + closer, children)
+
+    def _build_ListComp(self, node: ast.ListComp) -> SPTNode:
+        return self._comprehension(node, "[")
+
+    def _build_SetComp(self, node: ast.SetComp) -> SPTNode:
+        return self._comprehension(node, "{")
+
+    def _build_GeneratorExp(self, node: ast.GeneratorExp) -> SPTNode:
+        return self._comprehension(node, "(")
+
+    def _build_DictComp(self, node: ast.DictComp) -> SPTNode:
+        return self._comprehension(node, "{")
+
+    def _build_IfExp(self, node: ast.IfExp) -> SPTNode:
+        return SPTNode(
+            "#if#else#",
+            [self.build(node.body), self.build(node.test), self.build(node.orelse)],
+        )
+
+    def _build_JoinedStr(self, node: ast.JoinedStr) -> SPTLeaf:
+        return self._leaf("<fstr>")
+
+    def _build_Starred(self, node: ast.Starred) -> SPTNode:
+        return SPTNode("*#", [self.build(node.value)])
+
+    def _build_Yield(self, node: ast.Yield) -> SPTNode:
+        children = [self.build(node.value)] if node.value else []
+        return SPTNode("yield" + "#" * len(children), children)
+
+    def _build_Await(self, node: ast.Await) -> SPTNode:
+        return SPTNode("await#", [self.build(node.value)])
+
+
+def _repair_candidates(source: str) -> Iterator[str]:
+    """Yield progressively more aggressive repairs of a partial snippet."""
+    yield source
+    dedented = textwrap.dedent(source)
+    if dedented != source:
+        yield dedented
+    # Close dangling blocks: a snippet ending in ':' or mid-expression.
+    for base in (source, dedented):
+        lines = base.rstrip().splitlines()
+        while lines:
+            candidate = "\n".join(lines)
+            yield candidate + "\n    pass"
+            yield textwrap.dedent(candidate)
+            lines = lines[:-1]
+
+
+def python_to_spt(source: str) -> SPTNode:
+    """Parse Python ``source`` into an SPT, repairing partial snippets.
+
+    Raises :class:`ParseFailure` only when no repair produces parseable
+    code (e.g. binary garbage).
+    """
+    from repro import pyast
+
+    last_error: SyntaxError | None = None
+    for candidate in _repair_candidates(source):
+        try:
+            tree = pyast.parse(candidate)
+        except (SyntaxError, ValueError) as exc:
+            last_error = exc if isinstance(exc, SyntaxError) else last_error
+            continue
+        scan = _VariableScan()
+        scan.visit(tree)
+        built = _SPTBuilder(scan.bound).build(tree)
+        if isinstance(built, SPTLeaf):  # single-token snippet
+            return SPTNode("#", [built])
+        return built
+    raise ParseFailure(f"could not parse snippet: {last_error}")

@@ -1,0 +1,100 @@
+"""Feature vocabulary and sparse vectorisation for Aroma search.
+
+Aroma scores candidates by the size of the overlap between feature sets,
+computed for the whole corpus at once as a sparse matrix–vector product —
+the "matrix multiplication for quick snippet identification" of the
+paper's §II-E.  :class:`FeatureVocabulary` maps feature strings to column
+indices and builds ``scipy.sparse`` CSR matrices.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["FeatureVocabulary"]
+
+
+class FeatureVocabulary:
+    """Bidirectional mapping between feature strings and column indices."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, feature: str) -> bool:
+        return feature in self._index
+
+    def freeze(self) -> None:
+        """Stop admitting new features (queries must not grow the vocab)."""
+        self._frozen = True
+
+    def index_of(self, feature: str) -> int | None:
+        """Column of a feature; grows the vocabulary unless frozen."""
+        idx = self._index.get(feature)
+        if idx is None and not self._frozen:
+            idx = len(self._index)
+            self._index[feature] = idx
+        return idx
+
+    def vectorize(
+        self, features: Counter | Iterable[str], binary: bool = True
+    ) -> sparse.csr_matrix:
+        """One sparse row over the current vocabulary.
+
+        Out-of-vocabulary features are dropped when frozen (a query can
+        only match what the corpus contains).  With ``binary`` each known
+        feature contributes 1 regardless of multiplicity — Aroma's overlap
+        score ``|F(q) ∩ F(m)|``; otherwise counts are kept.
+        """
+        if not isinstance(features, Counter):
+            features = Counter(features)
+        cols, vals = [], []
+        for feature, count in features.items():
+            idx = self.index_of(feature)
+            if idx is None:
+                continue
+            cols.append(idx)
+            vals.append(1.0 if binary else float(count))
+        n_cols = max(len(self._index), 1)
+        return sparse.csr_matrix(
+            (vals, (np.zeros(len(cols), dtype=np.int32), cols)),
+            shape=(1, n_cols),
+        )
+
+    def matrix(
+        self, feature_counters: list[Counter], binary: bool = True
+    ) -> sparse.csr_matrix:
+        """Stack rows for a corpus, growing the vocabulary as needed.
+
+        Build the matrix *before* freezing, then freeze and vectorise
+        queries against it.
+        """
+        rows: list[tuple[list[int], list[float]]] = []
+        for counter in feature_counters:
+            cols, vals = [], []
+            for feature, count in counter.items():
+                idx = self.index_of(feature)
+                if idx is None:
+                    continue
+                cols.append(idx)
+                vals.append(1.0 if binary else float(count))
+            rows.append((cols, vals))
+
+        n_cols = max(len(self._index), 1)
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for cols, vals in rows:
+            indices.extend(cols)
+            data.extend(vals)
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (data, indices, indptr), shape=(len(rows), n_cols)
+        )

@@ -1,0 +1,49 @@
+"""repro.d4py — a from-scratch reimplementation of the dispel4py stream engine.
+
+dispel4py (Filgueira et al., 2014) is a parallel stream-based dataflow
+framework: workflows are DAGs whose nodes are Processing Elements (PEs) and
+whose edges carry data items.  Users describe an *abstract* workflow; a
+*mapping* (sequential, multiprocessing, or dynamic/Redis) turns it into a
+*concrete* workflow executed on the chosen substrate.
+
+This package provides:
+
+* :mod:`repro.d4py.core` — PE base classes (:class:`GenericPE`,
+  :class:`IterativePE`, :class:`ProducerPE`, :class:`ConsumerPE`,
+  :class:`CompositePE`).
+* :mod:`repro.d4py.workflow` — :class:`WorkflowGraph`, the abstract DAG.
+* :mod:`repro.d4py.grouping` — data-partitioning strategies between PE
+  instances (shuffle, group-by, global, all-to-all broadcast).
+* :mod:`repro.d4py.mappings` — execution backends: ``simple`` (sequential),
+  ``multi`` (static multiprocessing), ``dynamic`` (work-queue autoscaling
+  over the simulated Redis broker in :mod:`repro.d4py.redisim`).
+"""
+
+from repro.d4py.core import (
+    ConsumerPE,
+    GenericPE,
+    IterativePE,
+    ProducerPE,
+    CompositePE,
+)
+from repro.d4py.workflow import WorkflowGraph
+from repro.d4py.grouping import Grouping
+from repro.d4py.mappings import run_graph
+from repro.d4py.functional import SimpleFunctionPE, chain, create_iterative, producer_from
+from repro.d4py.realtime import StreamSession
+
+__all__ = [
+    "GenericPE",
+    "IterativePE",
+    "ProducerPE",
+    "ConsumerPE",
+    "CompositePE",
+    "WorkflowGraph",
+    "Grouping",
+    "run_graph",
+    "SimpleFunctionPE",
+    "chain",
+    "create_iterative",
+    "producer_from",
+    "StreamSession",
+]

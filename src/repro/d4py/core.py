@@ -1,0 +1,262 @@
+"""Processing Element (PE) base classes for the d4py stream engine.
+
+A PE is the fundamental unit of computation in a dispel4py workflow: it
+declares named input and output connections, consumes data items arriving on
+its inputs, and emits data items on its outputs via :meth:`GenericPE.write`.
+
+The class hierarchy mirrors dispel4py's:
+
+* :class:`GenericPE` — arbitrary fan-in/fan-out; subclasses implement
+  :meth:`GenericPE._process`.
+* :class:`IterativePE` — exactly one input (``input``) and one output
+  (``output``); ``_process(data)`` returns the value to emit (or ``None``).
+* :class:`ProducerPE` — no inputs; driven by the engine a configurable
+  number of times.
+* :class:`ConsumerPE` — one input, no outputs.
+* :class:`CompositePE` — wraps a sub-:class:`~repro.d4py.workflow.WorkflowGraph`
+  so a whole pipeline can be reused as one node.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.d4py.grouping import Grouping
+
+_pe_counter = itertools.count()
+
+
+class GenericPE:
+    """Base class for all Processing Elements.
+
+    Subclasses declare connections in ``__init__`` with :meth:`_add_input`
+    and :meth:`_add_output`, and implement :meth:`_process`, which receives
+    a dict mapping input names to the data item that arrived.  Output is
+    produced either by returning ``{output_name: value}`` from ``_process``
+    or by calling :meth:`write` any number of times.
+
+    Attributes
+    ----------
+    inputconnections:
+        Mapping of input name to its declared :class:`Grouping`.
+    outputconnections:
+        Set-like mapping of declared output names.
+    name:
+        Unique instance name, defaults to ``ClassName<seq>``.
+    """
+
+    #: Default output name used by convenience single-port subclasses.
+    OUTPUT_NAME = "output"
+    #: Default input name used by convenience single-port subclasses.
+    INPUT_NAME = "input"
+
+    def __init__(self, name: str | None = None) -> None:
+        self.inputconnections: dict[str, Grouping] = {}
+        self.outputconnections: dict[str, dict] = {}
+        self.name = name or f"{type(self).__name__}{next(_pe_counter)}"
+        self._emitter: Callable[[str, Any], None] | None = None
+        self._logger: Callable[[str], None] | None = None
+        self.rank: int | None = None  # set by parallel mappings
+        self.numprocesses: int = 1  # requested replication factor
+
+    # -- connection declaration -------------------------------------------------
+
+    def _add_input(self, name: str, grouping: Grouping | str | None = None) -> None:
+        """Declare an input connection ``name`` with an optional grouping."""
+        self.inputconnections[name] = Grouping.of(grouping)
+
+    def _add_output(self, name: str) -> None:
+        """Declare an output connection ``name``."""
+        self.outputconnections[name] = {"name": name}
+
+    # -- engine-facing API -------------------------------------------------------
+
+    def _set_emitter(self, emitter: Callable[[str, Any], None]) -> None:
+        self._emitter = emitter
+
+    def _set_logger(self, logger: Callable[[str], None]) -> None:
+        self._logger = logger
+
+    def preprocess(self) -> None:
+        """Hook run once per PE instance before any data is processed."""
+
+    def postprocess(self) -> None:
+        """Hook run once per PE instance after the stream is exhausted."""
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any] | None:
+        """Process one unit of input; called by the engine.
+
+        The default implementation delegates to :meth:`_process` and, if it
+        returns a mapping, treats it as ``{output_name: value}``.
+        """
+        result = self._process(inputs)
+        if result is not None:
+            if not isinstance(result, Mapping):
+                raise TypeError(
+                    f"{self.name}._process must return a mapping of "
+                    f"output name to value, got {type(result).__name__}"
+                )
+            for output, value in result.items():
+                self.write(output, value)
+        return None
+
+    def _process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any] | None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _process()"
+        )
+
+    def write(self, output: str, data: Any) -> None:
+        """Emit ``data`` on output connection ``output``."""
+        if output not in self.outputconnections:
+            raise KeyError(
+                f"PE {self.name!r} has no output {output!r}; "
+                f"declared outputs: {sorted(self.outputconnections)}"
+            )
+        if self._emitter is None:
+            raise RuntimeError(
+                f"PE {self.name!r} is not attached to an engine; "
+                "write() is only valid during workflow execution"
+            )
+        self._emitter(output, data)
+
+    def log(self, message: str) -> None:
+        """Log a message through the enclosing engine (falls back to print)."""
+        if self._logger is not None:
+            self._logger(f"{self.name} (rank {self.rank}): {message}")
+        else:  # pragma: no cover - only hit outside an engine
+            print(f"{self.name}: {message}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"in={sorted(self.inputconnections)} out={sorted(self.outputconnections)}>"
+        )
+
+
+class IterativePE(GenericPE):
+    """A PE consuming one input stream and producing one output stream.
+
+    Subclasses implement ``_process(data)`` taking the single data item; a
+    non-``None`` return value is written to the sole output.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        self._add_input(self.INPUT_NAME)
+        self._add_output(self.OUTPUT_NAME)
+
+    def process(self, inputs: Mapping[str, Any]) -> None:
+        """Engine hook: unwrap the single input and delegate to ``_process``."""
+        data = inputs[self.INPUT_NAME]
+        result = self._process(data)
+        if result is not None:
+            self.write(self.OUTPUT_NAME, result)
+
+    def _process(self, data: Any) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _process(data)"
+        )
+
+
+class ProducerPE(GenericPE):
+    """A source PE with no inputs and a single output.
+
+    The engine drives a producer once per *iteration*: running a graph with
+    ``input=5`` calls ``_process`` five times.  ``_process`` receives the
+    iteration payload (``None`` unless explicit input data was supplied).
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        self._add_output(self.OUTPUT_NAME)
+
+    def process(self, inputs: Mapping[str, Any]) -> None:
+        """Engine hook: one production step; non-None results are emitted."""
+        result = self._process(inputs)
+        if result is not None:
+            self.write(self.OUTPUT_NAME, result)
+
+    def _process(self, inputs: Mapping[str, Any]) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _process(inputs)"
+        )
+
+
+class ConsumerPE(GenericPE):
+    """A sink PE with a single input and no outputs."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        self._add_input(self.INPUT_NAME)
+
+    def process(self, inputs: Mapping[str, Any]) -> None:
+        """Engine hook: unwrap the single input and consume it."""
+        self._process(inputs[self.INPUT_NAME])
+
+    def _process(self, data: Any) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _process(data)"
+        )
+
+
+class CompositePE(GenericPE):
+    """A PE wrapping a sub-workflow, exposing selected internal ports.
+
+    Construct with a factory that populates a
+    :class:`~repro.d4py.workflow.WorkflowGraph`, then map external names to
+    internal ``(pe, port)`` pairs with :meth:`_map_input` / :meth:`_map_output`.
+    Mappings expand composites inline before execution, so a composite never
+    executes itself.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        # Imported lazily to avoid a circular import at module load time.
+        from repro.d4py.workflow import WorkflowGraph
+
+        self.subgraph = WorkflowGraph()
+        self.input_mappings: dict[str, tuple[GenericPE, str]] = {}
+        self.output_mappings: dict[str, tuple[GenericPE, str]] = {}
+
+    def connect(self, from_pe, from_output, to_pe, to_input) -> None:
+        """Connect two PEs inside the wrapped sub-workflow."""
+        self.subgraph.connect(from_pe, from_output, to_pe, to_input)
+
+    def _map_input(self, external: str, pe: GenericPE, port: str) -> None:
+        self.input_mappings[external] = (pe, port)
+        self._add_input(external, pe.inputconnections.get(port))
+
+    def _map_output(self, external: str, pe: GenericPE, port: str) -> None:
+        self.output_mappings[external] = (pe, port)
+        self._add_output(external)
+
+    def process(self, inputs: Mapping[str, Any]) -> None:  # pragma: no cover
+        """Engine hook: expand the wrapped sub-workflow (never called)."""
+        raise RuntimeError(
+            "CompositePE is expanded before execution and never processes data"
+        )
+
+
+def pes_from_iterable(
+    items: Iterable[Any], name: str = "IterSource"
+) -> ProducerPE:
+    """Build a producer that replays ``items`` one per iteration.
+
+    Convenience for tests and examples: run the graph with
+    ``input=len(items)`` (or let :func:`repro.d4py.mappings.run_graph`
+    infer it by passing the same iterable).
+    """
+
+    class _IterSource(ProducerPE):
+        def __init__(self) -> None:
+            super().__init__(name)
+            self._iter = iter(items)
+
+        def _process(self, inputs: Mapping[str, Any]) -> Any:
+            try:
+                return next(self._iter)
+            except StopIteration:
+                return None
+
+    return _IterSource()

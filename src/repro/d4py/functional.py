@@ -1,0 +1,103 @@
+"""Functional helpers: build PEs from plain Python callables.
+
+dispel4py ships ``SimpleFunctionPE`` and ``create_iterative`` so users
+can lift ordinary functions into workflow nodes without writing classes;
+these are their equivalents, plus a ``chain`` helper that wires a list of
+callables/PEs into a linear :class:`~repro.d4py.workflow.WorkflowGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.d4py.core import GenericPE, IterativePE, ProducerPE
+from repro.d4py.workflow import WorkflowGraph
+
+__all__ = ["SimpleFunctionPE", "create_iterative", "producer_from", "chain"]
+
+
+class SimpleFunctionPE(IterativePE):
+    """A one-in/one-out PE applying ``fn`` to every data item.
+
+    ``None`` results are dropped (filter semantics), matching
+    :meth:`IterativePE._process`.  Extra positional/keyword arguments are
+    partially applied: ``SimpleFunctionPE(round, 2)`` rounds to 2 places.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        *args: Any,
+        name: str | None = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name or f"{getattr(fn, '__name__', 'fn')}_pe")
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+
+    def _process(self, data: Any) -> Any:
+        return self.fn(data, *self.args, **self.kwargs)
+
+
+def create_iterative(fn: Callable, name: str | None = None) -> type[IterativePE]:
+    """Create an :class:`IterativePE` *subclass* whose ``_process`` is ``fn``.
+
+    Useful when a reusable, registrable class is wanted rather than an
+    instance — the class carries the function's name and docstring, so
+    the describer and structural search see meaningful metadata.
+    """
+
+    def _process(self, data):
+        return fn(data)
+
+    cls_name = name or "".join(
+        part.capitalize() for part in getattr(fn, "__name__", "fn").split("_")
+    ) + "PE"
+    return type(
+        cls_name,
+        (IterativePE,),
+        {"_process": _process, "__doc__": fn.__doc__ or f"PE applying {fn.__name__}."},
+    )
+
+
+def producer_from(iterable: Iterable, name: str = "producer") -> ProducerPE:
+    """A producer replaying ``iterable``, one item per iteration."""
+
+    class _Producer(ProducerPE):
+        def __init__(self) -> None:
+            super().__init__(name)
+            self._iter = iter(iterable)
+
+        def _process(self, inputs):
+            try:
+                return next(self._iter)
+            except StopIteration:
+                return None
+
+    return _Producer()
+
+
+def chain(*stages: GenericPE | Callable, names: list[str] | None = None) -> WorkflowGraph:
+    """Wire stages into a linear workflow; callables are lifted to PEs.
+
+    ``chain(source_pe, str.upper, lambda s: s[:3])`` builds a three-node
+    graph.  Returns the graph; fetch nodes by name for inspection.
+    """
+    if not stages:
+        raise ValueError("chain requires at least one stage")
+    pes: list[GenericPE] = []
+    for i, stage in enumerate(stages):
+        if isinstance(stage, GenericPE):
+            pes.append(stage)
+        elif callable(stage):
+            label = names[i] if names and i < len(names) else None
+            pes.append(SimpleFunctionPE(stage, name=label or f"stage{i}"))
+        else:
+            raise TypeError(f"stage {i} is neither a PE nor callable: {stage!r}")
+    graph = WorkflowGraph()
+    if len(pes) == 1:
+        graph.add(pes[0])
+    for up, down in zip(pes, pes[1:]):
+        graph.connect(up, "output", down, "input")
+    return graph

@@ -1,0 +1,85 @@
+"""Data-partitioning (grouping) strategies between replicated PE instances.
+
+When a destination PE runs as *n* parallel instances, a grouping decides
+which instance(s) receive each data item:
+
+* ``shuffle`` — round-robin across instances (the default).
+* ``group_by`` — hash of selected tuple elements; items with equal keys
+  always land on the same instance (stateful aggregation).
+* ``global`` — every item goes to instance 0 (all-to-one).
+* ``all`` — every item is broadcast to all instances (one-to-all).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic cross-process hash (``hash()`` is salted per process)."""
+    return zlib.adler32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """A routing policy from one upstream edge to a replicated PE's inputs."""
+
+    kind: str = "shuffle"
+    keys: tuple[int, ...] = field(default_factory=tuple)
+
+    VALID = ("shuffle", "group_by", "global", "all")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID:
+            raise ValueError(
+                f"unknown grouping {self.kind!r}; expected one of {self.VALID}"
+            )
+        if self.kind == "group_by" and not self.keys:
+            raise ValueError("group_by grouping requires at least one key index")
+
+    @classmethod
+    def of(cls, spec: "Grouping | str | Sequence[int] | None") -> "Grouping":
+        """Coerce a user-facing grouping spec into a :class:`Grouping`.
+
+        Accepts an existing :class:`Grouping`, the strings ``shuffle`` /
+        ``global`` / ``all``, or a sequence of integer indices (dispel4py's
+        group-by syntax).  ``None`` means shuffle.
+        """
+        if spec is None:
+            return cls("shuffle")
+        if isinstance(spec, Grouping):
+            return spec
+        if isinstance(spec, str):
+            return cls(spec)
+        return cls("group_by", tuple(int(i) for i in spec))
+
+    def route(self, data: Any, n_instances: int, counter: int) -> list[int]:
+        """Return the destination instance indices for one data item.
+
+        ``counter`` is a per-edge monotone counter used by shuffle routing.
+        """
+        if n_instances <= 1:
+            return [0]
+        if self.kind == "shuffle":
+            return [counter % n_instances]
+        if self.kind == "global":
+            return [0]
+        if self.kind == "all":
+            return list(range(n_instances))
+        # group_by
+        key = self.extract_key(data)
+        return [_stable_hash(key) % n_instances]
+
+    def extract_key(self, data: Any) -> Any:
+        """Extract the group-by key tuple from a data item.
+
+        Items are expected to be indexable (tuple/list); scalar items group
+        on their own value.
+        """
+        if self.kind != "group_by":
+            raise ValueError("extract_key is only meaningful for group_by")
+        if isinstance(data, (tuple, list)):
+            return tuple(data[i] for i in self.keys)
+        return (data,)

@@ -1,0 +1,229 @@
+"""A standard library of reusable Processing Elements.
+
+dispel4py's value proposition includes PE reuse across workflows
+(§II-A: "fundamental units of computation that ... can be reused").
+This module provides the combinators every streaming workflow reaches
+for — map/filter/flat-map, windowing, batching, keyed reduction, rate
+limiting and stream joining — implemented once, tested once, and
+registrable in the Laminar registry like any user PE.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable
+
+from repro.d4py.core import GenericPE, IterativePE
+
+__all__ = [
+    "MapPE",
+    "FilterPE",
+    "FlatMapPE",
+    "SlidingWindowPE",
+    "BatchPE",
+    "KeyedReducePE",
+    "DistinctPE",
+    "RateLimitPE",
+    "ZipPE",
+    "TakePE",
+]
+
+
+class MapPE(IterativePE):
+    """Applies a function to every item: the streaming ``map``."""
+
+    def __init__(self, fn: Callable[[Any], Any], name: str | None = None) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def _process(self, data):
+        return self.fn(data)
+
+
+class FilterPE(IterativePE):
+    """Forwards items satisfying a predicate: the streaming ``filter``."""
+
+    def __init__(self, predicate: Callable[[Any], bool], name: str | None = None) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+
+    def _process(self, data):
+        return data if self.predicate(data) else None
+
+
+class FlatMapPE(IterativePE):
+    """Expands each item into zero or more items (``flat_map``)."""
+
+    def __init__(
+        self, fn: Callable[[Any], Iterable], name: str | None = None
+    ) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def _process(self, data):
+        for item in self.fn(data):
+            self.write(self.OUTPUT_NAME, item)
+        return None
+
+
+class SlidingWindowPE(IterativePE):
+    """Emits a list of the last ``size`` items for every arrival after
+    warm-up; with ``step > 1`` emits every ``step``-th window (tumbling
+    when ``step == size``)."""
+
+    def __init__(self, size: int, step: int = 1, name: str | None = None) -> None:
+        if size < 1 or step < 1:
+            raise ValueError("size and step must be >= 1")
+        super().__init__(name)
+        self.size = size
+        self.step = step
+        self._buffer: list = []
+        self._arrivals = 0
+
+    def _process(self, data):
+        self._arrivals += 1
+        self._buffer.append(data)
+        if len(self._buffer) > self.size:
+            self._buffer.pop(0)
+        # First emission when the window fills, then every `step` arrivals.
+        if (
+            len(self._buffer) == self.size
+            and (self._arrivals - self.size) % self.step == 0
+        ):
+            return list(self._buffer)
+        return None
+
+
+class BatchPE(IterativePE):
+    """Groups consecutive items into fixed-size batches.
+
+    A trailing partial batch is flushed at ``postprocess`` — engines call
+    it after the stream drains, so no data is lost.
+    """
+
+    def __init__(self, size: int, name: str | None = None) -> None:
+        if size < 1:
+            raise ValueError("batch size must be >= 1")
+        super().__init__(name)
+        self.size = size
+        self._batch: list = []
+
+    def _process(self, data):
+        self._batch.append(data)
+        if len(self._batch) == self.size:
+            out, self._batch = self._batch, []
+            return out
+        return None
+
+    def postprocess(self):
+        """Flush the trailing partial batch when the stream drains."""
+        if self._batch and self._emitter is not None:
+            out, self._batch = self._batch, []
+            self.write(self.OUTPUT_NAME, out)
+
+
+class KeyedReducePE(GenericPE):
+    """Stateful keyed reduction over ``(key, value)`` items.
+
+    Emits ``(key, accumulator)`` after every update.  The input is
+    grouped on the key, so state stays exact under any parallel mapping.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any, Any], Any],
+        initial: Any = 0,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        self._add_input("input", grouping=[0])
+        self._add_output("output")
+        self.fn = fn
+        self.initial = initial
+        self.state: dict = {}
+
+    def _process(self, inputs):
+        key, value = inputs["input"]
+        acc = self.fn(self.state.get(key, self.initial), value)
+        self.state[key] = acc
+        return {"output": (key, acc)}
+
+
+class DistinctPE(IterativePE):
+    """Forwards only the first occurrence of each item (dedup)."""
+
+    def __init__(self, key: Callable[[Any], Any] | None = None, name: str | None = None) -> None:
+        super().__init__(name)
+        self.key = key or (lambda x: x)
+        self._seen: set = set()
+
+    def _process(self, data):
+        k = self.key(data)
+        if k in self._seen:
+            return None
+        self._seen.add(k)
+        return data
+
+
+class RateLimitPE(IterativePE):
+    """Forwards at most one item per ``interval`` seconds (throttle).
+
+    Uses a monotonic clock; items arriving inside the interval are
+    dropped — the semantics of a sensor-stream decimator.
+    """
+
+    def __init__(self, interval: float, name: str | None = None) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        super().__init__(name)
+        self.interval = interval
+        self._last = float("-inf")
+
+    def _process(self, data):
+        now = time.monotonic()
+        if now - self._last >= self.interval:
+            self._last = now
+            return data
+        return None
+
+
+class ZipPE(GenericPE):
+    """Pairs items arriving on inputs ``left`` and ``right`` in order.
+
+    Buffers the faster stream; emits ``(left, right)`` tuples when both
+    sides have an item — the streaming join-by-arrival-order.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        self._add_input("left")
+        self._add_input("right")
+        self._add_output("output")
+        self._left: list = []
+        self._right: list = []
+
+    def _process(self, inputs):
+        if "left" in inputs:
+            self._left.append(inputs["left"])
+        if "right" in inputs:
+            self._right.append(inputs["right"])
+        while self._left and self._right:
+            self.write("output", (self._left.pop(0), self._right.pop(0)))
+        return None
+
+
+class TakePE(IterativePE):
+    """Forwards only the first ``n`` items, then drops the rest."""
+
+    def __init__(self, n: int, name: str | None = None) -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        super().__init__(name)
+        self.n = n
+        self._taken = 0
+
+    def _process(self, data):
+        if self._taken < self.n:
+            self._taken += 1
+            return data
+        return None

@@ -1,0 +1,79 @@
+"""Execution mappings: translate abstract workflows onto substrates.
+
+``run_graph(graph, mapping=..., ...)`` is the single entry point the rest
+of the framework uses; it dispatches to:
+
+* ``simple`` — sequential reference semantics
+  (:func:`repro.d4py.mappings.simple.run_simple`);
+* ``multi`` — static multiprocessing distribution
+  (:func:`repro.d4py.mappings.multi.run_multi`);
+* ``dynamic`` — autoscaling work-queue execution over the simulated Redis
+  broker (:func:`repro.d4py.mappings.dynamic.run_dynamic`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.d4py.mappings.base import (
+    RunResult,
+    normalize_inputs,
+    partition_processes,
+)
+from repro.d4py.mappings.dynamic import run_dynamic
+from repro.d4py.mappings.multi import run_multi
+from repro.d4py.mappings.simple import run_simple
+
+MAPPINGS = ("simple", "multi", "mpi", "dynamic")
+
+
+def run_graph(
+    graph,
+    input: Any = 1,
+    mapping: str = "simple",
+    **options: Any,
+) -> RunResult:
+    """Enact ``graph`` with the chosen mapping.
+
+    ``options`` are forwarded to the mapping (``num_processes`` and
+    ``verbose`` for ``multi``; ``min_workers`` / ``max_workers`` /
+    ``instances_per_pe`` / ``autoscale`` / ``broker`` for ``dynamic``).
+    """
+    if mapping == "simple":
+        # Cross-mapping flags are accepted and ignored so callers (CLI,
+        # execution engine) can pass one option set regardless of mapping.
+        options.pop("verbose", None)
+        options.pop("num_processes", None)
+        provenance = bool(options.pop("provenance", False))
+        if options:
+            raise TypeError(f"simple mapping got unexpected options {sorted(options)}")
+        return run_simple(graph, input=input, provenance=provenance)
+    if options.get("provenance"):
+        raise ValueError(
+            "provenance capture is only supported by the simple mapping"
+        )
+    if mapping in ("multi", "mpi"):
+        # dispel4py's MPI mapping uses the same *static* workload
+        # distribution semantics as multiprocessing (§II-A); with no MPI
+        # runtime available offline, "mpi" enacts through the same
+        # rank-partitioned process engine (DESIGN.md substitution note).
+        return run_multi(graph, input=input, **options)
+    if mapping == "dynamic":
+        options.pop("verbose", None)
+        processes = options.pop("num_processes", None)
+        if processes is not None:
+            options.setdefault("max_workers", int(processes))
+        return run_dynamic(graph, input=input, **options)
+    raise ValueError(f"unknown mapping {mapping!r}; expected one of {MAPPINGS}")
+
+
+__all__ = [
+    "MAPPINGS",
+    "RunResult",
+    "normalize_inputs",
+    "partition_processes",
+    "run_dynamic",
+    "run_graph",
+    "run_multi",
+    "run_simple",
+]

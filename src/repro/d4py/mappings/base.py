@@ -1,0 +1,202 @@
+"""Shared machinery for translating abstract workflows into concrete ones.
+
+A *mapping* enacts a :class:`~repro.d4py.workflow.WorkflowGraph` on some
+substrate.  This module holds the pieces every mapping needs:
+
+* :func:`normalize_inputs` — turn the many user-facing ``input=`` spellings
+  (int, list, per-PE dict) into per-root invocation lists.
+* :func:`partition_processes` — dispel4py's static workload allocation:
+  divide N processes among the PEs of a graph (Fig 5b of the paper).
+* :class:`RunResult` — what every mapping returns: data collected from
+  unconnected output ports plus engine log lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.d4py.core import GenericPE, ProducerPE
+from repro.d4py.workflow import WorkflowGraph
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workflow enactment.
+
+    Attributes
+    ----------
+    outputs:
+        ``{(pe_name, output_port): [items...]}`` for every output port with
+        no downstream consumer — the workflow's observable results.
+    logs:
+        Engine and PE log lines, in arrival order.
+    iterations:
+        ``{instance_label: count}`` of items processed per PE instance,
+        matching the "Processed N iterations" lines of the paper's Fig 5b.
+    timings:
+        ``{instance_label: seconds}`` of cumulative processing time per
+        PE instance — the engine-level monitoring used to find the
+        workflow's bottleneck PE.
+    partition:
+        The process partition used (empty for the sequential mapping).
+    """
+
+    outputs: dict[tuple[str, str], list] = field(default_factory=dict)
+    logs: list[str] = field(default_factory=list)
+    iterations: dict[str, int] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    partition: dict[str, range] = field(default_factory=dict)
+    #: Data-lineage trace when the run was started with provenance=True
+    #: (simple mapping only); see :mod:`repro.d4py.provenance`.
+    provenance: "object | None" = None
+
+    def output_for(self, pe_name: str, port: str = "output") -> list:
+        """All items emitted on one leaf port (empty list if none)."""
+        return self.outputs.get((pe_name, port), [])
+
+    def all_outputs(self) -> list:
+        """Every leaf item from every port, flattened."""
+        return [item for items in self.outputs.values() for item in items]
+
+    def hotspot(self) -> str | None:
+        """The instance label with the largest cumulative processing time."""
+        if not self.timings:
+            return None
+        return max(self.timings, key=self.timings.get)
+
+
+def normalize_inputs(
+    graph: WorkflowGraph, input_spec: Any
+) -> dict[GenericPE, list[Mapping[str, Any]]]:
+    """Expand a user input spec into per-root invocation input mappings.
+
+    Accepted forms (mirroring dispel4py):
+
+    * ``int n`` — drive every root PE ``n`` times with empty inputs.
+    * ``list`` — each element is one invocation; dict elements are used as
+      the inputs mapping, any other value is bound to the root's first
+      declared input (or passed as ``{}`` for producers).
+    * ``dict {pe_name: spec}`` — per-root spec, each value again an int or
+      list as above.
+    """
+    roots = graph.roots()
+    if not roots:
+        raise ValueError("workflow has no root PEs to feed input to")
+
+    def expand_for(pe: GenericPE, spec: Any) -> list[Mapping[str, Any]]:
+        if spec is None:
+            return [{}]
+        if isinstance(spec, bool):
+            raise TypeError("input spec may not be a bool")
+        if isinstance(spec, int):
+            if spec < 0:
+                raise ValueError(f"iteration count must be >= 0, got {spec}")
+            return [{} for _ in range(spec)]
+        if isinstance(spec, Mapping):
+            return [spec]
+        if isinstance(spec, Sequence) and not isinstance(spec, (str, bytes)):
+            invocations: list[Mapping[str, Any]] = []
+            for item in spec:
+                if isinstance(item, Mapping):
+                    invocations.append(item)
+                elif isinstance(pe, ProducerPE) or not pe.inputconnections:
+                    invocations.append({"_data": item})
+                else:
+                    first_input = next(iter(pe.inputconnections))
+                    invocations.append({first_input: item})
+            return invocations
+        # A scalar: one invocation carrying the value.
+        if isinstance(pe, ProducerPE) or not pe.inputconnections:
+            return [{"_data": spec}]
+        first_input = next(iter(pe.inputconnections))
+        return [{first_input: spec}]
+
+    if isinstance(input_spec, Mapping) and input_spec and all(
+        isinstance(k, str) for k in input_spec
+    ):
+        by_name = {pe.name: pe for pe in roots}
+        # Also allow class-name addressing for convenience.
+        by_class = {type(pe).__name__: pe for pe in roots}
+        result: dict[GenericPE, list[Mapping[str, Any]]] = {}
+        for name, spec in input_spec.items():
+            pe = by_name.get(name) or by_class.get(name)
+            if pe is None:
+                raise KeyError(
+                    f"input spec names unknown root PE {name!r}; "
+                    f"roots: {sorted(by_name)}"
+                )
+            result[pe] = expand_for(pe, spec)
+        # Roots not named get a single empty invocation so they still start.
+        for pe in roots:
+            result.setdefault(pe, [{}])
+        return result
+
+    return {pe: expand_for(pe, input_spec) for pe in roots}
+
+
+def partition_processes(
+    graph: WorkflowGraph, num_processes: int
+) -> dict[str, range]:
+    """Statically allocate ``num_processes`` ranks to the PEs of ``graph``.
+
+    Mirrors dispel4py's multiprocessing allocation, as shown in the paper's
+    Fig 5b (``{'NumberProducer': range(0, 1), 'IsPrime1': range(1, 5),
+    'PrintPrime2': range(5, 9)}`` for 9 processes):
+
+    * a PE with an explicit ``numprocesses`` gets exactly that many ranks;
+    * otherwise source PEs get one rank (a producer is not replicated
+      implicitly), and remaining ranks are split evenly over the other PEs,
+      earlier (topologically) PEs receiving the remainder.
+    """
+    pes = graph.pes
+    if not pes:
+        raise ValueError("cannot partition an empty workflow")
+    roots = set(graph.roots())
+
+    counts: dict[str, int] = {}
+    flexible: list[GenericPE] = []
+    fixed_total = 0
+    for pe in pes:
+        if pe.numprocesses > 1:
+            counts[pe.name] = pe.numprocesses
+            fixed_total += pe.numprocesses
+        elif pe in roots:
+            counts[pe.name] = 1
+            fixed_total += 1
+        else:
+            flexible.append(pe)
+
+    remaining = num_processes - fixed_total
+    if flexible:
+        if remaining < len(flexible):
+            # Not enough ranks to go around: everyone flexible gets one.
+            for pe in flexible:
+                counts[pe.name] = 1
+        else:
+            share, extra = divmod(remaining, len(flexible))
+            for i, pe in enumerate(flexible):
+                counts[pe.name] = share + (1 if i < extra else 0)
+    elif remaining < 0:
+        raise ValueError(
+            f"{num_processes} processes cannot satisfy fixed requests "
+            f"totalling {fixed_total}"
+        )
+
+    partition: dict[str, range] = {}
+    next_rank = 0
+    for pe in pes:
+        n = counts[pe.name]
+        partition[pe.name] = range(next_rank, next_rank + n)
+        next_rank += n
+    return partition
+
+
+def leaf_ports(graph: WorkflowGraph) -> set[tuple[str, str]]:
+    """Output ports with no downstream edge: ``{(pe_name, port), ...}``."""
+    leaves = set()
+    for pe in graph.pes:
+        for port in pe.outputconnections:
+            if not graph.successors(pe, port):
+                leaves.add((pe.name, port))
+    return leaves

@@ -1,0 +1,271 @@
+"""The ``dynamic`` mapping: work-queue execution with autoscaling workers.
+
+This reproduces dispel4py's Redis-based dynamic workload allocation
+(Liang et al., 2022): instead of statically binding processes to PEs, every
+data item becomes a *task* on a shared queue (the simulated Redis broker,
+:class:`~repro.d4py.redisim.RedisSim`), and an elastic pool of workers pulls
+tasks regardless of which PE they belong to.  An autoscaler grows the pool
+while the queue is deep and shrinks it when the queue idles — the adaptive
+resource allocation the paper's §II-A describes.
+
+Workers are threads sharing one broker; each *logical PE instance* is a
+distinct deep-copied PE object guarded by a lock, so stateful PEs and
+``group_by`` routing behave exactly as in the distributed setting.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from typing import Any
+
+from repro.d4py.core import GenericPE
+from repro.d4py.grouping import Grouping
+from repro.d4py.mappings.base import RunResult, leaf_ports, normalize_inputs
+from repro.d4py.redisim import RedisSim
+from repro.d4py.workflow import WorkflowGraph
+
+_TASKS = "tasks"
+_PENDING = "pending"
+_DONE = "done"
+
+#: Queue depth above which the autoscaler adds a worker.
+_SCALE_UP_DEPTH = 4
+#: Seconds between autoscaler checks.
+_SCALE_INTERVAL = 0.02
+#: Overall drain deadline before the run is declared wedged (seconds).
+_DRAIN_TIMEOUT = 120.0
+
+
+class _DynamicEngine:
+    """One dynamic enactment: broker, instance pool, worker pool, autoscaler."""
+
+    def __init__(
+        self,
+        graph: WorkflowGraph,
+        broker: RedisSim,
+        instances_per_pe: int,
+        min_workers: int,
+        max_workers: int,
+        autoscale: bool,
+    ) -> None:
+        self.flat = graph.flatten()
+        self.broker = broker
+        self.instances_per_pe = instances_per_pe
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.autoscale = autoscale
+
+        self.leaves = leaf_ports(self.flat)
+        self.pe_by_name = {pe.name: pe for pe in self.flat.pes}
+        self.edges = list(self.flat.edges())
+        roots = set(self.flat.roots())
+        # Producers keep a single logical instance; everything else fans out.
+        self.n_instances = {
+            pe.name: (1 if pe in roots else instances_per_pe)
+            for pe in self.flat.pes
+        }
+
+        self.result = RunResult()
+        self.result_lock = threading.Lock()
+        self.errors: list[str] = []
+
+        self.instances: dict[tuple[str, int], tuple[GenericPE, threading.Lock]] = {}
+        self.instances_lock = threading.Lock()
+
+        # Per-run key namespace so several enactments can share one broker.
+        self.ns = f"d4pyrun:{id(self)}:"
+
+        self.workers: list[threading.Thread] = []
+        self.workers_lock = threading.Lock()
+        self.target_workers = min_workers
+        self.peak_workers = min_workers
+        self.stop_event = threading.Event()
+
+    # -- instance pool ---------------------------------------------------------
+
+    def instance(self, pe_name: str, idx: int) -> tuple[GenericPE, threading.Lock]:
+        """Lazily create (or fetch) one logical PE instance and its lock."""
+        key = (pe_name, idx)
+        with self.instances_lock:
+            entry = self.instances.get(key)
+            if entry is None:
+                template = self.pe_by_name[pe_name]
+                pe = copy.deepcopy(template)
+                pe.rank = idx
+                pe._set_emitter(self._make_emitter(pe_name, pe))
+                pe._set_logger(self._log)
+                pe.preprocess()
+                entry = (pe, threading.Lock())
+                self.instances[key] = entry
+            return entry
+
+    def _log(self, message: str) -> None:
+        with self.result_lock:
+            self.result.logs.append(message)
+
+    def _make_emitter(self, pe_name: str, pe: GenericPE):
+        def emit(output: str, data: Any) -> None:
+            if (pe_name, output) in self.leaves:
+                with self.result_lock:
+                    self.result.outputs.setdefault((pe_name, output), []).append(data)
+            for edge_idx, (u, from_output, v, to_input, grouping) in enumerate(
+                self.edges
+            ):
+                if u.name != pe_name or from_output != output:
+                    continue
+                n = self.n_instances[v.name]
+                counter = self.broker.incr(f"{self.ns}ctr:{edge_idx}") - 1
+                for dest_idx in grouping.route(data, n, counter):
+                    self.push_task(v.name, dest_idx, to_input, data)
+
+        return emit
+
+    # -- task queue --------------------------------------------------------------
+
+    def push_task(
+        self, pe_name: str, instance_idx: int, input_name: str | None, payload: Any
+    ) -> None:
+        """Enqueue one task and bump the in-flight counter."""
+        self.broker.incr(self.ns + _PENDING)
+        self.broker.rpush(self.ns + _TASKS, (pe_name, instance_idx, input_name, payload))
+
+    def _run_task(self, task: tuple) -> None:
+        pe_name, instance_idx, input_name, payload = task
+        pe, lock = self.instance(pe_name, instance_idx)
+        started = time.perf_counter()
+        with lock:
+            if input_name is None:
+                pe.process(dict(payload) if isinstance(payload, dict) else {})
+            else:
+                pe.process({input_name: payload})
+        elapsed = time.perf_counter() - started
+        with self.result_lock:
+            label = f"{pe_name}{instance_idx}"
+            self.result.timings[label] = self.result.timings.get(label, 0.0) + elapsed
+        self.broker.incr(f"{self.ns}iter:{pe_name}{instance_idx}")
+
+    def _worker_loop(self) -> None:
+        while not self.stop_event.is_set():
+            task = self.broker.brpop(self.ns + _TASKS, timeout=0.05)
+            if task is None:
+                with self.workers_lock:
+                    if (
+                        len(self.workers) > self.target_workers
+                        and threading.current_thread() in self.workers
+                    ):
+                        self.workers.remove(threading.current_thread())
+                        return
+                continue
+            try:
+                self._run_task(task)
+            except Exception as exc:
+                with self.result_lock:
+                    self.errors.append(
+                        f"task {task[0]}[{task[1]}]: {type(exc).__name__}: {exc}"
+                    )
+            finally:
+                self.broker.decr(self.ns + _PENDING)
+
+    def _spawn_worker(self) -> None:
+        thread = threading.Thread(target=self._worker_loop, daemon=True)
+        with self.workers_lock:
+            self.workers.append(thread)
+            self.peak_workers = max(self.peak_workers, len(self.workers))
+        thread.start()
+
+    def _autoscaler_loop(self) -> None:
+        while not self.stop_event.is_set():
+            depth = self.broker.llen(self.ns + _TASKS)
+            with self.workers_lock:
+                current = len(self.workers)
+            if depth > _SCALE_UP_DEPTH and current < self.max_workers:
+                self.target_workers = min(self.max_workers, current + 1)
+                self._spawn_worker()
+            elif depth == 0 and current > self.min_workers:
+                self.target_workers = max(self.min_workers, current - 1)
+            time.sleep(_SCALE_INTERVAL)
+
+    # -- enactment ----------------------------------------------------------------
+
+    def run(self, input_spec: Any) -> RunResult:
+        """Enact the workflow: seed tasks, drain the queue, collect results."""
+        for _ in range(self.min_workers):
+            self._spawn_worker()
+        scaler = None
+        if self.autoscale:
+            scaler = threading.Thread(target=self._autoscaler_loop, daemon=True)
+            scaler.start()
+
+        try:
+            for root, invocations in normalize_inputs(self.flat, input_spec).items():
+                n = self.n_instances[root.name]
+                for i, inputs in enumerate(invocations):
+                    self.push_task(root.name, i % n, None, dict(inputs))
+
+            if not self.broker.wait_for_zero(self.ns + _PENDING, timeout=_DRAIN_TIMEOUT):
+                raise RuntimeError("dynamic mapping wedged: task queue never drained")
+        finally:
+            self.stop_event.set()
+            self.broker.set(self.ns + _DONE, 1)
+            with self.workers_lock:
+                pending_join = list(self.workers)
+            for thread in pending_join:
+                thread.join(timeout=5.0)
+            if scaler is not None:
+                scaler.join(timeout=5.0)
+
+        for (pe_name, idx), (pe, lock) in sorted(self.instances.items()):
+            with lock:
+                pe.postprocess()
+            count = self.broker.get(f"{self.ns}iter:{pe_name}{idx}") or 0
+            self.result.iterations[f"{pe_name}{idx}"] = int(count)
+
+        if self.errors:
+            raise RuntimeError("dynamic worker failures: " + "; ".join(self.errors))
+        self.result.logs.append(
+            f"dynamic: peak workers {self.peak_workers} "
+            f"(min {self.min_workers}, max {self.max_workers})"
+        )
+        return self.result
+
+
+def run_dynamic(
+    graph: WorkflowGraph,
+    input: Any = 1,
+    min_workers: int = 1,
+    max_workers: int = 8,
+    instances_per_pe: int = 4,
+    autoscale: bool = True,
+    broker: RedisSim | None = None,
+) -> RunResult:
+    """Execute ``graph`` with dynamic workload allocation over a work queue.
+
+    Parameters
+    ----------
+    graph:
+        The abstract workflow.
+    input:
+        Root input spec (see :func:`normalize_inputs`).
+    min_workers, max_workers:
+        Bounds for the elastic worker pool.
+    instances_per_pe:
+        Logical instance count for non-root PEs (controls ``group_by``
+        partitioning exactly as process counts do in the multi mapping).
+    autoscale:
+        Enable the queue-depth autoscaler; with ``False`` the pool stays at
+        ``min_workers``.
+    broker:
+        Supply a shared :class:`RedisSim` (e.g. the process-wide default) —
+        a fresh private broker is used when omitted.
+    """
+    engine = _DynamicEngine(
+        graph,
+        broker or RedisSim(),
+        instances_per_pe=instances_per_pe,
+        min_workers=min_workers,
+        max_workers=max_workers,
+        autoscale=autoscale,
+    )
+    return engine.run(input)

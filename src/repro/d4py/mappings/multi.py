@@ -1,0 +1,258 @@
+"""The ``multi`` mapping: static workload distribution over processes.
+
+Mirrors dispel4py's multiprocessing mapping: the requested number of OS
+processes is statically partitioned among the PEs of the graph
+(:func:`~repro.d4py.mappings.base.partition_processes`), each rank runs one
+PE instance, and data items travel between ranks through per-rank inbox
+queues.  Termination uses the classic dataflow protocol — every upstream
+instance broadcasts a STOP marker on each outgoing edge when it finishes,
+and an instance retires once it has seen STOPs from every upstream instance
+on every incoming edge.
+
+The implementation relies on the ``fork`` start method (Linux), so workers
+inherit the workflow graph without pickling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from typing import Any
+
+from repro.d4py.core import GenericPE
+from repro.d4py.grouping import Grouping
+from repro.d4py.mappings.base import (
+    RunResult,
+    leaf_ports,
+    normalize_inputs,
+    partition_processes,
+)
+from repro.d4py.workflow import WorkflowGraph
+
+_STOP = ("__STOP__",)
+
+#: Hard ceiling on how long the parent waits for worker completion before
+#: declaring the run wedged (seconds).
+_JOIN_TIMEOUT = 120.0
+
+
+class _CollectorWriter:
+    """Child-process stdout shim: lines travel to the parent's collector.
+
+    Forked workers inherit the parent's ``sys.stdout``; printing there
+    would bypass the engine's streaming capture, so each worker installs
+    this writer and its prints arrive in ``RunResult.logs`` instead.
+    """
+
+    def __init__(self, collector: mp.Queue) -> None:
+        self._collector = collector
+        self._buffer = ""
+
+    def write(self, text: str) -> int:
+        """Buffer text; completed lines travel to the parent collector."""
+        data = self._buffer + text
+        *lines, self._buffer = data.split("\n")
+        for line in lines:
+            self._collector.put(("log", line))
+        return len(text)
+
+    def flush(self) -> None:
+        """Send any unterminated tail line to the collector."""
+        if self._buffer:
+            self._collector.put(("log", self._buffer))
+            self._buffer = ""
+
+
+def _worker(
+    rank: int,
+    pe: GenericPE,
+    instance: int,
+    invocations: list[dict[str, Any]],
+    out_edges: list[tuple[str, str, Grouping, range]],
+    expected_stops: int,
+    inboxes: dict[int, mp.Queue],
+    collector: mp.Queue,
+    leaves: set[tuple[str, str]],
+    verbose: bool,
+) -> None:
+    """Run one PE instance on one rank until its input streams drain."""
+    import sys
+
+    sys.stdout = _CollectorWriter(collector)
+    counters: dict[int, int] = {}
+    iterations = 0
+    busy = 0.0
+
+    def emit(output: str, data: Any) -> None:
+        if (pe.name, output) in leaves:
+            collector.put(("output", pe.name, output, data))
+        for edge_idx, (from_output, to_input, grouping, dest_ranks) in enumerate(
+            out_edges
+        ):
+            if from_output != output:
+                continue
+            count = counters.get(edge_idx, 0)
+            counters[edge_idx] = count + 1
+            for offset in grouping.route(data, len(dest_ranks), count):
+                inboxes[dest_ranks[offset]].put((to_input, data))
+
+    pe.rank = rank
+    pe._set_emitter(emit)
+    pe._set_logger(lambda msg: collector.put(("log", msg)))
+    pe.preprocess()
+
+    import time as _time
+
+    try:
+        for inputs in invocations:
+            started = _time.perf_counter()
+            pe.process(dict(inputs))
+            busy += _time.perf_counter() - started
+            iterations += 1
+
+        stops_seen = 0
+        inbox = inboxes[rank]
+        while stops_seen < expected_stops:
+            msg = inbox.get()
+            if msg == _STOP:
+                stops_seen += 1
+                continue
+            to_input, data = msg
+            started = _time.perf_counter()
+            pe.process({to_input: data})
+            busy += _time.perf_counter() - started
+            iterations += 1
+        pe.postprocess()
+    except Exception as exc:  # surface worker failures to the parent
+        collector.put(("error", rank, f"{type(exc).__name__}: {exc}"))
+    finally:
+        # One STOP per (edge, dest instance): downstream instances count
+        # these to know when their input streams are exhausted.
+        for _from_output, _to_input, _grouping, dest_ranks in out_edges:
+            for dest in dest_ranks:
+                inboxes[dest].put(_STOP)
+        if verbose:
+            collector.put(
+                ("log", f"{pe.name} (rank {rank}): Processed {iterations} iterations.")
+            )
+        collector.put(("iter", f"{pe.name}{instance}", iterations, rank))
+        collector.put(("time", f"{pe.name}{instance}", busy))
+        sys.stdout.flush()  # drain any unterminated print output
+        collector.put(("done", rank))
+
+
+def run_multi(
+    graph: WorkflowGraph,
+    input: Any = 1,
+    num_processes: int = 4,
+    verbose: bool = False,
+) -> RunResult:
+    """Execute ``graph`` with static multiprocessing workload distribution.
+
+    Parameters
+    ----------
+    graph:
+        The abstract workflow.
+    input:
+        Root input spec (see :func:`normalize_inputs`).
+    num_processes:
+        Total ranks to partition among the PEs.
+    verbose:
+        Emit per-instance "Processed N iterations" log lines, as the paper's
+        CLI ``-v`` flag does (Fig 5b).
+    """
+    flat = graph.flatten()
+    partition = partition_processes(flat, num_processes)
+    total_ranks = max(r.stop for r in partition.values())
+    leaves = leaf_ports(flat)
+    pe_by_name = {pe.name: pe for pe in flat.pes}
+
+    ctx = mp.get_context("fork")
+    inboxes: dict[int, mp.Queue] = {rank: ctx.Queue() for rank in range(total_ranks)}
+    collector: mp.Queue = ctx.Queue()
+
+    # Per-PE routing tables and stop accounting.
+    out_edges_by_pe: dict[str, list[tuple[str, str, Grouping, range]]] = {
+        name: [] for name in partition
+    }
+    expected_stops: dict[str, int] = {name: 0 for name in partition}
+    for u, from_output, v, to_input, grouping in flat.edges():
+        out_edges_by_pe[u.name].append(
+            (from_output, to_input, grouping, partition[v.name])
+        )
+        expected_stops[v.name] += len(partition[u.name])
+
+    inputs_by_root = normalize_inputs(flat, input)
+    invocations_by_rank: dict[int, list[dict[str, Any]]] = {}
+    for root, invocations in inputs_by_root.items():
+        ranks = partition[root.name]
+        for i, rank in enumerate(ranks):
+            invocations_by_rank[rank] = [
+                dict(inv) for inv in invocations[i :: len(ranks)]
+            ]
+
+    workers = []
+    for name, ranks in partition.items():
+        pe = pe_by_name[name]
+        for instance, rank in enumerate(ranks):
+            proc = ctx.Process(
+                target=_worker,
+                args=(
+                    rank,
+                    pe,
+                    instance,
+                    invocations_by_rank.get(rank, []),
+                    out_edges_by_pe[name],
+                    expected_stops[name],
+                    inboxes,
+                    collector,
+                    leaves,
+                    verbose,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            workers.append(proc)
+
+    result = RunResult(partition=dict(partition))
+    if verbose:
+        result.logs.append(f"Partition: {partition}")
+    errors: list[str] = []
+    done = 0
+    try:
+        while done < total_ranks:
+            try:
+                msg = collector.get(timeout=_JOIN_TIMEOUT)
+            except queue_mod.Empty as exc:
+                raise RuntimeError(
+                    "multi mapping wedged: workers stopped reporting"
+                ) from exc
+            kind = msg[0]
+            if kind == "output":
+                _, pe_name, port, data = msg
+                result.outputs.setdefault((pe_name, port), []).append(data)
+            elif kind == "log":
+                result.logs.append(msg[1])
+            elif kind == "iter":
+                _, label, count, _rank = msg
+                result.iterations[label] = count
+            elif kind == "time":
+                result.timings[msg[1]] = msg[2]
+            elif kind == "error":
+                # The erroring rank still sends its own "done" afterwards.
+                errors.append(f"rank {msg[1]}: {msg[2]}")
+            elif kind == "done":
+                done += 1
+    finally:
+        for proc in workers:
+            proc.join(timeout=5.0)
+        for proc in workers:
+            if proc.is_alive():  # pragma: no cover - defensive cleanup
+                proc.terminate()
+        for q in list(inboxes.values()) + [collector]:
+            q.close()
+            q.join_thread()
+
+    if errors:
+        raise RuntimeError("worker failures: " + "; ".join(errors))
+    return result

@@ -1,0 +1,111 @@
+"""The sequential ("simple") mapping: one process, FIFO message loop.
+
+This is dispel4py's reference semantics: every PE has a single instance,
+messages are delivered in emission order, and execution finishes when the
+message queue drains.  All other mappings must agree with this one on
+observable results (a property the test suite checks).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+
+from repro.d4py.core import GenericPE
+from repro.d4py.mappings.base import RunResult, leaf_ports, normalize_inputs
+from repro.d4py.workflow import WorkflowGraph
+
+
+def run_simple(
+    graph: WorkflowGraph, input: Any = 1, provenance: bool = False
+) -> RunResult:
+    """Execute ``graph`` sequentially in the calling process.
+
+    Parameters
+    ----------
+    graph:
+        The abstract workflow (composites are expanded automatically).
+    input:
+        Iteration spec for the root PEs — see
+        :func:`repro.d4py.mappings.base.normalize_inputs`.
+    provenance:
+        Capture full data lineage (see :mod:`repro.d4py.provenance`);
+        the trace arrives on ``result.provenance``.
+    """
+    flat = graph.flatten()
+    result = RunResult()
+    leaves = leaf_ports(flat)
+    # Queue entries: (pe, inputs, consumed item ids) — ids are only
+    # tracked when provenance capture is on.
+    queue: deque[tuple[GenericPE, dict[str, Any], tuple[int, ...]]] = deque()
+    iteration_counts: dict[str, int] = {pe.name: 0 for pe in flat.pes}
+    processing_time: dict[str, float] = {pe.name: 0.0 for pe in flat.pes}
+
+    trace = None
+    if provenance:
+        from repro.d4py.provenance import ProvenanceTrace
+
+        trace = ProvenanceTrace()
+        result.provenance = trace
+    # Mutable holder for the invocation currently executing (set by the
+    # main loop, read by emitters).
+    current: dict[str, Any] = {"invocation": None, "produced": []}
+
+    def make_emitter(pe: GenericPE):
+        def emit(output: str, data: Any) -> None:
+            item_id: int | None = None
+            if trace is not None:
+                item_id = trace.record_item(
+                    pe.name, output, current["invocation"], data
+                )
+                current["produced"].append(item_id)
+            if (pe.name, output) in leaves:
+                result.outputs.setdefault((pe.name, output), []).append(data)
+            for dest, to_input, _grouping in flat.successors(pe, output):
+                consumed = (item_id,) if item_id is not None else ()
+                queue.append((dest, {to_input: data}, consumed))
+
+        return emit
+
+    for pe in flat.pes:
+        pe.rank = 0
+        pe._set_emitter(make_emitter(pe))
+        pe._set_logger(result.logs.append)
+        pe.preprocess()
+
+    try:
+        for root, invocations in normalize_inputs(flat, input).items():
+            for inputs in invocations:
+                queue.append((root, dict(inputs), ()))
+
+        while queue:
+            pe, inputs, consumed = queue.popleft()
+            if trace is not None:
+                current["invocation"] = trace.new_invocation_id()
+                current["produced"] = []
+            started = time.perf_counter()
+            pe.process(inputs)
+            elapsed = time.perf_counter() - started
+            processing_time[pe.name] += elapsed
+            iteration_counts[pe.name] += 1
+            if trace is not None:
+                trace.record_invocation(
+                    current["invocation"],
+                    pe.name,
+                    consumed,
+                    tuple(current["produced"]),
+                    elapsed,
+                )
+    finally:
+        for pe in flat.pes:
+            pe.postprocess()
+            pe._set_emitter(None)  # type: ignore[arg-type]
+
+    result.iterations = {
+        f"{name}0": count for name, count in iteration_counts.items()
+    }
+    result.timings = {
+        f"{name}0": seconds for name, seconds in processing_time.items()
+    }
+    return result

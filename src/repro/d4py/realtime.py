@@ -1,0 +1,163 @@
+"""Real-time stream ingestion: push data into a *live* workflow.
+
+One of Laminar 2.0's listed contributions is "support for dynamic process
+allocation and real-time data streams within serverless environments".
+The batch-style ``run_graph`` drives producers a fixed number of times;
+:class:`StreamSession` instead keeps a workflow *running* on the dynamic
+(work-queue) engine and lets external code push items as they arrive —
+a socket reader, a message-bus consumer, a simulation loop:
+
+    session = StreamSession(graph).start()
+    session.push({"sensor": "s1", "value": 21.5})   # any thread
+    ...
+    result = session.stop()                          # drain + RunResult
+
+Pushed items are delivered to the workflow's *entry* PEs (roots with an
+input port), honouring their groupings; the elastic worker pool and
+per-instance state semantics are exactly those of the dynamic mapping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.d4py.core import ProducerPE
+from repro.d4py.mappings.base import RunResult
+from repro.d4py.mappings.dynamic import _DynamicEngine
+from repro.d4py.redisim import RedisSim
+from repro.d4py.workflow import WorkflowGraph
+
+__all__ = ["StreamSession"]
+
+
+class StreamSession:
+    """A live workflow accepting pushed items until stopped."""
+
+    def __init__(
+        self,
+        graph: WorkflowGraph,
+        min_workers: int = 1,
+        max_workers: int = 4,
+        instances_per_pe: int = 4,
+        autoscale: bool = True,
+        broker: RedisSim | None = None,
+    ) -> None:
+        self._engine = _DynamicEngine(
+            graph,
+            broker or RedisSim(),
+            instances_per_pe=instances_per_pe,
+            min_workers=min_workers,
+            max_workers=max_workers,
+            autoscale=autoscale,
+        )
+        self._entries = []
+        for pe in self._engine.flat.roots():
+            if isinstance(pe, ProducerPE) or not pe.inputconnections:
+                raise ValueError(
+                    f"root PE {pe.name!r} is a producer; StreamSession needs "
+                    "consumable entry PEs (roots with an input port)"
+                )
+            self._entries.append((pe, next(iter(pe.inputconnections))))
+        if not self._entries:
+            raise ValueError("workflow has no entry PEs to push into")
+        self._started = False
+        self._stopped = False
+        self._pushed = 0
+        self._push_counters: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._scaler: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "StreamSession":
+        """Spin up the worker pool (and autoscaler); idempotent."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        for _ in range(self._engine.min_workers):
+            self._engine._spawn_worker()
+        if self._engine.autoscale:
+            self._scaler = threading.Thread(
+                target=self._engine._autoscaler_loop, daemon=True
+            )
+            self._scaler.start()
+        return self
+
+    def push(self, item: Any) -> None:
+        """Deliver one item to every entry PE (thread-safe)."""
+        if not self._started or self._stopped:
+            raise RuntimeError("push() requires a started, unstopped session")
+        with self._lock:
+            self._pushed += 1
+        for pe, input_name in self._entries:
+            grouping = pe.inputconnections[input_name]
+            n = self._engine.n_instances[pe.name]
+            with self._lock:
+                counter = self._push_counters.get(pe.name, 0)
+                self._push_counters[pe.name] = counter + 1
+            for idx in grouping.route(item, n, counter):
+                self._engine.push_task(pe.name, idx, input_name, item)
+
+    def push_many(self, items) -> int:
+        """Push an iterable of items; returns how many were pushed."""
+        count = 0
+        for item in items:
+            self.push(item)
+            count += 1
+        return count
+
+    @property
+    def pushed(self) -> int:
+        """How many items have been pushed into the session."""
+        return self._pushed
+
+    def pending(self) -> int:
+        """Tasks currently queued or executing."""
+        value = self._engine.broker.get(self._engine.ns + "pending")
+        return int(value or 0)
+
+    def results_so_far(self) -> dict[str, list]:
+        """Snapshot of leaf outputs collected so far (copy)."""
+        with self._engine.result_lock:
+            return {
+                f"{pe}.{port}": list(values)
+                for (pe, port), values in self._engine.result.outputs.items()
+            }
+
+    def stop(self, timeout: float = 60.0) -> RunResult:
+        """Drain in-flight work, retire workers, return the final result."""
+        with self._lock:
+            if self._stopped:
+                return self._engine.result
+            self._stopped = True
+        if not self._engine.broker.wait_for_zero(
+            self._engine.ns + "pending", timeout=timeout
+        ):
+            raise TimeoutError("stream session did not drain in time")
+        self._engine.stop_event.set()
+        with self._engine.workers_lock:
+            workers = list(self._engine.workers)
+        for worker in workers:
+            worker.join(timeout=5.0)
+        if self._scaler is not None:
+            self._scaler.join(timeout=5.0)
+
+        for (pe_name, idx), (pe, lock) in sorted(self._engine.instances.items()):
+            with lock:
+                pe.postprocess()
+            count = self._engine.broker.get(f"{self._engine.ns}iter:{pe_name}{idx}")
+            self._engine.result.iterations[f"{pe_name}{idx}"] = int(count or 0)
+        if self._engine.errors:
+            raise RuntimeError(
+                "stream session failures: " + "; ".join(self._engine.errors)
+            )
+        return self._engine.result
+
+    def __enter__(self) -> "StreamSession":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        if not self._stopped:
+            self.stop()

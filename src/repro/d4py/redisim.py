@@ -1,0 +1,182 @@
+"""An in-memory, Redis-like broker for the dynamic mapping.
+
+dispel4py's dynamic workload allocation (Liang et al., 2022) uses a Redis
+server as a shared work queue decoupling producers from an elastic pool of
+workers.  A real Redis server is not available offline, so this module
+provides :class:`RedisSim`: a thread-safe, in-process data store exposing
+the subset of the Redis command surface the dynamic mapping needs —
+blocking list pops, hashes, counters and plain keys.
+
+The substitution preserves the behaviour that matters for the paper's
+claims: a shared FIFO of tasks that any worker can claim, with blocking
+consumption and atomic counters for in-flight accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict, deque
+from typing import Any
+
+
+class RedisSim:
+    """Thread-safe in-memory key/list/hash store with blocking pops."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Condition()
+        self._lists: dict[str, deque] = defaultdict(deque)
+        self._hashes: dict[str, dict] = defaultdict(dict)
+        self._kv: dict[str, Any] = {}
+
+    # -- lists ---------------------------------------------------------------
+
+    def lpush(self, key: str, *values: Any) -> int:
+        """Prepend values; returns the new list length."""
+        with self._lock:
+            for v in values:
+                self._lists[key].appendleft(v)
+            self._lock.notify_all()
+            return len(self._lists[key])
+
+    def rpush(self, key: str, *values: Any) -> int:
+        """Append values; returns the new list length."""
+        with self._lock:
+            for v in values:
+                self._lists[key].append(v)
+            self._lock.notify_all()
+            return len(self._lists[key])
+
+    def rpop(self, key: str) -> Any | None:
+        """Non-blocking pop from the tail; ``None`` if empty."""
+        with self._lock:
+            lst = self._lists.get(key)
+            return lst.pop() if lst else None
+
+    def lpop(self, key: str) -> Any | None:
+        """Non-blocking pop from the head; ``None`` if empty."""
+        with self._lock:
+            lst = self._lists.get(key)
+            return lst.popleft() if lst else None
+
+    def brpop(self, key: str, timeout: float | None = None) -> Any | None:
+        """Blocking tail pop: wait up to ``timeout`` seconds for an item."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                lst = self._lists.get(key)
+                if lst:
+                    return lst.pop()
+                if deadline is None:
+                    self._lock.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._lock.wait(remaining)
+
+    def llen(self, key: str) -> int:
+        """Current length of list ``key`` (0 when absent)."""
+        with self._lock:
+            return len(self._lists.get(key, ()))
+
+    # -- hashes ----------------------------------------------------------------
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        """Set one field of hash ``key``."""
+        with self._lock:
+            self._hashes[key][field] = value
+
+    def hget(self, key: str, field: str) -> Any | None:
+        """Read one field of hash ``key`` (``None`` when absent)."""
+        with self._lock:
+            return self._hashes.get(key, {}).get(field)
+
+    def hgetall(self, key: str) -> dict:
+        """Copy of hash ``key`` as a plain dict."""
+        with self._lock:
+            return dict(self._hashes.get(key, {}))
+
+    def hsetnx(self, key: str, field: str, value: Any) -> bool:
+        """Set a hash field only if absent; returns True if it was set."""
+        with self._lock:
+            h = self._hashes[key]
+            if field in h:
+                return False
+            h[field] = value
+            return True
+
+    # -- counters and keys -------------------------------------------------------
+
+    def incr(self, key: str, amount: int = 1) -> int:
+        """Atomically add ``amount``; returns the new value."""
+        with self._lock:
+            value = int(self._kv.get(key, 0)) + amount
+            self._kv[key] = value
+            self._lock.notify_all()
+            return value
+
+    def decr(self, key: str, amount: int = 1) -> int:
+        """Atomically subtract ``amount``; returns the new value."""
+        return self.incr(key, -amount)
+
+    def get(self, key: str) -> Any | None:
+        """Read a plain key (``None`` when absent)."""
+        with self._lock:
+            return self._kv.get(key)
+
+    def set(self, key: str, value: Any) -> None:
+        """Write a plain key and wake any counter-waiters."""
+        with self._lock:
+            self._kv[key] = value
+            self._lock.notify_all()
+
+    def delete(self, *keys: str) -> int:
+        """Delete keys from every namespace; returns how many existed."""
+        with self._lock:
+            n = 0
+            for key in keys:
+                for ns in (self._kv, self._lists, self._hashes):
+                    if key in ns:
+                        del ns[key]
+                        n += 1
+            return n
+
+    def wait_for_zero(self, key: str, timeout: float | None = None) -> bool:
+        """Block until counter ``key`` reaches zero (or below).
+
+        Returns False on timeout.  Used by the dynamic mapping to wait for
+        the in-flight task counter to drain.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while int(self._kv.get(key, 0)) > 0:
+                if deadline is None:
+                    self._lock.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._lock.wait(remaining)
+            return True
+
+    def flushall(self) -> None:
+        """Drop every key in every namespace."""
+        with self._lock:
+            self._lists.clear()
+            self._hashes.clear()
+            self._kv.clear()
+            self._lock.notify_all()
+
+
+_default_broker: RedisSim | None = None
+_default_broker_lock = threading.Lock()
+
+
+def default_broker() -> RedisSim:
+    """Process-wide shared broker instance (lazily created)."""
+    global _default_broker
+    with _default_broker_lock:
+        if _default_broker is None:
+            _default_broker = RedisSim()
+        return _default_broker

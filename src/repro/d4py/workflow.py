@@ -1,0 +1,154 @@
+"""Abstract workflow graphs: the user-facing DAG of Processing Elements.
+
+A :class:`WorkflowGraph` is what a dispel4py user describes — PEs and the
+data flow between their named ports.  Mappings translate it into a concrete
+workflow at enactment time.  The graph is backed by a
+:class:`networkx.MultiDiGraph` so multiple distinct port-to-port edges
+between the same pair of PEs are supported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import networkx as nx
+
+from repro.d4py.core import CompositePE, GenericPE
+from repro.d4py.grouping import Grouping
+
+
+class WorkflowGraph:
+    """A directed acyclic graph of PEs with named, grouped connections."""
+
+    def __init__(self) -> None:
+        self._graph = nx.MultiDiGraph()
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, pe: GenericPE) -> GenericPE:
+        """Add a PE node (idempotent); returns the PE for chaining."""
+        if not isinstance(pe, GenericPE):
+            raise TypeError(f"expected a GenericPE, got {type(pe).__name__}")
+        self._graph.add_node(pe)
+        return pe
+
+    def connect(
+        self,
+        from_pe: GenericPE,
+        from_output: str,
+        to_pe: GenericPE,
+        to_input: str,
+    ) -> None:
+        """Connect ``from_pe.from_output`` to ``to_pe.to_input``.
+
+        Both ports must have been declared by the PEs.  Adding an edge that
+        would create a cycle raises ``ValueError`` (workflows are DAGs).
+        """
+        if from_output not in from_pe.outputconnections:
+            raise KeyError(
+                f"{from_pe.name!r} has no output {from_output!r}; "
+                f"declared: {sorted(from_pe.outputconnections)}"
+            )
+        if to_input not in to_pe.inputconnections:
+            raise KeyError(
+                f"{to_pe.name!r} has no input {to_input!r}; "
+                f"declared: {sorted(to_pe.inputconnections)}"
+            )
+        self.add(from_pe)
+        self.add(to_pe)
+        self._graph.add_edge(
+            from_pe,
+            to_pe,
+            from_output=from_output,
+            to_input=to_input,
+            grouping=to_pe.inputconnections[to_input],
+        )
+        if not nx.is_directed_acyclic_graph(self._graph):
+            # Roll back the offending edge so the graph stays usable.
+            self._graph.remove_edge(from_pe, to_pe)
+            raise ValueError(
+                f"connecting {from_pe.name} -> {to_pe.name} creates a cycle; "
+                "workflows must be DAGs"
+            )
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def pes(self) -> list[GenericPE]:
+        """All PEs, in topological order."""
+        return list(nx.topological_sort(self._graph))
+
+    def get_pe(self, name: str) -> GenericPE:
+        """Find a PE by instance name."""
+        for pe in self._graph.nodes:
+            if pe.name == name:
+                return pe
+        raise KeyError(f"no PE named {name!r} in workflow")
+
+    def edges(self) -> Iterator[tuple[GenericPE, str, GenericPE, str, Grouping]]:
+        """Yield ``(from_pe, from_output, to_pe, to_input, grouping)``."""
+        for u, v, data in self._graph.edges(data=True):
+            yield u, data["from_output"], v, data["to_input"], data["grouping"]
+
+    def roots(self) -> list[GenericPE]:
+        """PEs with no incoming edges — the workflow's sources."""
+        return [n for n in self.pes if self._graph.in_degree(n) == 0]
+
+    def sinks(self) -> list[GenericPE]:
+        """PEs with no outgoing edges."""
+        return [n for n in self.pes if self._graph.out_degree(n) == 0]
+
+    def successors(
+        self, pe: GenericPE, output: str
+    ) -> list[tuple[GenericPE, str, Grouping]]:
+        """Destinations of one output port: ``(to_pe, to_input, grouping)``."""
+        dests = []
+        for _, v, data in self._graph.out_edges(pe, data=True):
+            if data["from_output"] == output:
+                dests.append((v, data["to_input"], data["grouping"]))
+        return dests
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, pe: GenericPE) -> bool:
+        return pe in self._graph
+
+    # -- composite expansion --------------------------------------------------
+
+    def flatten(self) -> "WorkflowGraph":
+        """Return an equivalent graph with every :class:`CompositePE` inlined.
+
+        External edges into a composite are rewired to the mapped internal
+        ``(pe, port)``; edges out likewise.  Nested composites are expanded
+        recursively.  The original graph is not modified.
+        """
+        if not any(isinstance(pe, CompositePE) for pe in self._graph.nodes):
+            return self
+
+        flat = WorkflowGraph()
+        for pe in self._graph.nodes:
+            if not isinstance(pe, CompositePE):
+                flat.add(pe)
+            else:
+                inner = pe.subgraph.flatten()
+                for node in inner.pes:
+                    flat.add(node)
+                for edge in inner.edges():
+                    u, out, v, inp, _ = edge
+                    flat.connect(u, out, v, inp)
+        for u, v, data in self._graph.edges(data=True):
+            src, src_port = u, data["from_output"]
+            dst, dst_port = v, data["to_input"]
+            if isinstance(u, CompositePE):
+                src, src_port = u.output_mappings[src_port]
+            if isinstance(v, CompositePE):
+                dst, dst_port = v.input_mappings[dst_port]
+            flat.connect(src, src_port, dst, dst_port)
+        return flat.flatten()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WorkflowGraph pes={[pe.name for pe in self.pes]} "
+            f"edges={self._graph.number_of_edges()}>"
+        )

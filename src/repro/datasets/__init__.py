@@ -1,0 +1,33 @@
+"""Synthetic *CodeSearchNet PE* corpus (DESIGN.md substitution S14).
+
+The paper evaluates on ~450k CodeSearchNet Python function/description
+pairs, converted into Laminar PEs and grouped by semantic similarity.
+That corpus cannot be downloaded offline, so this package generates a
+synthetic equivalent with the properties the evaluation depends on:
+
+* realistic Python functions with natural-language reference
+  descriptions (:mod:`repro.datasets.templates` — dozens of function
+  *families* spanning string, math, collection, validation, stream and
+  I/O-flavoured code);
+* ground-truth relevance groups — every family member is "semantically
+  similar" to the others, with structural variants and identifier
+  renames inside each family (clones for ReACC, patterns for Aroma);
+* conversion of plain functions into Laminar's PE class format
+  (:mod:`repro.datasets.peconvert` — the paper used ANTLR for this);
+* unique identifiers per PE to avoid duplicate-name ambiguity.
+
+:func:`repro.datasets.codesearchnet.generate_corpus` is the entry point.
+"""
+
+from repro.datasets.codesearchnet import CorpusItem, generate_corpus
+from repro.datasets.peconvert import function_to_pe
+from repro.datasets.templates import FAMILIES, FunctionFamily, render_variant
+
+__all__ = [
+    "CorpusItem",
+    "generate_corpus",
+    "function_to_pe",
+    "FAMILIES",
+    "FunctionFamily",
+    "render_variant",
+]

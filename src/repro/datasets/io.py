@@ -1,0 +1,58 @@
+"""Corpus serialisation: JSONL export/import of CodeSearchNet-PE items.
+
+The synthetic corpus is deterministic, but a serialised form is useful
+for inspecting what an evaluation actually ran on, for diffing corpora
+across code changes, and for loading the same corpus into external
+tooling.  One JSON object per line, fields mirroring
+:class:`~repro.datasets.codesearchnet.CorpusItem`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.datasets.codesearchnet import CorpusItem
+
+__all__ = ["dump_jsonl", "load_jsonl"]
+
+
+def dump_jsonl(items: Iterable[CorpusItem], path: str | Path) -> int:
+    """Write corpus items to a JSONL file; returns the item count."""
+    count = 0
+    with open(path, "w") as fh:
+        for item in items:
+            fh.write(json.dumps(dataclasses.asdict(item)) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str | Path) -> list[CorpusItem]:
+    """Read corpus items back from a JSONL file.
+
+    Raises ``ValueError`` on malformed lines or missing fields so corpus
+    corruption fails loudly rather than skewing an evaluation.
+    """
+    field_names = {f.name for f in dataclasses.fields(CorpusItem)}
+    items: list[CorpusItem] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            missing = field_names - set(payload)
+            if missing:
+                raise ValueError(
+                    f"{path}:{lineno}: missing fields {sorted(missing)}"
+                )
+            extra = set(payload) - field_names
+            if extra:
+                raise ValueError(f"{path}:{lineno}: unknown fields {sorted(extra)}")
+            items.append(CorpusItem(**payload))
+    return items

@@ -1,0 +1,40 @@
+"""Evaluation machinery for the paper's figures (E1–E4 in DESIGN.md).
+
+* :mod:`repro.eval.metrics` — precision/recall/F1, averaged PR curves,
+  and the token-overlap F1 used for description quality.
+* :mod:`repro.eval.dropper` — progressive code truncation ("X% dropped"
+  in Figs 12/13).
+* :mod:`repro.eval.harness` — end-to-end experiment drivers that build a
+  corpus, run a search model over every query, and return PR curves in
+  the exact shape the paper plots.
+"""
+
+from repro.eval.dropper import drop_suffix
+from repro.eval.metrics import (
+    PRCurve,
+    best_f1,
+    f1_score,
+    precision_recall_at_k,
+    token_f1,
+)
+from repro.eval.harness import (
+    CodeSearchResult,
+    TextToCodeResult,
+    run_code_to_code_eval,
+    run_description_eval,
+    run_text_to_code_eval,
+)
+
+__all__ = [
+    "PRCurve",
+    "best_f1",
+    "f1_score",
+    "precision_recall_at_k",
+    "token_f1",
+    "drop_suffix",
+    "CodeSearchResult",
+    "TextToCodeResult",
+    "run_code_to_code_eval",
+    "run_description_eval",
+    "run_text_to_code_eval",
+]

@@ -1,0 +1,32 @@
+"""Progressive code truncation for the partial-snippet experiments.
+
+Figs 12/13 evaluate code-to-code search with "0%, 50%, 75% and 90% of the
+code dropped" to simulate a developer who has only written the beginning
+of a PE.  :func:`drop_suffix` keeps the leading fraction of source lines,
+which is exactly the in-progress-code scenario (the top of a class exists,
+the body trails off).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["drop_suffix", "DROP_LEVELS"]
+
+#: The drop fractions evaluated in the paper's Figs 12 and 13.
+DROP_LEVELS = (0.0, 0.5, 0.75, 0.9)
+
+
+def drop_suffix(source: str, fraction: float) -> str:
+    """Drop the trailing ``fraction`` of non-empty source lines.
+
+    Always keeps at least one line.  ``fraction`` of 0 returns the source
+    unchanged; values outside [0, 1) raise ``ValueError``.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    if fraction == 0.0:
+        return source
+    lines = [line for line in source.splitlines() if line.strip()]
+    keep = max(1, math.ceil(len(lines) * (1.0 - fraction)))
+    return "\n".join(lines[:keep])

@@ -1,0 +1,134 @@
+"""Retrieval and text-overlap metrics.
+
+The paper reports precision, recall and F1 for its search evaluations
+(§VII-C/D): *"precision reflects the proportion of relevant PEs
+retrieved, and recall indicates how many relevant PEs were successfully
+identified"*.  PR curves are produced by sweeping the retrieval depth k
+and averaging per-query precision/recall at each depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.models.tokenize import subtokens
+
+__all__ = [
+    "precision_recall_at_k",
+    "f1_score",
+    "PRCurve",
+    "average_pr_curve",
+    "best_f1",
+    "token_f1",
+]
+
+
+def precision_recall_at_k(
+    ranked: Sequence, relevant: set, k: int
+) -> tuple[float, float]:
+    """Precision and recall of the top-``k`` of one ranked result list."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0, 0.0
+    top = ranked[:k]
+    hits = sum(1 for item in top if item in relevant)
+    return hits / k, hits / len(relevant)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass
+class PRCurve:
+    """An averaged precision–recall curve over a query set.
+
+    ``ks[i]`` is the retrieval depth, ``precision[i]`` / ``recall[i]``
+    the query-averaged metrics at that depth — the series the paper's
+    Figs 11–13 plot.
+    """
+
+    ks: list[int] = field(default_factory=list)
+    precision: list[float] = field(default_factory=list)
+    recall: list[float] = field(default_factory=list)
+
+    def f1(self) -> list[float]:
+        """Per-depth F1 series along the curve."""
+        return [f1_score(p, r) for p, r in zip(self.precision, self.recall)]
+
+    def best_f1(self) -> float:
+        """Maximum F1 along the curve (the paper's headline number)."""
+        scores = self.f1()
+        return max(scores) if scores else 0.0
+
+    def best_k(self) -> int:
+        """Retrieval depth at which F1 peaks."""
+        scores = self.f1()
+        if not scores:
+            return 0
+        return self.ks[int(np.argmax(scores))]
+
+    def rows(self) -> list[tuple[int, float, float, float]]:
+        """``(k, precision, recall, f1)`` rows for printing/plotting."""
+        return [
+            (k, p, r, f1_score(p, r))
+            for k, p, r in zip(self.ks, self.precision, self.recall)
+        ]
+
+
+def average_pr_curve(
+    per_query_rankings: Iterable[tuple[Sequence, set]],
+    max_k: int = 20,
+) -> PRCurve:
+    """Average per-query precision/recall over k = 1..max_k.
+
+    ``per_query_rankings`` yields ``(ranked_ids, relevant_id_set)`` pairs.
+    Queries with empty relevant sets are skipped (no defined recall).
+    """
+    ks = list(range(1, max_k + 1))
+    p_sum = np.zeros(len(ks))
+    r_sum = np.zeros(len(ks))
+    n = 0
+    for ranked, relevant in per_query_rankings:
+        if not relevant:
+            continue
+        n += 1
+        for i, k in enumerate(ks):
+            p, r = precision_recall_at_k(ranked, relevant, k)
+            p_sum[i] += p
+            r_sum[i] += r
+    if n == 0:
+        return PRCurve(ks=ks, precision=[0.0] * len(ks), recall=[0.0] * len(ks))
+    return PRCurve(
+        ks=ks,
+        precision=list(p_sum / n),
+        recall=list(r_sum / n),
+    )
+
+
+def best_f1(curve: PRCurve) -> float:
+    """Convenience alias for ``curve.best_f1()``."""
+    return curve.best_f1()
+
+
+def token_f1(generated: str, reference: str) -> float:
+    """Token-overlap F1 between a generated and a reference description.
+
+    A ROUGE-1-style measure over stemmed, stopword-filtered subtokens —
+    used to score description quality in the Fig 10 reproduction.
+    """
+    gen = set(subtokens(generated, drop_stopwords=True, stem_words=True))
+    ref = set(subtokens(reference, drop_stopwords=True, stem_words=True))
+    if not gen or not ref:
+        return 0.0
+    inter = len(gen & ref)
+    precision = inter / len(gen)
+    recall = inter / len(ref)
+    return f1_score(precision, recall)

@@ -1,0 +1,127 @@
+"""Programmatic experiment report: regenerate the paper's numbers as text.
+
+``python -m repro.eval.report`` runs the four evaluation experiments
+(Figs 10–13) at a configurable scale and renders a markdown report with
+the paper's reference values alongside — the machine-written counterpart
+of EXPERIMENTS.md.  Useful for checking that code changes keep the
+reproduced shapes intact:
+
+    python -m repro.eval.report --corpus 240 --queries 80 --out report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import generate_corpus
+from repro.eval.dropper import DROP_LEVELS
+from repro.eval.harness import (
+    run_code_to_code_eval,
+    run_description_eval,
+    run_text_to_code_eval,
+)
+
+__all__ = ["build_report", "main"]
+
+#: The paper's headline values for side-by-side display.
+PAPER = {
+    "fig11_best_f1": 0.61,
+    "fig12_best_f1": 0.63,
+    "fig13_best_f1": 0.24,
+}
+
+
+def build_report(corpus_size: int = 240, max_queries: int = 80) -> str:
+    """Run Figs 10–13 and render a markdown report."""
+    corpus = generate_corpus(corpus_size)
+    lines: list[str] = [
+        "# Laminar 2.0 reproduction — experiment report",
+        "",
+        f"corpus: {len(corpus)} synthetic CodeSearchNet PEs, "
+        f"{len({c.family for c in corpus})} semantic families; "
+        f"{max_queries} code-search queries per condition",
+        "",
+    ]
+
+    t2c = run_text_to_code_eval(corpus=corpus)
+    lines += [
+        "## Fig 11 — text-to-code search",
+        "",
+        f"best F1 **{t2c.best_f1:.3f}** at k={t2c.curve.best_k()} "
+        f"(paper ≈ {PAPER['fig11_best_f1']})",
+        "",
+        "| k | precision | recall | F1 |",
+        "|---|---|---|---|",
+    ]
+    for k, p, r, f1 in t2c.curve.rows():
+        if k in (1, 3, 5, 10, 20):
+            lines.append(f"| {k} | {p:.3f} | {r:.3f} | {f1:.3f} |")
+    lines.append("")
+
+    results = {}
+    for model, paper_key in (("aroma", "fig12_best_f1"), ("reacc", "fig13_best_f1")):
+        res = run_code_to_code_eval(model, corpus=corpus, max_queries=max_queries)
+        results[model] = res
+        fig = "Fig 12" if model == "aroma" else "Fig 13"
+        lines += [
+            f"## {fig} — {model} code-to-code search",
+            "",
+            f"max F1 **{res.best_f1():.3f}** (paper ≈ {PAPER[paper_key]})",
+            "",
+            "| % dropped | best F1 | best k |",
+            "|---|---|---|",
+        ]
+        for drop in DROP_LEVELS:
+            curve = res.curves[drop]
+            lines.append(
+                f"| {int(drop * 100)} | {curve.best_f1():.3f} | {curve.best_k()} |"
+            )
+        lines.append("")
+
+    aroma, reacc = results["aroma"], results["reacc"]
+    ordering_ok = all(
+        aroma.curves[d].best_f1() > reacc.curves[d].best_f1() for d in DROP_LEVELS
+    )
+    lines += [
+        "## Cross-model claims",
+        "",
+        f"- Aroma > ReACC at every drop level: "
+        f"{'**holds**' if ordering_ok else '**VIOLATED**'}",
+        f"- overall: {aroma.best_f1():.3f} vs {reacc.best_f1():.3f} "
+        f"(paper: 0.63 vs 0.24)",
+        "",
+    ]
+
+    desc = run_description_eval(corpus=corpus[: min(120, corpus_size)])
+    better = desc["full_class"] > desc["process_only"]
+    lines += [
+        "## Fig 10 — description generation context",
+        "",
+        f"- `_process`-only (Laminar 1.0): token-F1 {desc['process_only']:.3f}",
+        f"- full class (Laminar 2.0): token-F1 {desc['full_class']:.3f}",
+        f"- full-class context wins: {'**holds**' if better else '**VIOLATED**'}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: build the report and write it out."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--corpus", type=int, default=240, help="corpus size")
+    parser.add_argument("--queries", type=int, default=80, help="queries per condition")
+    parser.add_argument("--out", default="-", help="output path ('-' = stdout)")
+    ns = parser.parse_args(argv)
+    report = build_report(corpus_size=ns.corpus, max_queries=ns.queries)
+    if ns.out == "-":
+        sys.stdout.write(report)
+    else:
+        with open(ns.out, "w") as fh:
+            fh.write(report)
+        print(f"wrote {ns.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""repro.laminar — the Laminar 2.0 serverless framework.
+
+Architecture (paper Fig 4): a **client** (API + CLI) talks to a
+**server** over a streaming transport; the server fronts a relational
+**registry** of users, PEs and workflows, and dispatches runs to the
+**execution engine**, which enacts dispel4py workflows and streams their
+stdout back line by line.
+
+* :mod:`repro.laminar.transport` — HTTP/2-style framed streaming
+  (in-process and localhost TCP implementations).
+* :mod:`repro.laminar.registry` — the SQLite-backed registry with the
+  Fig 6 schema (User, Workflow, ProcessingElement, Execution, Response).
+* :mod:`repro.laminar.server` — controllers / services / models /
+  data-access layers (§III).
+* :mod:`repro.laminar.execution` — the serverless execution engine with
+  auto-import, resource caching and true streaming (§IV-E/F).
+* :mod:`repro.laminar.client` — the Table I client functions and the
+  Fig 5 CLI.
+"""
+
+from repro.laminar.client.client import LaminarClient
+from repro.laminar.client.process import Process
+from repro.laminar.server.app import LaminarServer
+
+__all__ = ["LaminarClient", "LaminarServer", "Process"]

@@ -1,0 +1,7 @@
+"""Laminar client: the Table I API (:mod:`client`), execution-mode enum
+(:mod:`process`) and the Fig 5 command-line interface (:mod:`cli`)."""
+
+from repro.laminar.client.client import LaminarClient, RunSummary
+from repro.laminar.client.process import Process
+
+__all__ = ["LaminarClient", "Process", "RunSummary"]

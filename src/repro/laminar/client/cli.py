@@ -1,0 +1,392 @@
+"""The Laminar CLI (paper Fig 5): an interactive shell over the client.
+
+Implements every documented command of the paper's ``help`` screen::
+
+    code_recommendation   quit                 run
+    describe              register_pe          semantic_search
+    help                  register_workflow    update_pe_description
+    list                  remove_all           update_workflow_description
+    literal_search        remove_pe
+                          remove_workflow
+
+Run options mirror Fig 5b: ``run <identifier> [-i input] [--multi]
+[--dynamic] [-n procs] [-v] [--rawinput]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import cmd
+import shlex
+import sys
+
+from repro.laminar.client.client import ClientError, LaminarClient
+from repro.laminar.client.process import Process
+
+__all__ = ["LaminarCLI", "main"]
+
+
+def _fmt_table(rows: list[dict], columns: list[str]) -> str:
+    """Minimal fixed-width table rendering for search results."""
+    if not rows:
+        return "(no results)"
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))[:48]) for r in rows)) for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(c, ""))[:48].ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+class LaminarCLI(cmd.Cmd):
+    """Interactive shell; each ``do_*`` mirrors a paper command."""
+
+    intro = "Welcome to the Laminar CLI"
+    prompt = "(laminar) "
+
+    def __init__(self, client: LaminarClient | None = None, stdout=None) -> None:
+        super().__init__(stdout=stdout)
+        self.client = client or LaminarClient()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _p(self, text: str = "") -> None:
+        print(text, file=self.stdout or sys.stdout)
+
+    def onecmd(self, line: str) -> bool:
+        """Dispatch one command, printing client errors instead of raising."""
+        try:
+            return super().onecmd(line)
+        except ClientError as exc:
+            self._p(f"error: {exc}")
+            return False
+        except (FileNotFoundError, ValueError) as exc:
+            self._p(f"error: {exc}")
+            return False
+
+    # -- registration -----------------------------------------------------------
+
+    def do_register_pe(self, arg: str) -> None:
+        """register_pe <file.py> — register the PE class(es) in a file."""
+        path = arg.strip()
+        if not path:
+            self._p("usage: register_pe <file.py>")
+            return
+        code = open(path).read()
+        body = self.client.register_PE(code)
+        self._p(f"• {body['peName']} - type (ID {body['peId']})")
+
+    def do_register_workflow(self, arg: str) -> None:
+        """register_workflow <file.py> — register a workflow and its PEs."""
+        path = arg.strip()
+        if not path:
+            self._p("usage: register_workflow <file.py>")
+            return
+        body = self.client.register_Workflow(path)
+        self._p("Found PEs...")
+        for pe in body["pes"]:
+            self._p(f"• {pe['peName']} - type (ID {pe['peId']})")
+        wf = body["workflow"]
+        self._p("Found workflows...")
+        self._p(f"• {wf['workflowName']} - Workflow (ID {wf['workflowId']})")
+
+    # -- listing / describing ------------------------------------------------------
+
+    def do_list(self, arg: str) -> None:
+        """list — show every PE and workflow in the registry."""
+        body = self.client.get_Registry()
+        self._p("Processing elements:")
+        for pe in body["pes"]:
+            self._p(f"• {pe['peName']} (ID {pe['peId']})")
+        self._p("Workflows:")
+        for wf in body["workflows"]:
+            self._p(f"• {wf['workflowName']} (ID {wf['workflowId']})")
+
+    def do_describe(self, arg: str) -> None:
+        """describe [pe|workflow] <id-or-name> — description and source."""
+        parts = shlex.split(arg)
+        if len(parts) == 1:
+            kind, ident = "pe", parts[0]
+        elif len(parts) == 2:
+            kind, ident = parts
+        else:
+            self._p("usage: describe [pe|workflow] <id>")
+            return
+        body = self.client.describe(ident, kind=kind)
+        name = body.get("peName") or body.get("workflowName")
+        self._p(f"{name}: {body.get('description', '')}")
+        code = body.get("peCode") or body.get("workflowCode") or ""
+        self._p(code)
+
+    # -- searches --------------------------------------------------------------------
+
+    def do_literal_search(self, arg: str) -> None:
+        """literal_search [workflow|pe|all] <term> — match names/descriptions."""
+        parts = shlex.split(arg)
+        if not parts:
+            self._p("usage: literal_search [workflow|pe|all] <term>")
+            return
+        kind = "all"
+        if parts[0] in ("workflow", "pe", "all"):
+            kind, parts = parts[0], parts[1:]
+        term = " ".join(parts)
+        body = self.client.search_Registry_Literal(term, kind=kind)
+        for pe in body.get("pes", []):
+            self._p(f"PE  {pe['peId']:>4}  {pe['peName']}  {pe['description'][:60]}")
+        for wf in body.get("workflows", []):
+            self._p(
+                f"WF  {wf['workflowId']:>4}  {wf['workflowName']}  "
+                f"{wf['description'][:60]}"
+            )
+
+    def do_semantic_search(self, arg: str) -> None:
+        """semantic_search [workflow|pe] <search_term> — embedding search."""
+        parts = shlex.split(arg)
+        if not parts:
+            self._p("usage: semantic_search [workflow|pe] <search_term>")
+            return
+        kind = "pe"
+        if parts[0] in ("workflow", "pe"):
+            kind, parts = parts[0], parts[1:]
+        query = " ".join(parts)
+        self._p(f"Performing semantic search on {kind}, with query type: text")
+        results = self.client.search_Registry_Semantic(query, kind=kind)
+        id_col = "peId" if kind == "pe" else "workflowId"
+        name_col = "peName" if kind == "pe" else "workflowName"
+        self._p(
+            _fmt_table(results, [id_col, name_col, "description", "cosine_similarity"])
+        )
+
+    def do_code_recommendation(self, arg: str) -> None:
+        """code_recommendation [workflow|pe] <snippet> [--embedding_type spt|llm]"""
+        parts = shlex.split(arg)
+        embedding_type = "spt"
+        if "--embedding_type" in parts:
+            i = parts.index("--embedding_type")
+            embedding_type = parts[i + 1] if i + 1 < len(parts) else "spt"
+            parts = parts[:i] + parts[i + 2 :]
+        if not parts:
+            self._p("usage: code_recommendation [workflow|pe] <snippet>")
+            return
+        kind = "pe"
+        if parts[0] in ("workflow", "pe"):
+            kind, parts = parts[0], parts[1:]
+        snippet = " ".join(parts)
+        results = self.client.code_Recommendation(
+            snippet, kind=kind, embedding_type=embedding_type
+        )
+        if kind == "pe":
+            self._p(_fmt_table(results, ["peId", "peName", "description", "score"]))
+        else:
+            self._p(
+                _fmt_table(
+                    results,
+                    ["workflowId", "workflowName", "description", "occurrences"],
+                )
+            )
+
+    def do_show(self, arg: str) -> None:
+        """show <workflow-id-or-name> — render the workflow graph."""
+        ident = arg.strip()
+        if not ident:
+            self._p("usage: show <workflow>")
+            return
+        body = self.client.visualize_Workflow(ident)
+        self._p(body["text"])
+        self._p(f"({len(body['pes'])} PEs, {body['edges']} edges)")
+
+    def do_code_completion(self, arg: str) -> None:
+        """code_completion <snippet> [--embedding_type spt|llm] — complete
+        a partial snippet from the closest registered PEs."""
+        parts = shlex.split(arg)
+        embedding_type = "spt"
+        if "--embedding_type" in parts:
+            i = parts.index("--embedding_type")
+            embedding_type = parts[i + 1] if i + 1 < len(parts) else "spt"
+            parts = parts[:i] + parts[i + 2 :]
+        if not parts:
+            self._p("usage: code_completion <snippet>")
+            return
+        snippet = " ".join(parts)
+        results = self.client.code_Completion(snippet, embedding_type=embedding_type)
+        if not results:
+            self._p("(no completions)")
+            return
+        for hit in results:
+            self._p(f"— from {hit['peName']} (score {hit['score']}):")
+            for line in hit["completion"].splitlines():
+                self._p(f"    {line}")
+
+    # -- updates ------------------------------------------------------------------------
+
+    def do_update_pe_description(self, arg: str) -> None:
+        """update_pe_description <id> <new description...>"""
+        parts = shlex.split(arg)
+        if len(parts) < 2:
+            self._p("usage: update_pe_description <id> <description>")
+            return
+        body = self.client.update_PE_Description(parts[0], " ".join(parts[1:]))
+        self._p(f"updated {body['peName']}: {body['description']}")
+
+    def do_update_workflow_description(self, arg: str) -> None:
+        """update_workflow_description <id> <new description...>"""
+        parts = shlex.split(arg)
+        if len(parts) < 2:
+            self._p("usage: update_workflow_description <id> <description>")
+            return
+        body = self.client.update_Workflow_Description(parts[0], " ".join(parts[1:]))
+        self._p(f"updated {body['workflowName']}: {body['description']}")
+
+    # -- removal --------------------------------------------------------------------------
+
+    def do_remove_pe(self, arg: str) -> None:
+        """remove_pe <id-or-name>"""
+        body = self.client.remove_PE(arg.strip())
+        self._p(f"removed PE {body['removed']} (ID {body['peId']})")
+
+    def do_remove_workflow(self, arg: str) -> None:
+        """remove_workflow <id-or-name>"""
+        body = self.client.remove_Workflow(arg.strip())
+        self._p(f"removed workflow {body['removed']} (ID {body['workflowId']})")
+
+    def do_remove_all(self, arg: str) -> None:
+        """remove_all — delete every registered PE and workflow."""
+        body = self.client.remove_All()
+        self._p(
+            f"removed {body['pes_removed']} PEs and "
+            f"{body['workflows_removed']} workflows"
+        )
+
+    # -- run ------------------------------------------------------------------------------------
+
+    def do_run(self, arg: str) -> None:
+        """run <identifier> [options] — run a registered workflow.
+
+        Options (Fig 5b):
+          -i/--input <data>     input for the workflow
+          --rawinput            treat input as a raw string
+          --multi               parallel run with multiprocessing
+          --dynamic             parallel run with the dynamic mapping
+          -n <procs>            process count for --multi
+          -v/--verbose          verbose output
+        """
+        parser = argparse.ArgumentParser(prog="run", add_help=False)
+        parser.add_argument("identifier")
+        parser.add_argument("-i", "--input", default="1")
+        parser.add_argument("--rawinput", action="store_true")
+        parser.add_argument("--multi", action="store_true")
+        parser.add_argument("--dynamic", action="store_true")
+        parser.add_argument("-n", type=int, default=4)
+        parser.add_argument("-v", "--verbose", action="store_true")
+        try:
+            ns = parser.parse_args(shlex.split(arg))
+        except SystemExit:
+            self._p("usage: run <identifier> [-i input] [--multi|--dynamic] [-n N] [-v]")
+            return
+
+        if ns.rawinput:
+            input_value = ns.input
+        else:
+            try:
+                input_value = ast.literal_eval(ns.input)
+            except (ValueError, SyntaxError):
+                input_value = ns.input
+
+        process = Process.SIMPLE
+        options: dict = {}
+        if ns.multi:
+            process = Process.MULTI
+            options["num_processes"] = ns.n
+        elif ns.dynamic:
+            process = Process.DYNAMIC
+
+        summary = self.client.run(
+            ns.identifier,
+            input=input_value,
+            process=process,
+            verbose=ns.verbose,
+            on_line=lambda line: self._p(line),
+            **options,
+        )
+        if not summary.ok:
+            self._p(f"run failed: {summary.error}")
+        elif ns.verbose:
+            for log in summary.logs:
+                self._p(log)
+
+    # -- operations -----------------------------------------------------------------------------
+
+    def do_stats(self, arg: str) -> None:
+        """stats — server request metrics (per-action counts and latency)."""
+        body = self.client._call("stats")
+        self._p(f"uptime: {body['uptime_seconds']}s, "
+                f"requests: {body['total_requests']}")
+        for action, stats in body["by_action"].items():
+            self._p(
+                f"  {action:<28} {stats['requests']:>5} req  "
+                f"{stats['errors']:>3} err  {stats['mean_ms']:>8.2f} ms"
+            )
+
+    def do_export(self, arg: str) -> None:
+        """export <file.json> — dump the registry (PEs, workflows, embeddings)."""
+        path = arg.strip()
+        if not path:
+            self._p("usage: export <file.json>")
+            return
+        import json as _json
+
+        dump = self.client.export_Registry()
+        with open(path, "w") as fh:
+            _json.dump(dump, fh)
+        self._p(
+            f"exported {len(dump['pes'])} PEs and "
+            f"{len(dump['workflows'])} workflows to {path}"
+        )
+
+    def do_import(self, arg: str) -> None:
+        """import <file.json> — load a registry dump."""
+        path = arg.strip()
+        if not path:
+            self._p("usage: import <file.json>")
+            return
+        counts = self.client.import_Registry(open(path).read())
+        self._p(f"imported {counts['pes']} PEs and {counts['workflows']} workflows")
+
+    # -- session --------------------------------------------------------------------------------
+
+    def do_quit(self, arg: str) -> bool:
+        """quit — exit the Laminar CLI."""
+        return True
+
+    do_EOF = do_quit
+
+    def emptyline(self) -> bool:
+        """A blank line is a no-op (never repeats the last command)."""
+        return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``laminar`` console script."""
+    parser = argparse.ArgumentParser(description="Laminar 2.0 CLI")
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="connect to a running server instead of embedding one",
+    )
+    ns = parser.parse_args(argv)
+    if ns.connect:
+        host, _, port = ns.connect.partition(":")
+        client = LaminarClient.connect(host, int(port))
+    else:
+        client = LaminarClient()
+    LaminarCLI(client).cmdloop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

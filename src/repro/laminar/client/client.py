@@ -1,0 +1,418 @@
+"""The Laminar client API — every function of the paper's Table I.
+
+========================  =======================================
+Function                  Paper status
+========================  =======================================
+``register``              registers a new user
+``login``                 logs in an existing user
+``register_PE``           *new* — registers a new PE
+``register_Workflow``     **improved** — registers a new workflow
+``get_PE``                retrieves a PE by name or ID
+``get_Workflow``          retrieves a workflow by name or ID
+``get_PEs_By_Workflow``   all PEs associated with a workflow
+``get_Registry``          all items in the registry
+``describe``              description (and code) of a PE/workflow
+``update_PE_Description`` *new*
+``update_Workflow_Description`` *new*
+``remove_PE``             removes an existing PE
+``remove_Workflow``       removes an existing workflow
+``remove_All``            *new* — removes all PEs and workflows
+``search_Registry_Literal``   **improved**
+``search_Registry_Semantic``  **improved**
+``code_Recommendation``   *new*
+``run``                   **improved** — sequential execution
+``run_multiprocess``      *new* — static parallel execution
+``run_dynamic``           *new* — dynamic (work-queue) execution
+========================  =======================================
+
+Beyond Table I, this client also exposes ``code_Completion`` (the §I
+code-completion capability), ``visualize_Workflow`` (graph renderings)
+and ``export_Registry`` / ``import_Registry`` (portable dumps).
+
+The client talks to a server over any transport; by default it embeds a
+server in-process (serverless dev mode), or connects over TCP with
+:meth:`LaminarClient.connect`.  ``run*`` accept either a registered
+workflow's name/ID (remote, streamed execution) or a live
+:class:`~repro.d4py.workflow.WorkflowGraph` (local enactment — the
+notebook workflow of the paper's client examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.d4py.mappings import run_graph
+from repro.d4py.workflow import WorkflowGraph
+from repro.laminar.client.process import Process
+from repro.laminar.execution.resources import file_digest
+from repro.laminar.transport.frames import FrameType
+from repro.laminar.transport.inprocess import InProcessTransport
+from repro.laminar.transport.tcp import TcpClientTransport
+
+__all__ = ["LaminarClient", "RunSummary", "ClientError"]
+
+
+class ClientError(RuntimeError):
+    """A server-reported failure, with the response status attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+
+
+@dataclass
+class RunSummary:
+    """Result of a workflow run."""
+
+    status: str
+    lines: list[str] = field(default_factory=list)
+    outputs: dict[str, list] = field(default_factory=dict)
+    logs: list[str] = field(default_factory=list)
+    iterations: dict[str, int] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    execution_id: int | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run finished with status 'success'."""
+        return self.status == "success"
+
+
+class LaminarClient:
+    """Client façade over a Laminar server."""
+
+    def __init__(self, server=None, transport=None) -> None:
+        if transport is not None:
+            self._transport = transport
+        else:
+            if server is None:
+                from repro.laminar.server.app import LaminarServer
+
+                server = LaminarServer()
+            self._transport = InProcessTransport(server)
+        self._token: str | None = None
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 60.0) -> "LaminarClient":
+        """Connect to a remote Laminar server over TCP."""
+        return cls(transport=TcpClientTransport(host, port, timeout=timeout))
+
+    def close(self) -> None:
+        """Release the underlying transport."""
+        self._transport.close()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _call(self, action: str, **params: Any) -> Any:
+        payload = {"action": action, "token": self._token, **params}
+        response = self._transport.request(payload)
+        status = response.get("status", 500)
+        body = response.get("body")
+        if status >= 400:
+            message = (
+                body.get("error", str(body)) if isinstance(body, dict) else str(body)
+            )
+            raise ClientError(status, message)
+        return body
+
+    # -- accounts -------------------------------------------------------------
+
+    def register(self, user_name: str, password: str) -> dict:
+        """Register a new user account."""
+        return self._call("register_user", userName=user_name, password=password)
+
+    def login(self, user_name: str, password: str) -> dict:
+        """Log in; subsequent calls carry the session token."""
+        body = self._call("login", userName=user_name, password=password)
+        self._token = body["token"]
+        return body
+
+    # -- registration ------------------------------------------------------------
+
+    def register_PE(
+        self, code: str, name: str | None = None, description: str | None = None
+    ) -> dict:
+        """Register one PE from its class source code."""
+        return self._call("register_pe", code=code, name=name, description=description)
+
+    def register_Workflow(
+        self,
+        source: str | Path,
+        name: str | None = None,
+        description: str | None = None,
+        entry_point: str | None = None,
+    ) -> dict:
+        """Register a workflow from a ``.py`` file path or source string.
+
+        Every PE class found in the file is registered alongside the
+        workflow, as the paper's Fig 5a shows.
+        """
+        code, default_name = self._load_source(source)
+        return self._call(
+            "register_workflow",
+            code=code,
+            name=name or default_name,
+            description=description,
+            entryPoint=entry_point,
+        )
+
+    @staticmethod
+    def _load_source(source: str | Path) -> tuple[str, str]:
+        if isinstance(source, Path) or (
+            isinstance(source, str)
+            and source.endswith(".py")
+            and "\n" not in source
+        ):
+            path = Path(source)
+            if not path.exists():
+                raise FileNotFoundError(path)
+            return path.read_text(), path.stem
+        return str(source), "workflow"
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def get_PE(self, ident: int | str) -> dict:
+        """Retrieve a PE by name or ID."""
+        return self._call("get_pe", id=ident)
+
+    def get_Workflow(self, ident: int | str) -> dict:
+        """Retrieve a workflow by name or ID."""
+        return self._call("get_workflow", id=ident)
+
+    def get_PEs_By_Workflow(self, ident: int | str) -> list[dict]:
+        """All PEs associated with a workflow."""
+        return self._call("get_pes_by_workflow", id=ident)
+
+    def get_Registry(self) -> dict:
+        """Every PE and workflow in the registry."""
+        return self._call("get_registry")
+
+    def describe(self, ident: int | str, kind: str = "pe") -> dict:
+        """Description plus source code of a PE or workflow."""
+        return self._call("describe", id=ident, kind=kind)
+
+    def visualize_Workflow(self, ident: int | str) -> dict:
+        """Text and DOT renderings of a registered workflow's graph."""
+        return self._call("visualize", id=ident)
+
+    def export_Registry(self) -> dict:
+        """Portable JSON dump of every PE and workflow (with embeddings)."""
+        return self._call("export_registry")
+
+    def import_Registry(self, dump: dict | str) -> dict:
+        """Load a dump produced by :meth:`export_Registry`; returns counts."""
+        return self._call("import_registry", dump=dump)
+
+    # -- updates ----------------------------------------------------------------------
+
+    def update_PE_Description(self, ident: int | str, description: str) -> dict:
+        """Update a PE's description (re-embedding it for search)."""
+        return self._call("update_pe_description", id=ident, description=description)
+
+    def update_Workflow_Description(self, ident: int | str, description: str) -> dict:
+        """Update a workflow's description (re-embedding it for search)."""
+        return self._call(
+            "update_workflow_description", id=ident, description=description
+        )
+
+    # -- removal ------------------------------------------------------------------------
+
+    def remove_PE(self, ident: int | str) -> dict:
+        """Remove an existing PE by name or ID."""
+        return self._call("remove_pe", id=ident)
+
+    def remove_Workflow(self, ident: int | str) -> dict:
+        """Remove an existing workflow by name or ID."""
+        return self._call("remove_workflow", id=ident)
+
+    def remove_All(self) -> dict:
+        """Remove every registered PE and workflow."""
+        return self._call("remove_all")
+
+    # -- search ---------------------------------------------------------------------------
+
+    def search_Registry_Literal(self, term: str, kind: str = "all") -> dict:
+        """Literal substring search over names and descriptions (Fig 7)."""
+        return self._call("search_literal", term=term, kind=kind)
+
+    def search_Registry_Semantic(
+        self, query: str, kind: str = "pe", top_k: int = 5
+    ) -> list[dict]:
+        """Semantic text-to-code search (Fig 8)."""
+        return self._call("search_semantic", query=query, kind=kind, topK=top_k)
+
+    def code_Recommendation(
+        self,
+        snippet: str,
+        kind: str = "pe",
+        embedding_type: str = "spt",
+        top_k: int = 5,
+        threshold: float | None = None,
+    ) -> list[dict]:
+        """Structural (default) or LLM code recommendation (Fig 9)."""
+        return self._call(
+            "code_recommendation",
+            snippet=snippet,
+            kind=kind,
+            embeddingType=embedding_type,
+            topK=top_k,
+            threshold=threshold,
+        )
+
+    def code_Completion(
+        self, snippet: str, embedding_type: str = "spt", top_k: int = 3
+    ) -> list[dict]:
+        """Complete a partial snippet from the closest registered PEs."""
+        return self._call(
+            "code_completion",
+            snippet=snippet,
+            embeddingType=embedding_type,
+            topK=top_k,
+        )
+
+    # -- execution -----------------------------------------------------------------------------
+
+    def run(
+        self,
+        workflow: int | str | WorkflowGraph,
+        input: Any = 1,
+        process: Process = Process.SIMPLE,
+        verbose: bool = False,
+        resources: list[str | Path] | None = None,
+        on_line: Callable[[str], None] | None = None,
+        **options: Any,
+    ) -> RunSummary:
+        """Execute a workflow sequentially (or per ``process``).
+
+        Registered workflows (name/ID) run serverlessly with true output
+        streaming — ``on_line`` fires per line as it is produced.  A live
+        :class:`WorkflowGraph` is enacted locally.
+        """
+        if isinstance(workflow, WorkflowGraph):
+            return self._run_local(workflow, input, process, verbose, **options)
+        return self._run_remote(
+            workflow, input, process, verbose, resources, on_line, **options
+        )
+
+    def run_multiprocess(
+        self,
+        workflow: int | str | WorkflowGraph,
+        input: Any = 1,
+        num_processes: int = 4,
+        verbose: bool = False,
+        **kwargs: Any,
+    ) -> RunSummary:
+        """Execute a workflow in parallel with static multiprocessing."""
+        return self.run(
+            workflow,
+            input=input,
+            process=Process.MULTI,
+            verbose=verbose,
+            num_processes=num_processes,
+            **kwargs,
+        )
+
+    def run_dynamic(
+        self, workflow: int | str | WorkflowGraph, input: Any = 1, **kwargs: Any
+    ) -> RunSummary:
+        """Execute a workflow with dynamic workload allocation (Listing 3).
+
+        All broker parameters are managed automatically — this is the
+        one-argument spelling the paper contrasts with Laminar 1.0's
+        Listing 2.
+        """
+        return self.run(workflow, input=input, process=Process.DYNAMIC, **kwargs)
+
+    # -- execution internals ---------------------------------------------------
+
+    def _run_local(
+        self,
+        graph: WorkflowGraph,
+        input: Any,
+        process: Process,
+        verbose: bool,
+        **options: Any,
+    ) -> RunSummary:
+        result = run_graph(
+            graph, input=input, mapping=process.mapping, verbose=verbose, **options
+        )
+        outputs = {
+            f"{pe}.{port}": values for (pe, port), values in result.outputs.items()
+        }
+        return RunSummary(
+            status="success",
+            outputs=outputs,
+            logs=list(result.logs),
+            iterations=dict(result.iterations),
+            timings=dict(result.timings),
+        )
+
+    def _prepare_resources(
+        self, resources: list[str | Path] | None
+    ) -> tuple[list[dict] | None, dict[str, bytes]]:
+        if not resources:
+            return None, {}
+        manifest = []
+        contents: dict[str, bytes] = {}
+        for res in resources:
+            path = Path(res)
+            data = path.read_bytes()
+            manifest.append({"name": path.name, "digest": file_digest(data)})
+            contents[path.name] = data
+        return manifest, contents
+
+    def _run_remote(
+        self,
+        ident: int | str,
+        input: Any,
+        process: Process,
+        verbose: bool,
+        resources: list[str | Path] | None,
+        on_line: Callable[[str], None] | None,
+        **options: Any,
+    ) -> RunSummary:
+        manifest, contents = self._prepare_resources(resources)
+        if manifest:
+            missing = self._call("check_resources", manifest=manifest)["missing"]
+            for name in missing:
+                self._call("upload_resource", data=contents[name].hex())
+
+        payload = {
+            "action": "run",
+            "token": self._token,
+            "id": ident,
+            "input": input,
+            "mapping": process.mapping,
+            "verbose": verbose,
+            "resources": manifest,
+            "options": options,
+        }
+        lines: list[str] = []
+        summary_payload: dict = {}
+        status_code = 200
+        for frame in self._transport.stream(payload):
+            if frame.type is FrameType.HEADERS:
+                status_code = (frame.payload or {}).get("status", 200)
+            elif frame.type is FrameType.DATA:
+                lines.append(str(frame.payload))
+                if on_line:
+                    on_line(str(frame.payload))
+            else:  # END
+                summary_payload = frame.payload if isinstance(frame.payload, dict) else {}
+        if status_code >= 400:
+            raise ClientError(
+                status_code, summary_payload.get("error", "run request failed")
+            )
+        return RunSummary(
+            status=summary_payload.get("status", "error"),
+            lines=lines,
+            outputs=summary_payload.get("outputs", {}),
+            logs=summary_payload.get("logs", []),
+            iterations=summary_payload.get("iterations", {}),
+            timings=summary_payload.get("timings", {}),
+            execution_id=summary_payload.get("executionId"),
+            error=summary_payload.get("error"),
+        )

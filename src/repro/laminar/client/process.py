@@ -1,0 +1,26 @@
+"""Execution-mode enum used by the client's run functions.
+
+Mirrors the paper's Listing 2/3 evolution: Laminar 1.0 required a
+``Process.DYNAMIC`` constant plus a dict of Redis parameters; Laminar 2.0
+hides all of it behind ``run_dynamic``.  The enum remains for the generic
+``run(..., process=...)`` spelling and backward compatibility.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Process"]
+
+
+class Process(enum.Enum):
+    """How a workflow run is enacted."""
+
+    SIMPLE = "simple"
+    MULTI = "multi"
+    DYNAMIC = "dynamic"
+
+    @property
+    def mapping(self) -> str:
+        """The d4py mapping name this mode enacts with."""
+        return self.value

@@ -1,0 +1,177 @@
+"""Container management for Laminar deployments (paper §III).
+
+Laminar 2.0 ships a "Dockerized architecture for scalable deployment"
+with integrated container management.  Docker is not available offline,
+so this module provides the behaviour-preserving substitute (DESIGN.md
+substitution pattern): a *container* is an isolated OS process running a
+Laminar server on its own TCP port, and the :class:`Orchestrator` offers
+the lifecycle operations a compose file would — up, down, status,
+health checks, restart-on-failure, and scaling to several replicas.
+
+Each replica owns its registry (the deployment unit of the paper's
+architecture diagram, Fig 4); a fronting client can target any healthy
+replica via :meth:`Orchestrator.any_healthy`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+
+from repro.laminar.client.client import LaminarClient
+from repro.laminar.transport.tcp import TcpClientTransport
+
+__all__ = ["ContainerSpec", "Container", "Orchestrator"]
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """Launch parameters for one Laminar server container."""
+
+    name: str
+    host: str = "127.0.0.1"
+    db_path: str = ":memory:"
+
+
+def _container_main(spec: ContainerSpec, port_pipe) -> None:
+    """Child-process entry point: serve a Laminar server over TCP."""
+    # Imports resolved post-fork so the child builds its own state.
+    from repro.laminar.server.app import LaminarServer
+    from repro.laminar.transport.tcp import TcpServerTransport
+
+    server = LaminarServer(spec.db_path)
+    transport = TcpServerTransport(server, host=spec.host, port=0).start()
+    port_pipe.send(transport.address[1])
+    port_pipe.close()
+    try:
+        while True:  # serve until the orchestrator terminates us
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - signal-dependent
+        pass
+
+
+@dataclass
+class Container:
+    """One running server container: a child process plus its port."""
+
+    spec: ContainerSpec
+    process: mp.process.BaseProcess
+    port: int
+    started_at: float = field(default_factory=time.monotonic)
+    restarts: int = 0
+
+    @property
+    def alive(self) -> bool:
+        """True while the container process is running."""
+        return self.process.is_alive()
+
+    def healthy(self, timeout: float = 2.0) -> bool:
+        """Liveness probe: a ``ping`` action over a fresh connection."""
+        if not self.alive:
+            return False
+        try:
+            conn = TcpClientTransport(self.spec.host, self.port, timeout=timeout)
+            try:
+                response = conn.request({"action": "ping"})
+                return response.get("status") == 200
+            finally:
+                conn.close()
+        except OSError:
+            return False
+
+    def client(self) -> LaminarClient:
+        """A client connected to this container."""
+        return LaminarClient.connect(self.spec.host, self.port)
+
+    def stop(self) -> None:
+        """Terminate the container process (escalating to kill)."""
+        if self.alive:
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(timeout=5.0)
+
+
+class Orchestrator:
+    """Compose-style lifecycle management for Laminar containers."""
+
+    def __init__(self) -> None:
+        self._ctx = mp.get_context("fork")
+        self.containers: dict[str, Container] = {}
+
+    def up(self, spec: ContainerSpec, start_timeout: float = 15.0) -> Container:
+        """Launch one container and wait until it is serving."""
+        if spec.name in self.containers and self.containers[spec.name].alive:
+            raise ValueError(f"container {spec.name!r} is already running")
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_container_main, args=(spec, child_conn), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(start_timeout):
+            process.terminate()
+            raise TimeoutError(f"container {spec.name!r} did not start")
+        port = parent_conn.recv()
+        parent_conn.close()
+        container = Container(spec=spec, process=process, port=port)
+        self.containers[spec.name] = container
+        return container
+
+    def scale(self, base_name: str, replicas: int) -> list[Container]:
+        """Ensure ``replicas`` containers named ``base_name-i`` run."""
+        out = []
+        for i in range(replicas):
+            name = f"{base_name}-{i}"
+            existing = self.containers.get(name)
+            if existing is not None and existing.alive:
+                out.append(existing)
+                continue
+            out.append(self.up(ContainerSpec(name=name)))
+        return out
+
+    def status(self) -> dict[str, dict]:
+        """Per-container state: alive, healthy, port, restart count."""
+        return {
+            name: {
+                "alive": c.alive,
+                "healthy": c.healthy(),
+                "port": c.port,
+                "restarts": c.restarts,
+            }
+            for name, c in self.containers.items()
+        }
+
+    def ensure_healthy(self) -> list[str]:
+        """Restart-on-failure pass; returns names that were restarted."""
+        restarted = []
+        for name, container in list(self.containers.items()):
+            if container.healthy():
+                continue
+            container.stop()
+            replacement = self.up(container.spec)
+            replacement.restarts = container.restarts + 1
+            self.containers[name] = replacement
+            restarted.append(name)
+        return restarted
+
+    def any_healthy(self) -> Container:
+        """Pick a healthy replica (first found); raises when none is."""
+        for container in self.containers.values():
+            if container.healthy():
+                return container
+        raise RuntimeError("no healthy containers")
+
+    def down(self) -> None:
+        """Stop everything."""
+        for container in self.containers.values():
+            container.stop()
+        self.containers.clear()
+
+    def __enter__(self) -> "Orchestrator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.down()

@@ -1,0 +1,26 @@
+"""The serverless execution engine (paper §III, §IV-E/F).
+
+* :mod:`repro.laminar.execution.streaming` — per-thread stdout routing
+  into a concurrent queue, the mechanism behind true-streaming output.
+* :mod:`repro.laminar.execution.autoimport` — dependency auto-import for
+  registered workflow code.
+* :mod:`repro.laminar.execution.resources` — content-addressed resource
+  cache with the missing-resources handshake.
+* :mod:`repro.laminar.execution.engine` — :class:`ExecutionEngine`, which
+  materialises a registered workflow, enacts it under the requested
+  mapping and streams its output line by line.
+"""
+
+from repro.laminar.execution.autoimport import auto_import
+from repro.laminar.execution.engine import ExecutionEngine, ExecutionOutcome
+from repro.laminar.execution.resources import ResourceCache, file_digest
+from repro.laminar.execution.streaming import StdoutRouter
+
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionOutcome",
+    "ResourceCache",
+    "file_digest",
+    "StdoutRouter",
+    "auto_import",
+]

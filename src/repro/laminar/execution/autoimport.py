@@ -1,0 +1,97 @@
+"""Dependency auto-import for registered workflow code (paper §III).
+
+Registered PEs frequently use standard-library helpers (``random``,
+``math``, ``json``…) without carrying their import statements — the
+client registers *class definitions*, not whole modules.  The execution
+engine therefore scans the code for names that are used but never bound
+and injects imports for the ones on a curated allowlist.  Unknown free
+names are left alone (they may be provided by the engine namespace, e.g.
+the PE base classes).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+__all__ = ["auto_import", "missing_modules", "ALLOWED_MODULES"]
+
+#: Standard-library modules the engine is willing to import on demand.
+ALLOWED_MODULES = frozenset(
+    {
+        "random", "math", "json", "re", "collections", "itertools",
+        "functools", "statistics", "string", "time", "datetime",
+        "heapq", "bisect", "csv", "io", "os", "pathlib", "hashlib",
+        "base64", "textwrap", "uuid", "urllib",
+    }
+)
+
+
+class _NameScan(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.used: set[str] = set()
+        self.bound: set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+        else:
+            self.bound.add(node.id)
+
+    def visit_FunctionDef(self, node) -> None:
+        self.bound.add(node.name)
+        for arg in (
+            list(node.args.args)
+            + list(node.args.posonlyargs)
+            + list(node.args.kwonlyargs)
+        ):
+            self.bound.add(arg.arg)
+        if node.args.vararg:
+            self.bound.add(node.args.vararg.arg)
+        if node.args.kwarg:
+            self.bound.add(node.args.kwarg.arg)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.bound.add(node.name)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.bound.add((alias.asname or alias.name).split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            self.bound.add(alias.asname or alias.name)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.bound.add(node.name)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node) -> None:  # pragma: no cover - via walk
+        self.generic_visit(node)
+
+
+def missing_modules(source: str, provided: set[str] | None = None) -> list[str]:
+    """Allowlisted modules used by ``source`` but neither bound nor provided."""
+    from repro import pyast
+
+    tree = pyast.parse(source)
+    scan = _NameScan()
+    scan.visit(tree)
+    provided = provided or set()
+    builtin_names = set(dir(builtins))
+    free = scan.used - scan.bound - builtin_names - provided
+    return sorted(free & ALLOWED_MODULES)
+
+
+def auto_import(source: str, provided: set[str] | None = None) -> str:
+    """Prepend import statements for detected missing allowlisted modules."""
+    modules = missing_modules(source, provided)
+    if not modules:
+        return source
+    header = "\n".join(f"import {m}" for m in modules)
+    return f"{header}\n{source}"

@@ -1,0 +1,229 @@
+"""The execution engine: serverless enactment of registered workflows.
+
+Given a workflow's registered source code, the engine
+
+1. applies dependency auto-import (§III),
+2. materialises any declared resources from the cache (§IV-F),
+3. executes the code in a fresh namespace pre-populated with the
+   dispel4py PE base classes and :class:`WorkflowGraph`,
+4. locates the workflow graph (an explicit ``graph_name``, a
+   ``create_workflow()`` factory, or the first ``WorkflowGraph`` bound at
+   module scope), and
+5. enacts it with the requested mapping, streaming every printed line to
+   the caller as it is produced (§IV-E true streaming).
+
+``execute_streaming`` returns ``(line_iterator, outcome)`` where
+``outcome`` fills in once the iterator is exhausted — precisely the shape
+the transport's :class:`~repro.laminar.transport.inprocess.ServerStream`
+wants.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.d4py import (
+    CompositePE,
+    ConsumerPE,
+    GenericPE,
+    IterativePE,
+    ProducerPE,
+    WorkflowGraph,
+)
+from repro.d4py.mappings import run_graph
+from repro.laminar.execution.autoimport import auto_import
+from repro.laminar.execution.resources import (
+    ResourceCache,
+    ResourceManifestEntry,
+)
+from repro.laminar.execution.streaming import StdoutRouter
+
+__all__ = ["ExecutionEngine", "ExecutionOutcome"]
+
+_module_counter = itertools.count()
+
+#: Names the engine injects into every workflow namespace.
+_BASE_NAMESPACE = {
+    "GenericPE": GenericPE,
+    "IterativePE": IterativePE,
+    "ProducerPE": ProducerPE,
+    "ConsumerPE": ConsumerPE,
+    "CompositePE": CompositePE,
+    "WorkflowGraph": WorkflowGraph,
+}
+
+
+@dataclass
+class ExecutionOutcome:
+    """Filled in when a streamed execution finishes."""
+
+    status: str = "pending"  # success | error
+    error: str | None = None
+    outputs: dict[str, list] = field(default_factory=dict)
+    logs: list[str] = field(default_factory=list)
+    iterations: dict[str, int] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    partition: dict[str, str] = field(default_factory=dict)
+
+    def to_public(self) -> dict:
+        """JSON-able form sent to clients in the END frame."""
+        return {
+            "status": self.status,
+            "error": self.error,
+            "outputs": self.outputs,
+            "logs": self.logs,
+            "iterations": self.iterations,
+            "timings": self.timings,
+            "partition": self.partition,
+        }
+
+
+def _json_safe(value: Any):
+    try:
+        import json
+
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class ExecutionEngine:
+    """Executes registered workflow source code serverlessly."""
+
+    def __init__(self, resource_cache: ResourceCache | None = None) -> None:
+        self.cache = resource_cache or ResourceCache()
+
+    # -- graph discovery ------------------------------------------------------
+
+    @staticmethod
+    def _find_graph(namespace: dict, graph_name: str | None) -> WorkflowGraph:
+        if graph_name:
+            graph = namespace.get(graph_name)
+            if not isinstance(graph, WorkflowGraph):
+                raise ValueError(
+                    f"{graph_name!r} is not a WorkflowGraph in the workflow module"
+                )
+            return graph
+        factory = namespace.get("create_workflow") or namespace.get("create_graph")
+        if callable(factory):
+            graph = factory()
+            if not isinstance(graph, WorkflowGraph):
+                raise ValueError("create_workflow() did not return a WorkflowGraph")
+            return graph
+        for value in namespace.values():
+            if isinstance(value, WorkflowGraph):
+                return value
+        raise ValueError(
+            "workflow module defines no WorkflowGraph (bind one at module "
+            "scope or provide create_workflow())"
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute_streaming(
+        self,
+        code: str,
+        input: Any = 1,
+        mapping: str = "simple",
+        graph_name: str | None = None,
+        resources: list[dict] | None = None,
+        verbose: bool = False,
+        sandbox: bool = False,
+        inactivity_timeout: float = 300.0,
+        **options: Any,
+    ) -> tuple[Iterator[str], ExecutionOutcome]:
+        """Run workflow ``code``; returns ``(line_iterator, outcome)``.
+
+        Lines stream as the workflow prints them; ``outcome`` is complete
+        once the iterator is exhausted.  Errors are reported through
+        ``outcome`` (status ``error``) rather than raised, so partial
+        output always reaches the client first.  With ``sandbox`` the
+        module executes under restricted builtins (see
+        :mod:`repro.laminar.execution.sandbox`).
+        """
+        outcome = ExecutionOutcome()
+
+        def work() -> None:
+            namespace: dict[str, Any] = dict(_BASE_NAMESPACE)
+            namespace["__name__"] = f"laminar_workflow_{next(_module_counter)}"
+            rundir: str | None = None
+            if resources:
+                manifest = [ResourceManifestEntry.from_dict(r) for r in resources]
+                rundir = tempfile.mkdtemp(prefix="laminar-run-")
+                namespace["RESOURCES"] = self.cache.materialize(manifest, rundir)
+                namespace["RESOURCE_DIR"] = rundir
+            if sandbox:
+                from repro.laminar.execution.sandbox import make_sandbox_builtins
+
+                namespace["__builtins__"] = make_sandbox_builtins(rundir)
+            source = auto_import(code, provided=set(namespace))
+            from repro.pyast import compile_source
+
+            exec(compile_source(source, namespace["__name__"], "exec"), namespace)
+            graph = self._find_graph(namespace, graph_name)
+            result = run_graph(
+                graph, input=input, mapping=mapping, verbose=verbose, **options
+            )
+            outcome.outputs = {
+                f"{pe}.{port}": [_json_safe(v) for v in values]
+                for (pe, port), values in result.outputs.items()
+            }
+            outcome.logs = list(result.logs)
+            outcome.iterations = dict(result.iterations)
+            outcome.timings = {k: round(v, 6) for k, v in result.timings.items()}
+            outcome.partition = {k: repr(v) for k, v in result.partition.items()}
+            if verbose:
+                for line in result.logs:
+                    print(line)
+
+        def lines() -> Iterator[str]:
+            router = StdoutRouter.instance()
+            try:
+                yield from router.run_streaming(work, timeout=inactivity_timeout)
+                outcome.status = "success"
+            except Exception:
+                outcome.status = "error"
+                outcome.error = traceback.format_exc(limit=4)
+
+        return lines(), outcome
+
+    def inspect(self, code: str, graph_name: str | None = None) -> dict:
+        """Build (but do not run) a workflow's graph; return renderings.
+
+        Used by the client's ``show`` command: returns the text and DOT
+        visualisations plus basic topology facts.
+        """
+        from repro.d4py.visualise import to_dot, to_text
+
+        namespace: dict[str, Any] = dict(_BASE_NAMESPACE)
+        namespace["__name__"] = f"laminar_inspect_{next(_module_counter)}"
+        source = auto_import(code, provided=set(namespace))
+        from repro.pyast import compile_source
+
+        exec(compile_source(source, namespace["__name__"], "exec"), namespace)
+        graph = self._find_graph(namespace, graph_name)
+        return {
+            "text": to_text(graph),
+            "dot": to_dot(graph),
+            "pes": [pe.name for pe in graph.pes],
+            "roots": [pe.name for pe in graph.roots()],
+            "edges": len(list(graph.edges())),
+        }
+
+    def execute(self, code: str, **kwargs: Any) -> ExecutionOutcome:
+        """Blocking convenience: drain the stream, return the outcome.
+
+        Printed lines are preserved in ``outcome.logs`` (prefixed entries
+        from PE ``log`` calls are already there; printed stdout lines are
+        appended after them).
+        """
+        stream, outcome = self.execute_streaming(code, **kwargs)
+        printed = list(stream)
+        # Keep printed output visible to non-streaming callers too.
+        outcome.logs = outcome.logs + [l for l in printed if l not in outcome.logs]
+        return outcome

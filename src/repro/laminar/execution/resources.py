@@ -1,0 +1,118 @@
+"""Resource management and caching (paper §IV-F).
+
+Laminar 1.0 serialised a whole ``resources/`` directory into every run
+request.  Laminar 2.0 instead lets clients declare the files a run needs;
+the server answers with the subset it does not already hold, the client
+uploads only those, and the engine materialises them into the run's
+working directory.  The cache is content-addressed (sha256), so renamed
+or re-requested files never transfer twice — the byte counters feed the
+A2 ablation bench.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ResourceCache", "file_digest", "ResourceManifestEntry"]
+
+
+def file_digest(data: bytes) -> str:
+    """Content address of a resource (sha256 hex)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class ResourceManifestEntry:
+    """One declared resource: logical name + content digest."""
+
+    name: str
+    digest: str
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ResourceManifestEntry":
+        """Build an entry from the wire form {'name':…, 'digest':…}."""
+        return cls(name=str(d["name"]), digest=str(d["digest"]))
+
+
+@dataclass
+class CacheStats:
+    """Transfer accounting for the caching ablation."""
+
+    bytes_uploaded: int = 0
+    bytes_served_from_cache: int = 0
+    uploads: int = 0
+    cache_hits: int = 0
+
+
+class ResourceCache:
+    """Content-addressed store of uploaded resources."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root else Path(tempfile.mkdtemp(prefix="laminar-cache-"))
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, digest: str) -> Path:
+        if not digest or any(c not in "0123456789abcdef" for c in digest):
+            raise ValueError(f"invalid digest {digest!r}")
+        return self.root / digest
+
+    def has(self, digest: str) -> bool:
+        """True when content with this digest is cached."""
+        return self._path(digest).exists()
+
+    def put(self, data: bytes) -> str:
+        """Store content; returns its digest (idempotent)."""
+        digest = file_digest(data)
+        path = self._path(digest)
+        if not path.exists():
+            path.write_bytes(data)
+            self.stats.bytes_uploaded += len(data)
+            self.stats.uploads += 1
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        """Read cached content by digest (KeyError when absent)."""
+        path = self._path(digest)
+        if not path.exists():
+            raise KeyError(f"resource {digest} not cached")
+        return path.read_bytes()
+
+    def missing(self, manifest: list[ResourceManifestEntry]) -> list[str]:
+        """Names of manifest entries the cache does not hold yet.
+
+        This is the server's "resources message detailing the required
+        files" — the client uploads exactly these.
+        """
+        return [entry.name for entry in manifest if not self.has(entry.digest)]
+
+    def materialize(
+        self, manifest: list[ResourceManifestEntry], dest: str | Path
+    ) -> dict[str, str]:
+        """Copy cached resources into a run directory under their names.
+
+        Returns ``{name: absolute_path}``.  Raises ``KeyError`` when a
+        manifest entry is absent (the handshake should have uploaded it).
+        """
+        dest_dir = Path(dest)
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        placed: dict[str, str] = {}
+        for entry in manifest:
+            source = self._path(entry.digest)
+            if not source.exists():
+                raise KeyError(f"resource {entry.name} ({entry.digest}) not cached")
+            target = dest_dir / Path(entry.name).name
+            shutil.copyfile(source, target)
+            self.stats.bytes_served_from_cache += source.stat().st_size
+            self.stats.cache_hits += 1
+            placed[entry.name] = str(target)
+        return placed
+
+    def clear(self) -> None:
+        """Delete every cached object (the no-cache ablation's reset)."""
+        for child in self.root.iterdir():
+            child.unlink()

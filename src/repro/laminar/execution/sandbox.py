@@ -1,0 +1,88 @@
+"""Sandboxed execution of registered workflow code.
+
+A serverless engine runs code uploaded by arbitrary registry users, so
+Laminar's execution engine offers a restricted mode: workflow modules
+execute with a curated builtins table —
+
+* no ``open`` (a guarded replacement only reaches the run's resource
+  directory), no ``exec``/``eval``/``compile``/``input``;
+* ``__import__`` limited to the same stdlib allowlist the auto-importer
+  uses (:data:`repro.laminar.execution.autoimport.ALLOWED_MODULES`);
+* everything computational (types, iteration, math builtins) available.
+
+This is *defence in depth* for a simulated deployment, not a hostile-
+tenant security boundary (CPython offers none in-process); it reproduces
+the isolation posture of the paper's Dockerized engine at the module
+level.
+"""
+
+from __future__ import annotations
+
+import builtins
+from pathlib import Path
+from typing import Any
+
+from repro.laminar.execution.autoimport import ALLOWED_MODULES
+
+__all__ = ["SandboxViolation", "make_sandbox_builtins"]
+
+
+class SandboxViolation(RuntimeError):
+    """Raised when sandboxed code touches a forbidden capability."""
+
+
+#: Builtins denied to sandboxed workflow code.
+_DENIED = frozenset(
+    {
+        "open", "exec", "eval", "compile", "input", "breakpoint",
+        "exit", "quit", "help", "memoryview", "globals", "locals", "vars",
+    }
+)
+
+
+def _guarded_import(name: str, globals=None, locals=None, fromlist=(), level=0):
+    root = name.split(".")[0]
+    if root not in ALLOWED_MODULES:
+        raise SandboxViolation(
+            f"import of {name!r} is not permitted in sandboxed workflows "
+            f"(allowed: {', '.join(sorted(ALLOWED_MODULES))})"
+        )
+    return builtins.__import__(name, globals, locals, fromlist, level)
+
+
+def _make_guarded_open(resource_dir: str | None):
+    resource_root = Path(resource_dir).resolve() if resource_dir else None
+
+    def guarded_open(file, mode: str = "r", *args: Any, **kwargs: Any):
+        if resource_root is None:
+            raise SandboxViolation(
+                "open() is not permitted in sandboxed workflows without "
+                "declared resources"
+            )
+        if any(flag in mode for flag in ("w", "a", "+", "x")):
+            raise SandboxViolation("sandboxed workflows may not write files")
+        target = Path(file).resolve()
+        if not target.is_relative_to(resource_root):
+            raise SandboxViolation(
+                f"sandboxed open() only reaches the run's resources "
+                f"({resource_root}), not {target}"
+            )
+        return open(target, mode, *args, **kwargs)
+
+    return guarded_open
+
+
+def make_sandbox_builtins(resource_dir: str | None = None) -> dict:
+    """A restricted ``__builtins__`` mapping for workflow namespaces."""
+    table = {
+        name: getattr(builtins, name)
+        for name in dir(builtins)
+        if not name.startswith("_") and name not in _DENIED
+    }
+    table["__import__"] = _guarded_import
+    table["open"] = _make_guarded_open(resource_dir)
+    # Exceptions and constants double-underscored names exec() expects.
+    table["__build_class__"] = builtins.__build_class__
+    table["__name__"] = "sandboxed"
+    table["True"], table["False"], table["None"] = True, False, None
+    return table

@@ -1,0 +1,161 @@
+"""True-streaming stdout capture (paper §IV-E).
+
+Laminar 2.0 "transfers stdout to a concurrent queue, enabling real-time
+workflow output reading and line-by-line streaming to the client".  This
+module implements exactly that: :class:`StdoutRouter` installs a proxy
+``sys.stdout`` that routes writes from *registered threads* to their own
+queues, leaving every other thread's output untouched — so several
+workflow executions can stream concurrently without interleaving.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+from typing import Iterator, TextIO
+
+__all__ = ["StdoutRouter"]
+
+#: Queue sentinel marking the end of a stream.
+_EOF = object()
+
+
+class _RoutingWriter:
+    """A ``sys.stdout`` stand-in dispatching per registered thread."""
+
+    def __init__(self, fallback: TextIO) -> None:
+        self._fallback = fallback
+        self._routes: dict[int, queue.Queue] = {}
+        self._buffers: dict[int, str] = {}
+        self._lock = threading.Lock()
+
+    def register(self, thread_id: int, q: queue.Queue) -> None:
+        """Route this thread's stdout into queue ``q``."""
+        with self._lock:
+            self._routes[thread_id] = q
+            self._buffers[thread_id] = ""
+
+    def unregister(self, thread_id: int) -> None:
+        """Stop routing; flush the tail and close the stream."""
+        with self._lock:
+            q = self._routes.pop(thread_id, None)
+            tail = self._buffers.pop(thread_id, "")
+        if q is not None:
+            if tail:
+                q.put(tail)
+            q.put(_EOF)
+
+    def write(self, text: str) -> int:
+        """Route text to the owning thread's queue (or fall through)."""
+        tid = threading.get_ident()
+        with self._lock:
+            q = self._routes.get(tid)
+        if q is None:
+            return self._fallback.write(text)
+        # Split into lines; keep the unterminated tail buffered.
+        with self._lock:
+            data = self._buffers.get(tid, "") + text
+            *lines, tail = data.split("\n")
+            self._buffers[tid] = tail
+        for line in lines:
+            q.put(line)
+        return len(text)
+
+    def flush(self) -> None:
+        """Flush the fallback stream."""
+        self._fallback.flush()
+
+    # File-protocol odds and ends some libraries poke at.
+    def isatty(self) -> bool:
+        """Streamed stdout is never a TTY."""
+        return False
+
+    @property
+    def encoding(self) -> str:  # pragma: no cover - passthrough
+        """Mirror the fallback stream's encoding."""
+        return getattr(self._fallback, "encoding", "utf-8")
+
+
+class StdoutRouter:
+    """Process-wide singleton managing streaming stdout capture.
+
+    Usage::
+
+        router = StdoutRouter.instance()
+        for line in router.run_streaming(work):
+            ...  # lines appear as `work` prints them
+    """
+
+    _instance: "StdoutRouter | None" = None
+    _instance_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._writer: _RoutingWriter | None = None
+        self._install_lock = threading.Lock()
+        self._active = 0
+
+    @classmethod
+    def instance(cls) -> "StdoutRouter":
+        """The process-wide router singleton."""
+        with cls._instance_lock:
+            if cls._instance is None:
+                cls._instance = cls()
+            return cls._instance
+
+    def _install(self) -> _RoutingWriter:
+        with self._install_lock:
+            if self._writer is None or sys.stdout is not self._writer:
+                self._writer = _RoutingWriter(sys.stdout)
+                sys.stdout = self._writer
+            self._active += 1
+            return self._writer
+
+    def _release(self) -> None:
+        with self._install_lock:
+            self._active -= 1
+            if self._active <= 0 and self._writer is not None:
+                sys.stdout = self._writer._fallback
+                self._writer = None
+                self._active = 0
+
+    def run_streaming(
+        self, work, timeout: float = 300.0
+    ) -> Iterator[str]:
+        """Run ``work()`` in a thread, yielding its printed lines live.
+
+        The worker's exception (if any) is re-raised after the stream
+        drains, so callers see output up to the failure point first.
+        """
+        writer = self._install()
+        q: queue.Queue = queue.Queue()
+        error: list[BaseException] = []
+
+        def target() -> None:
+            tid = threading.get_ident()
+            writer.register(tid, q)
+            try:
+                work()  # results travel via the caller's closure
+            except BaseException as exc:  # propagated below
+                error.append(exc)
+            finally:
+                writer.unregister(tid)
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        try:
+            while True:
+                try:
+                    item = q.get(timeout=timeout)
+                except queue.Empty as exc:
+                    raise TimeoutError(
+                        f"no output for {timeout}s; workflow presumed wedged"
+                    ) from exc
+                if item is _EOF:
+                    break
+                yield item
+        finally:
+            thread.join(timeout=5.0)
+            self._release()
+        if error:
+            raise error[0]

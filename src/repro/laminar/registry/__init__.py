@@ -1,0 +1,13 @@
+"""The Laminar registry: relational storage for users, PEs and workflows.
+
+The paper's registry is MySQL (§IV-D); offline we use stdlib ``sqlite3``
+with the *same normalised schema* (DESIGN.md substitution S4): the five
+Table II entities plus the workflow↔PE association table, code and
+embeddings stored as character large objects, and secondary indexes on
+the searched columns (Fig 6).
+"""
+
+from repro.laminar.registry.database import RegistryDatabase
+from repro.laminar.registry.schema import SCHEMA_STATEMENTS, TABLES, schema_summary
+
+__all__ = ["RegistryDatabase", "SCHEMA_STATEMENTS", "TABLES", "schema_summary"]

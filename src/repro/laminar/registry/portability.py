@@ -1,0 +1,111 @@
+"""Registry export/import: portable JSON dumps of PEs and workflows.
+
+The paper's registry is a long-lived MySQL instance; our in-memory
+SQLite substitute needs an explicit persistence story, and a portable
+dump format is useful regardless (seeding demo registries, moving
+content between server replicas of :mod:`repro.laminar.deploy`).  The
+dump carries the user-meaningful content — names, code, descriptions,
+embeddings and workflow↔PE links — but not accounts or execution
+history, which belong to a deployment rather than a content set.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.laminar.server.dataaccess import PERepository, WorkflowRepository
+from repro.laminar.server.models import UserRecord
+
+__all__ = ["export_registry", "import_registry", "DUMP_VERSION"]
+
+DUMP_VERSION = 1
+
+
+def export_registry(
+    pes: PERepository, workflows: WorkflowRepository
+) -> dict[str, Any]:
+    """Serialise the registry's content into a JSON-able dict."""
+    wf_records = workflows.all()
+    links = {
+        wf.workflowId: [pe.peId for pe in workflows.pes_of(wf.workflowId)]
+        for wf in wf_records
+    }
+    return {
+        "version": DUMP_VERSION,
+        "pes": [
+            {
+                "peId": pe.peId,
+                "peName": pe.peName,
+                "peCode": pe.peCode,
+                "description": pe.description,
+                "descEmbedding": pe.descEmbedding,
+                "sptEmbedding": pe.sptEmbedding,
+            }
+            for pe in pes.all()
+        ],
+        "workflows": [
+            {
+                "workflowId": wf.workflowId,
+                "workflowName": wf.workflowName,
+                "workflowCode": wf.workflowCode,
+                "entryPoint": wf.entryPoint,
+                "description": wf.description,
+                "descEmbedding": wf.descEmbedding,
+                "sptEmbedding": wf.sptEmbedding,
+                "peIds": links[wf.workflowId],
+            }
+            for wf in wf_records
+        ],
+    }
+
+
+def import_registry(
+    dump: dict[str, Any] | str,
+    pes: PERepository,
+    workflows: WorkflowRepository,
+    owner: UserRecord,
+) -> dict[str, int]:
+    """Load a dump into a registry, assigning content to ``owner``.
+
+    Ids are reassigned on import (the dump's ids only define the
+    workflow↔PE links); returns counts of imported records.  Raises
+    ``ValueError`` on an unknown dump version or malformed payload.
+    """
+    if isinstance(dump, str):
+        dump = json.loads(dump)
+    if not isinstance(dump, dict) or dump.get("version") != DUMP_VERSION:
+        raise ValueError(
+            f"unsupported registry dump (expected version {DUMP_VERSION})"
+        )
+
+    id_map: dict[int, int] = {}
+    for entry in dump.get("pes", []):
+        record = pes.create(
+            user_id=owner.userId,
+            name=entry["peName"],
+            code=entry["peCode"],
+            description=entry.get("description", ""),
+            desc_embedding=entry.get("descEmbedding", ""),
+            spt_embedding=entry.get("sptEmbedding", ""),
+        )
+        id_map[int(entry["peId"])] = record.peId
+
+    n_workflows = 0
+    for entry in dump.get("workflows", []):
+        record = workflows.create(
+            user_id=owner.userId,
+            name=entry["workflowName"],
+            code=entry["workflowCode"],
+            entry_point=entry.get("entryPoint", ""),
+            description=entry.get("description", ""),
+            desc_embedding=entry.get("descEmbedding", ""),
+            spt_embedding=entry.get("sptEmbedding", ""),
+        )
+        n_workflows += 1
+        for old_pe_id in entry.get("peIds", []):
+            new_id = id_map.get(int(old_pe_id))
+            if new_id is not None:
+                workflows.link_pe(record.workflowId, new_id)
+
+    return {"pes": len(id_map), "workflows": n_workflows}

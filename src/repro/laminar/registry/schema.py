@@ -1,0 +1,142 @@
+"""The registry's relational schema (paper Fig 6 / Table II).
+
+Entities:
+
+* ``User`` — account records; one user owns many workflows (one-to-many).
+* ``Workflow`` — registered workflows: source code (CLOB), generated
+  description, description embedding and SPT embedding (CLOBs holding
+  JSON), ownership and timestamps.
+* ``ProcessingElement`` — reusable PEs with the same code/embedding
+  columns; associated with many workflows through ``WorkflowPE``
+  (many-to-many — "PEs are reusable components that can be associated
+  with multiple workflows").
+* ``Execution`` — one row per workflow run: mapping, input spec, status,
+  timing; linked to a workflow and a user.
+* ``Response`` — captured output of an execution (one-to-one-or-many).
+
+SQLite types: ``TEXT`` is a character large object (unbounded), exactly
+the CLOB move the paper made away from bounded ``String`` columns.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCHEMA_STATEMENTS", "TABLES", "INDEXES", "schema_summary"]
+
+TABLES: dict[str, str] = {
+    "User": (
+        "CREATE TABLE IF NOT EXISTS User (\n"
+        "    userId INTEGER PRIMARY KEY AUTOINCREMENT,\n"
+        "    userName TEXT NOT NULL UNIQUE,\n"
+        "    passwordHash TEXT NOT NULL,\n"
+        "    createdAt TEXT NOT NULL DEFAULT (datetime('now'))\n"
+        ")"
+    ),
+    "Workflow": (
+        "CREATE TABLE IF NOT EXISTS Workflow (\n"
+        "    workflowId INTEGER PRIMARY KEY AUTOINCREMENT,\n"
+        "    userId INTEGER NOT NULL REFERENCES User(userId),\n"
+        "    workflowName TEXT NOT NULL,\n"
+        "    entryPoint TEXT,\n"
+        "    description TEXT,\n"
+        "    workflowCode TEXT NOT NULL,\n"          # CLOB
+        "    descEmbedding TEXT,\n"                   # CLOB (JSON vector)
+        "    sptEmbedding TEXT,\n"                    # CLOB (JSON features)
+        "    createdAt TEXT NOT NULL DEFAULT (datetime('now'))\n"
+        ")"
+    ),
+    "ProcessingElement": (
+        "CREATE TABLE IF NOT EXISTS ProcessingElement (\n"
+        "    peId INTEGER PRIMARY KEY AUTOINCREMENT,\n"
+        "    userId INTEGER NOT NULL REFERENCES User(userId),\n"
+        "    peName TEXT NOT NULL,\n"
+        "    description TEXT,\n"
+        "    peCode TEXT NOT NULL,\n"                 # CLOB
+        "    descEmbedding TEXT,\n"                   # CLOB (JSON vector)
+        "    sptEmbedding TEXT,\n"                    # CLOB (JSON features)
+        "    createdAt TEXT NOT NULL DEFAULT (datetime('now'))\n"
+        ")"
+    ),
+    "WorkflowPE": (
+        "CREATE TABLE IF NOT EXISTS WorkflowPE (\n"
+        "    workflowId INTEGER NOT NULL REFERENCES Workflow(workflowId)\n"
+        "        ON DELETE CASCADE,\n"
+        "    peId INTEGER NOT NULL REFERENCES ProcessingElement(peId)\n"
+        "        ON DELETE CASCADE,\n"
+        "    PRIMARY KEY (workflowId, peId)\n"
+        ")"
+    ),
+    "Execution": (
+        "CREATE TABLE IF NOT EXISTS Execution (\n"
+        "    executionId INTEGER PRIMARY KEY AUTOINCREMENT,\n"
+        "    workflowId INTEGER NOT NULL REFERENCES Workflow(workflowId)\n"
+        "        ON DELETE CASCADE,\n"
+        "    userId INTEGER NOT NULL REFERENCES User(userId),\n"
+        "    mapping TEXT NOT NULL,\n"
+        "    inputSpec TEXT,\n"
+        "    status TEXT NOT NULL DEFAULT 'pending',\n"
+        "    startedAt TEXT,\n"
+        "    finishedAt TEXT\n"
+        ")"
+    ),
+    "Response": (
+        "CREATE TABLE IF NOT EXISTS Response (\n"
+        "    responseId INTEGER PRIMARY KEY AUTOINCREMENT,\n"
+        "    executionId INTEGER NOT NULL REFERENCES Execution(executionId)\n"
+        "        ON DELETE CASCADE,\n"
+        "    output TEXT,\n"                          # CLOB
+        "    logLines TEXT,\n"                        # CLOB
+        "    createdAt TEXT NOT NULL DEFAULT (datetime('now'))\n"
+        ")"
+    ),
+}
+
+INDEXES: tuple[str, ...] = (
+    "CREATE INDEX IF NOT EXISTS idx_pe_name ON ProcessingElement(peName)",
+    "CREATE INDEX IF NOT EXISTS idx_pe_user ON ProcessingElement(userId)",
+    "CREATE INDEX IF NOT EXISTS idx_wf_name ON Workflow(workflowName)",
+    "CREATE INDEX IF NOT EXISTS idx_wf_user ON Workflow(userId)",
+    "CREATE INDEX IF NOT EXISTS idx_exec_wf ON Execution(workflowId)",
+    "CREATE INDEX IF NOT EXISTS idx_exec_user ON Execution(userId)",
+    "CREATE INDEX IF NOT EXISTS idx_resp_exec ON Response(executionId)",
+    "CREATE INDEX IF NOT EXISTS idx_wfpe_pe ON WorkflowPE(peId)",
+)
+
+SCHEMA_STATEMENTS: tuple[str, ...] = tuple(TABLES.values()) + INDEXES
+
+
+def schema_summary() -> list[dict]:
+    """Table II as data: name, description and key relationships."""
+    return [
+        {
+            "table": "User",
+            "description": "Stores user information; one user to many workflows.",
+        },
+        {
+            "table": "Workflow",
+            "description": (
+                "Details about each workflow; many PEs per workflow, "
+                "executed multiple times by different users."
+            ),
+        },
+        {
+            "table": "ProcessingElement",
+            "description": (
+                "Reusable processing elements, associable with multiple "
+                "workflows (via WorkflowPE)."
+            ),
+        },
+        {
+            "table": "Execution",
+            "description": (
+                "Tracks workflow executions with execution-specific "
+                "details; linked to a workflow and user."
+            ),
+        },
+        {
+            "table": "Response",
+            "description": (
+                "Captures results of workflow executions; linked to a "
+                "specific execution."
+            ),
+        },
+    ]

@@ -1,0 +1,14 @@
+"""The Laminar server, organised in the paper's four layers (§III):
+
+* :mod:`repro.laminar.server.models` — record dataclasses.
+* :mod:`repro.laminar.server.dataaccess` — repositories over the registry.
+* :mod:`repro.laminar.server.services` — auth, registry (registration,
+  description/embedding generation, search) and execution services.
+* :mod:`repro.laminar.server.controllers` — request routing.
+* :mod:`repro.laminar.server.app` — :class:`LaminarServer`, the assembled
+  application handling transport payloads.
+"""
+
+from repro.laminar.server.app import LaminarServer
+
+__all__ = ["LaminarServer"]

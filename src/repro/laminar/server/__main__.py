@@ -1,0 +1,57 @@
+"""Standalone Laminar server: ``python -m repro.laminar.server``.
+
+Serves a Laminar 2.0 server over the framed TCP transport, optionally
+with an on-disk registry so content survives restarts:
+
+    python -m repro.laminar.server --port 8421 --db laminar.db
+
+Clients connect with ``laminar --connect HOST:PORT`` or
+``LaminarClient.connect(host, port)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+
+from repro.laminar.server.app import LaminarServer
+from repro.laminar.transport.tcp import TcpServerTransport
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, serve until SIGINT/SIGTERM."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.laminar.server", description=__doc__
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = pick a free port")
+    parser.add_argument(
+        "--db", default=":memory:", help="registry database path (default in-memory)"
+    )
+    ns = parser.parse_args(argv)
+
+    server = LaminarServer(ns.db)
+    transport = TcpServerTransport(server, host=ns.host, port=ns.port).start()
+    host, port = transport.address
+    print(f"laminar server listening on {host}:{port} (registry: {ns.db})", flush=True)
+
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        stop.wait()
+    finally:
+        transport.stop()
+        server.close()
+        print("laminar server stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""The assembled Laminar server application.
+
+Wires registry database → repositories → services → router and exposes
+``handle(payload)``, the single entry point every transport calls.
+Streaming responses pass through as
+:class:`~repro.laminar.transport.inprocess.ServerStream` bodies; the
+transport decides how to frame them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.laminar.execution.engine import ExecutionEngine
+from repro.laminar.registry.database import RegistryDatabase
+from repro.laminar.server.controllers import Router
+from repro.laminar.server.dataaccess import (
+    ExecutionRepository,
+    PERepository,
+    ResponseRepository,
+    UserRepository,
+    WorkflowRepository,
+)
+from repro.laminar.server.services import (
+    AuthService,
+    ExecutionService,
+    RegistryService,
+    ServiceError,
+)
+
+__all__ = ["LaminarServer", "ServerMetrics"]
+
+
+@dataclass
+class ServerMetrics:
+    """Per-action request accounting (counts, errors, cumulative latency).
+
+    The resource-management observability of §IV-F at the server level:
+    ``snapshot()`` is what the ``stats`` action returns.
+    """
+
+    started_at: float = field(default_factory=time.monotonic)
+    requests: dict[str, int] = field(default_factory=dict)
+    errors: dict[str, int] = field(default_factory=dict)
+    seconds: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, action: str, elapsed: float, ok: bool) -> None:
+        """Account one handled request."""
+        with self._lock:
+            self.requests[action] = self.requests.get(action, 0) + 1
+            self.seconds[action] = self.seconds.get(action, 0.0) + elapsed
+            if not ok:
+                self.errors[action] = self.errors.get(action, 0) + 1
+
+    def snapshot(self) -> dict:
+        """JSON-able metrics summary (the ``stats`` action body)."""
+        with self._lock:
+            total = sum(self.requests.values())
+            return {
+                "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+                "total_requests": total,
+                "by_action": {
+                    action: {
+                        "requests": count,
+                        "errors": self.errors.get(action, 0),
+                        "mean_ms": round(
+                            1e3 * self.seconds.get(action, 0.0) / count, 3
+                        ),
+                    }
+                    for action, count in sorted(self.requests.items())
+                },
+            }
+
+
+class LaminarServer:
+    """A complete Laminar 2.0 server over one registry database."""
+
+    def __init__(self, db_path: str = ":memory:") -> None:
+        self.db = RegistryDatabase(db_path)
+        self.users = UserRepository(self.db)
+        self.pes = PERepository(self.db)
+        self.workflows = WorkflowRepository(self.db)
+        self.executions = ExecutionRepository(self.db)
+        self.responses = ResponseRepository(self.db)
+
+        self.auth = AuthService(self.users)
+        self.registry = RegistryService(self.pes, self.workflows)
+        self.engine = ExecutionEngine()
+        self.execution = ExecutionService(
+            self.registry, self.executions, self.responses, self.engine
+        )
+        self.router = Router(self.auth, self.registry, self.execution)
+        self.metrics = ServerMetrics()
+
+    def handle(self, payload: Any) -> dict:
+        """Process one request payload into a ``{status, body}`` envelope."""
+        if not isinstance(payload, dict):
+            return {"status": 400, "body": {"error": "payload must be an object"}}
+        action = str(payload.get("action"))
+        if action == "stats":
+            return {"status": 200, "body": self.metrics.snapshot()}
+        started = time.monotonic()
+        try:
+            body = self.router.dispatch(payload)
+            response = {"status": 200, "body": body}
+        except ServiceError as exc:
+            response = {"status": exc.status, "body": {"error": exc.message}}
+        except Exception:
+            response = {
+                "status": 500,
+                "body": {"error": traceback.format_exc(limit=3)},
+            }
+        self.metrics.record(
+            action, time.monotonic() - started, ok=response["status"] < 400
+        )
+        return response
+
+    def close(self) -> None:
+        """Close the registry database."""
+        self.db.close()

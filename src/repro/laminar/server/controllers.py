@@ -1,0 +1,242 @@
+"""Controller layer: route transport payloads to service calls.
+
+A request is a JSON-able dict ``{"action": ..., "token": ..., **params}``.
+Each controller method validates its parameters, invokes the service and
+returns the response body; the app wraps bodies into
+``{"status": ..., "body": ...}`` envelopes and converts
+:class:`~repro.laminar.server.services.ServiceError` into error statuses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.laminar.registry.schema import schema_summary
+from repro.laminar.server.services import (
+    AuthService,
+    ExecutionService,
+    RegistryService,
+    ServiceError,
+)
+
+__all__ = ["Router"]
+
+
+def _require(params: dict, *names: str) -> list[Any]:
+    values = []
+    for name in names:
+        if name not in params or params[name] is None:
+            raise ServiceError(400, f"missing required parameter {name!r}")
+        values.append(params[name])
+    return values
+
+
+class Router:
+    """Dispatch table from action names to handlers."""
+
+    def __init__(
+        self,
+        auth: AuthService,
+        registry: RegistryService,
+        execution: ExecutionService,
+    ) -> None:
+        self.auth = auth
+        self.registry = registry
+        self.execution = execution
+        self._handlers: dict[str, Callable[[Any, dict], Any]] = {
+            "ping": self._ping,
+            "schema": self._schema,
+            "register_user": self._register_user,
+            "login": self._login,
+            "register_pe": self._register_pe,
+            "register_workflow": self._register_workflow,
+            "get_pe": self._get_pe,
+            "get_workflow": self._get_workflow,
+            "get_pes_by_workflow": self._get_pes_by_workflow,
+            "get_registry": self._get_registry,
+            "describe": self._describe,
+            "update_pe_description": self._update_pe_description,
+            "update_workflow_description": self._update_workflow_description,
+            "remove_pe": self._remove_pe,
+            "remove_workflow": self._remove_workflow,
+            "remove_all": self._remove_all,
+            "search_literal": self._search_literal,
+            "search_semantic": self._search_semantic,
+            "code_recommendation": self._code_recommendation,
+            "code_completion": self._code_completion,
+            "check_resources": self._check_resources,
+            "upload_resource": self._upload_resource,
+            "run": self._run,
+            "visualize": self._visualize,
+            "export_registry": self._export_registry,
+            "import_registry": self._import_registry,
+        }
+
+    def actions(self) -> list[str]:
+        """Sorted names of every routable action."""
+        return sorted(self._handlers)
+
+    def dispatch(self, payload: dict) -> Any:
+        """Resolve the caller, route the action, return the body."""
+        action = payload.get("action")
+        handler = self._handlers.get(action)
+        if handler is None:
+            raise ServiceError(404, f"unknown action {action!r}")
+        user = self.auth.resolve(payload.get("token"))
+        return handler(user, payload)
+
+    # -- handlers ------------------------------------------------------------
+
+    def _ping(self, user, params):
+        return {"pong": True, "user": user.userName}
+
+    def _schema(self, user, params):
+        return {"tables": schema_summary()}
+
+    def _register_user(self, user, params):
+        name, password = _require(params, "userName", "password")
+        return self.auth.register(name, password)
+
+    def _login(self, user, params):
+        name, password = _require(params, "userName", "password")
+        return self.auth.login(name, password)
+
+    def _register_pe(self, user, params):
+        (code,) = _require(params, "code")
+        record = self.registry.register_pe(
+            user, code, name=params.get("name"), description=params.get("description")
+        )
+        return record.to_public()
+
+    def _register_workflow(self, user, params):
+        code, name = _require(params, "code", "name")
+        workflow, pes = self.registry.register_workflow(
+            user,
+            code,
+            name,
+            description=params.get("description"),
+            entry_point=params.get("entryPoint"),
+        )
+        return {
+            "workflow": workflow.to_public(include_code=False),
+            "pes": [pe.to_public(include_code=False) for pe in pes],
+        }
+
+    def _get_pe(self, user, params):
+        (ident,) = _require(params, "id")
+        return self.registry.get_pe(ident).to_public()
+
+    def _get_workflow(self, user, params):
+        (ident,) = _require(params, "id")
+        return self.registry.get_workflow(ident).to_public()
+
+    def _get_pes_by_workflow(self, user, params):
+        (ident,) = _require(params, "id")
+        workflow = self.registry.get_workflow(ident)
+        pes = self.registry.workflows.pes_of(workflow.workflowId)
+        return [pe.to_public(include_code=False) for pe in pes]
+
+    def _get_registry(self, user, params):
+        return self.registry.registry_listing()
+
+    def _describe(self, user, params):
+        kind, ident = _require(params, "kind", "id")
+        if kind == "pe":
+            return self.registry.get_pe(ident).to_public(include_code=True)
+        if kind == "workflow":
+            return self.registry.get_workflow(ident).to_public(include_code=True)
+        raise ServiceError(400, f"kind must be 'pe' or 'workflow', got {kind!r}")
+
+    def _update_pe_description(self, user, params):
+        ident, description = _require(params, "id", "description")
+        return self.registry.update_pe_description(ident, description).to_public()
+
+    def _update_workflow_description(self, user, params):
+        ident, description = _require(params, "id", "description")
+        return self.registry.update_workflow_description(
+            ident, description
+        ).to_public()
+
+    def _remove_pe(self, user, params):
+        (ident,) = _require(params, "id")
+        return self.registry.remove_pe(ident)
+
+    def _remove_workflow(self, user, params):
+        (ident,) = _require(params, "id")
+        return self.registry.remove_workflow(ident)
+
+    def _remove_all(self, user, params):
+        return self.registry.remove_all()
+
+    def _search_literal(self, user, params):
+        (term,) = _require(params, "term")
+        return self.registry.literal_search(term, kind=params.get("kind", "all"))
+
+    def _search_semantic(self, user, params):
+        (query,) = _require(params, "query")
+        return self.registry.semantic_search(
+            query,
+            kind=params.get("kind", "pe"),
+            top_k=int(params.get("topK", 5)),
+        )
+
+    def _code_recommendation(self, user, params):
+        (snippet,) = _require(params, "snippet")
+        return self.registry.code_recommendation(
+            snippet,
+            kind=params.get("kind", "pe"),
+            embedding_type=params.get("embeddingType", "spt"),
+            top_k=int(params.get("topK", 5)),
+            threshold=params.get("threshold"),
+        )
+
+    def _code_completion(self, user, params):
+        (snippet,) = _require(params, "snippet")
+        return self.registry.code_completion(
+            snippet,
+            embedding_type=params.get("embeddingType", "spt"),
+            top_k=int(params.get("topK", 3)),
+        )
+
+    def _check_resources(self, user, params):
+        (manifest,) = _require(params, "manifest")
+        return self.execution.check_resources(manifest)
+
+    def _upload_resource(self, user, params):
+        (data_hex,) = _require(params, "data")
+        return self.execution.upload_resource(data_hex)
+
+    def _visualize(self, user, params):
+        (ident,) = _require(params, "id")
+        return self.execution.visualize_workflow(ident)
+
+    def _export_registry(self, user, params):
+        from repro.laminar.registry.portability import export_registry
+
+        return export_registry(self.registry.pes, self.registry.workflows)
+
+    def _import_registry(self, user, params):
+        from repro.laminar.registry.portability import import_registry
+
+        (dump,) = _require(params, "dump")
+        try:
+            counts = import_registry(
+                dump, self.registry.pes, self.registry.workflows, user
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ServiceError(400, f"invalid registry dump: {exc}") from exc
+        self.registry._mutated()  # imported content must invalidate caches
+        return counts
+
+    def _run(self, user, params):
+        (ident,) = _require(params, "id")
+        options = dict(params.get("options") or {})
+        return self.execution.run_workflow(
+            user,
+            ident,
+            input=params.get("input", 1),
+            mapping=params.get("mapping", "simple"),
+            resources=params.get("resources"),
+            verbose=bool(params.get("verbose", False)),
+            **options,
+        )

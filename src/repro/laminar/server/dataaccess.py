@@ -1,0 +1,302 @@
+"""Data-access layer: repositories over the registry database.
+
+Each repository owns the SQL for one entity and returns model records,
+keeping the service layer free of SQL — the layering the paper describes
+("controllers, services, models, and data access").
+"""
+
+from __future__ import annotations
+
+from repro.laminar.registry.database import RegistryDatabase
+from repro.laminar.server.models import (
+    ExecutionRecord,
+    PERecord,
+    ResponseRecord,
+    UserRecord,
+    WorkflowRecord,
+)
+
+__all__ = [
+    "UserRepository",
+    "PERepository",
+    "WorkflowRepository",
+    "ExecutionRepository",
+    "ResponseRepository",
+]
+
+
+class UserRepository:
+    """SQL access for User rows."""
+    def __init__(self, db: RegistryDatabase) -> None:
+        self.db = db
+
+    def create(self, user_name: str, password_hash: str) -> UserRecord:
+        """Insert one row; returns the stored record."""
+        user_id = self.db.execute(
+            "INSERT INTO User (userName, passwordHash) VALUES (?, ?)",
+            (user_name, password_hash),
+        )
+        return self.get(user_id)
+
+    def get(self, user_id: int) -> UserRecord | None:
+        """Fetch by primary key, or ``None``."""
+        row = self.db.query_one("SELECT * FROM User WHERE userId = ?", (user_id,))
+        return UserRecord(**row) if row else None
+
+    def by_name(self, user_name: str) -> UserRecord | None:
+        """Fetch the newest record with this name, or ``None``."""
+        row = self.db.query_one(
+            "SELECT * FROM User WHERE userName = ?", (user_name,)
+        )
+        return UserRecord(**row) if row else None
+
+
+class PERepository:
+    """SQL access for ProcessingElement rows."""
+    def __init__(self, db: RegistryDatabase) -> None:
+        self.db = db
+
+    def create(
+        self,
+        user_id: int,
+        name: str,
+        code: str,
+        description: str,
+        desc_embedding: str,
+        spt_embedding: str,
+    ) -> PERecord:
+        """Insert one row; returns the stored record."""
+        pe_id = self.db.execute(
+            "INSERT INTO ProcessingElement "
+            "(userId, peName, peCode, description, descEmbedding, sptEmbedding) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (user_id, name, code, description, desc_embedding, spt_embedding),
+        )
+        return self.get(pe_id)
+
+    def get(self, pe_id: int) -> PERecord | None:
+        """Fetch by primary key, or ``None``."""
+        row = self.db.query_one(
+            "SELECT * FROM ProcessingElement WHERE peId = ?", (pe_id,)
+        )
+        return PERecord(**row) if row else None
+
+    def by_name(self, name: str) -> PERecord | None:
+        """Fetch the newest record with this name, or ``None``."""
+        row = self.db.query_one(
+            "SELECT * FROM ProcessingElement WHERE peName = ? "
+            "ORDER BY peId DESC LIMIT 1",
+            (name,),
+        )
+        return PERecord(**row) if row else None
+
+    def all(self) -> list[PERecord]:
+        """Every row, id-ordered."""
+        rows = self.db.query("SELECT * FROM ProcessingElement ORDER BY peId")
+        return [PERecord(**row) for row in rows]
+
+    def update_description(
+        self, pe_id: int, description: str, desc_embedding: str
+    ) -> bool:
+        """Rewrite description + its embedding."""
+        self.db.execute(
+            "UPDATE ProcessingElement SET description = ?, descEmbedding = ? "
+            "WHERE peId = ?",
+            (description, desc_embedding, pe_id),
+        )
+        return self.get(pe_id) is not None
+
+    def delete(self, pe_id: int) -> bool:
+        """Delete by id; returns whether the row existed."""
+        existed = self.get(pe_id) is not None
+        self.db.execute("DELETE FROM ProcessingElement WHERE peId = ?", (pe_id,))
+        return existed
+
+    def delete_all(self) -> int:
+        """Delete every row; returns how many there were."""
+        count = self.db.query_one("SELECT COUNT(*) AS n FROM ProcessingElement")["n"]
+        self.db.execute("DELETE FROM ProcessingElement")
+        return count
+
+    def literal_search(self, term: str) -> list[PERecord]:
+        """Substring match over names and descriptions (§V-A)."""
+        like = f"%{term}%"
+        rows = self.db.query(
+            "SELECT * FROM ProcessingElement "
+            "WHERE peName LIKE ? OR description LIKE ? ORDER BY peId",
+            (like, like),
+        )
+        return [PERecord(**row) for row in rows]
+
+
+class WorkflowRepository:
+    """SQL access for Workflow rows and PE links."""
+    def __init__(self, db: RegistryDatabase) -> None:
+        self.db = db
+
+    def create(
+        self,
+        user_id: int,
+        name: str,
+        code: str,
+        entry_point: str,
+        description: str,
+        desc_embedding: str,
+        spt_embedding: str,
+    ) -> WorkflowRecord:
+        """Insert one row; returns the stored record."""
+        wf_id = self.db.execute(
+            "INSERT INTO Workflow "
+            "(userId, workflowName, workflowCode, entryPoint, description, "
+            " descEmbedding, sptEmbedding) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (user_id, name, code, entry_point, description, desc_embedding, spt_embedding),
+        )
+        return self.get(wf_id)
+
+    def get(self, wf_id: int) -> WorkflowRecord | None:
+        """Fetch by primary key, or ``None``."""
+        row = self.db.query_one(
+            "SELECT * FROM Workflow WHERE workflowId = ?", (wf_id,)
+        )
+        return WorkflowRecord(**row) if row else None
+
+    def by_name(self, name: str) -> WorkflowRecord | None:
+        """Fetch the newest record with this name, or ``None``."""
+        row = self.db.query_one(
+            "SELECT * FROM Workflow WHERE workflowName = ? "
+            "ORDER BY workflowId DESC LIMIT 1",
+            (name,),
+        )
+        return WorkflowRecord(**row) if row else None
+
+    def all(self) -> list[WorkflowRecord]:
+        """Every row, id-ordered."""
+        rows = self.db.query("SELECT * FROM Workflow ORDER BY workflowId")
+        return [WorkflowRecord(**row) for row in rows]
+
+    def update_description(
+        self, wf_id: int, description: str, desc_embedding: str
+    ) -> bool:
+        """Rewrite description + its embedding."""
+        self.db.execute(
+            "UPDATE Workflow SET description = ?, descEmbedding = ? "
+            "WHERE workflowId = ?",
+            (description, desc_embedding, wf_id),
+        )
+        return self.get(wf_id) is not None
+
+    def delete(self, wf_id: int) -> bool:
+        """Delete by id; returns whether the row existed."""
+        existed = self.get(wf_id) is not None
+        self.db.execute("DELETE FROM Workflow WHERE workflowId = ?", (wf_id,))
+        return existed
+
+    def delete_all(self) -> int:
+        """Delete every row; returns how many there were."""
+        count = self.db.query_one("SELECT COUNT(*) AS n FROM Workflow")["n"]
+        self.db.execute("DELETE FROM Workflow")
+        return count
+
+    def literal_search(self, term: str) -> list[WorkflowRecord]:
+        """Substring match over names and descriptions."""
+        like = f"%{term}%"
+        rows = self.db.query(
+            "SELECT * FROM Workflow "
+            "WHERE workflowName LIKE ? OR description LIKE ? ORDER BY workflowId",
+            (like, like),
+        )
+        return [WorkflowRecord(**row) for row in rows]
+
+    # -- workflow <-> PE association ------------------------------------------
+
+    def link_pe(self, wf_id: int, pe_id: int) -> None:
+        """Associate a PE with a workflow (idempotent)."""
+        self.db.execute(
+            "INSERT OR IGNORE INTO WorkflowPE (workflowId, peId) VALUES (?, ?)",
+            (wf_id, pe_id),
+        )
+
+    def pes_of(self, wf_id: int) -> list[PERecord]:
+        """PEs linked to one workflow, id-ordered."""
+        rows = self.db.query(
+            "SELECT pe.* FROM ProcessingElement pe "
+            "JOIN WorkflowPE link ON link.peId = pe.peId "
+            "WHERE link.workflowId = ? ORDER BY pe.peId",
+            (wf_id,),
+        )
+        return [PERecord(**row) for row in rows]
+
+    def workflows_of_pe(self, pe_id: int) -> list[WorkflowRecord]:
+        """Workflows containing one PE, id-ordered."""
+        rows = self.db.query(
+            "SELECT wf.* FROM Workflow wf "
+            "JOIN WorkflowPE link ON link.workflowId = wf.workflowId "
+            "WHERE link.peId = ? ORDER BY wf.workflowId",
+            (pe_id,),
+        )
+        return [WorkflowRecord(**row) for row in rows]
+
+
+class ExecutionRepository:
+    """SQL access for Execution rows."""
+    def __init__(self, db: RegistryDatabase) -> None:
+        self.db = db
+
+    def create(
+        self, workflow_id: int, user_id: int, mapping: str, input_spec: str
+    ) -> ExecutionRecord:
+        """Insert one row; returns the stored record."""
+        exec_id = self.db.execute(
+            "INSERT INTO Execution (workflowId, userId, mapping, inputSpec, "
+            "status, startedAt) VALUES (?, ?, ?, ?, 'running', datetime('now'))",
+            (workflow_id, user_id, mapping, input_spec),
+        )
+        return self.get(exec_id)
+
+    def get(self, exec_id: int) -> ExecutionRecord | None:
+        """Fetch by primary key, or ``None``."""
+        row = self.db.query_one(
+            "SELECT * FROM Execution WHERE executionId = ?", (exec_id,)
+        )
+        return ExecutionRecord(**row) if row else None
+
+    def finish(self, exec_id: int, status: str) -> None:
+        """Mark an execution finished with the given status."""
+        self.db.execute(
+            "UPDATE Execution SET status = ?, finishedAt = datetime('now') "
+            "WHERE executionId = ?",
+            (status, exec_id),
+        )
+
+    def for_workflow(self, workflow_id: int) -> list[ExecutionRecord]:
+        """Execution history of one workflow."""
+        rows = self.db.query(
+            "SELECT * FROM Execution WHERE workflowId = ? ORDER BY executionId",
+            (workflow_id,),
+        )
+        return [ExecutionRecord(**row) for row in rows]
+
+
+class ResponseRepository:
+    """SQL access for Response rows."""
+    def __init__(self, db: RegistryDatabase) -> None:
+        self.db = db
+
+    def create(self, execution_id: int, output: str, log_lines: str) -> ResponseRecord:
+        """Insert one row; returns the stored record."""
+        resp_id = self.db.execute(
+            "INSERT INTO Response (executionId, output, logLines) VALUES (?, ?, ?)",
+            (execution_id, output, log_lines),
+        )
+        row = self.db.query_one(
+            "SELECT * FROM Response WHERE responseId = ?", (resp_id,)
+        )
+        return ResponseRecord(**row)
+
+    def for_execution(self, execution_id: int) -> list[ResponseRecord]:
+        """Responses captured for one execution."""
+        rows = self.db.query(
+            "SELECT * FROM Response WHERE executionId = ? ORDER BY responseId",
+            (execution_id,),
+        )
+        return [ResponseRecord(**row) for row in rows]

@@ -1,0 +1,128 @@
+"""Record dataclasses for the server's model layer.
+
+These mirror the registry rows (Fig 6) one-to-one; the data-access layer
+converts sqlite rows into them and the services hand them to clients as
+plain dicts via :meth:`to_public`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "UserRecord",
+    "PERecord",
+    "WorkflowRecord",
+    "ExecutionRecord",
+    "ResponseRecord",
+]
+
+
+@dataclass
+class UserRecord:
+    """One User row."""
+    userId: int
+    userName: str
+    passwordHash: str = ""
+    createdAt: str = ""
+
+    def to_public(self) -> dict:
+        """Client-facing dict (embeddings and secrets omitted)."""
+        return {"userId": self.userId, "userName": self.userName}
+
+
+@dataclass
+class PERecord:
+    """One ProcessingElement row."""
+    peId: int
+    userId: int
+    peName: str
+    peCode: str
+    description: str = ""
+    descEmbedding: str = ""  # JSON list[float]
+    sptEmbedding: str = ""  # JSON dict[str, int]
+    createdAt: str = ""
+
+    def desc_vector(self) -> list[float]:
+        """Parsed description embedding ([] when unset)."""
+        return json.loads(self.descEmbedding) if self.descEmbedding else []
+
+    def spt_features(self) -> dict[str, int]:
+        """Parsed SPT feature counter ({} when unset)."""
+        return json.loads(self.sptEmbedding) if self.sptEmbedding else {}
+
+    def to_public(self, include_code: bool = True) -> dict:
+        """Client-facing dict (embeddings and secrets omitted)."""
+        public = {
+            "peId": self.peId,
+            "peName": self.peName,
+            "description": self.description,
+        }
+        if include_code:
+            public["peCode"] = self.peCode
+        return public
+
+
+@dataclass
+class WorkflowRecord:
+    """One Workflow row."""
+    workflowId: int
+    userId: int
+    workflowName: str
+    workflowCode: str
+    entryPoint: str = ""
+    description: str = ""
+    descEmbedding: str = ""
+    sptEmbedding: str = ""
+    createdAt: str = ""
+
+    def desc_vector(self) -> list[float]:
+        """Parsed description embedding ([] when unset)."""
+        return json.loads(self.descEmbedding) if self.descEmbedding else []
+
+    def spt_features(self) -> dict[str, int]:
+        """Parsed SPT feature counter ({} when unset)."""
+        return json.loads(self.sptEmbedding) if self.sptEmbedding else {}
+
+    def to_public(self, include_code: bool = True) -> dict:
+        """Client-facing dict (embeddings and secrets omitted)."""
+        public = {
+            "workflowId": self.workflowId,
+            "workflowName": self.workflowName,
+            "description": self.description,
+        }
+        if include_code:
+            public["workflowCode"] = self.workflowCode
+        return public
+
+
+@dataclass
+class ExecutionRecord:
+    """One Execution row."""
+    executionId: int
+    workflowId: int
+    userId: int
+    mapping: str
+    inputSpec: str = ""
+    status: str = "pending"
+    startedAt: str | None = None
+    finishedAt: str | None = None
+
+    def to_public(self) -> dict:
+        """Client-facing dict (embeddings and secrets omitted)."""
+        return asdict(self)
+
+
+@dataclass
+class ResponseRecord:
+    """One Response row."""
+    responseId: int
+    executionId: int
+    output: str = ""
+    logLines: str = ""
+    createdAt: str = ""
+
+    def to_public(self) -> dict:
+        """Client-facing dict (embeddings and secrets omitted)."""
+        return asdict(self)

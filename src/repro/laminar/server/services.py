@@ -1,0 +1,604 @@
+"""Service layer: authentication, registry operations and execution.
+
+This is where the paper's feature set lives:
+
+* :class:`AuthService` — user registration/login with salted password
+  hashes and opaque session tokens.
+* :class:`RegistryService` — PE/workflow registration with automatic
+  description generation (CodeT5 substitute, full-class context, §IV-C),
+  description embeddings (UniXcoder substitute, §V-B) and SPT embeddings
+  (Aroma features, §VI) computed once and stored in the registry; plus
+  literal search, semantic search and code recommendation.
+* :class:`ExecutionService` — workflow runs through the execution
+  engine with Execution/Response bookkeeping and the §IV-F resource
+  handshake.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import secrets
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from repro.aroma.features import extract_features
+from repro.aroma.spt import ParseFailure, python_to_spt
+from repro.laminar.execution.engine import ExecutionEngine
+from repro.laminar.execution.resources import ResourceManifestEntry, file_digest
+from repro.laminar.server.dataaccess import (
+    ExecutionRepository,
+    PERepository,
+    ResponseRepository,
+    UserRepository,
+    WorkflowRepository,
+)
+from repro.laminar.server.models import PERecord, UserRecord, WorkflowRecord
+from repro.laminar.transport.inprocess import ServerStream
+from repro.models.describer import CodeT5Describer, DescriptionContext
+from repro.models.embedder import UniXcoderEmbedder
+from repro.models.reacc import ReACCRetriever
+from repro.search.code import CodeSearch
+from repro.search.semantic import SemanticSearch
+
+__all__ = ["AuthService", "RegistryService", "ExecutionService", "ServiceError"]
+
+#: Base classes that mark a class definition as a Processing Element.
+_PE_BASES = {"GenericPE", "IterativePE", "ProducerPE", "ConsumerPE", "CompositePE"}
+
+#: Laminar's defaults for code recommendation (§VI-A).
+DEFAULT_TOP_K = 5
+DEFAULT_SPT_THRESHOLD = 6.0
+
+
+class ServiceError(Exception):
+    """A client-visible failure with an HTTP-ish status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class AuthService:
+    """Registration, login and token resolution."""
+
+    def __init__(self, users: UserRepository) -> None:
+        self.users = users
+        self._tokens: dict[str, int] = {}
+        self._guest: UserRecord | None = None
+
+    @staticmethod
+    def _hash(password: str, salt: str) -> str:
+        return salt + ":" + hashlib.sha256((salt + password).encode()).hexdigest()
+
+    @staticmethod
+    def _verify(password: str, stored: str) -> bool:
+        salt, _, _digest = stored.partition(":")
+        return AuthService._hash(password, salt) == stored
+
+    def register(self, user_name: str, password: str) -> dict:
+        """Create an account; 409 when the name is taken."""
+        if not user_name:
+            raise ServiceError(400, "userName is required")
+        if self.users.by_name(user_name) is not None:
+            raise ServiceError(409, f"user {user_name!r} already exists")
+        user = self.users.create(user_name, self._hash(password, secrets.token_hex(8)))
+        return user.to_public()
+
+    def login(self, user_name: str, password: str) -> dict:
+        """Verify credentials; returns a session token."""
+        user = self.users.by_name(user_name)
+        if user is None or not self._verify(password, user.passwordHash):
+            raise ServiceError(401, "invalid credentials")
+        token = secrets.token_hex(16)
+        self._tokens[token] = user.userId
+        return {"token": token, **user.to_public()}
+
+    def resolve(self, token: str | None) -> UserRecord:
+        """Map a token to its user; tokenless requests act as guest.
+
+        The guest account keeps single-user workflows friction-free (the
+        paper's CLI examples never log in) while the schema still records
+        ownership.
+        """
+        if token:
+            user_id = self._tokens.get(token)
+            if user_id is None:
+                raise ServiceError(401, "invalid or expired token")
+            user = self.users.get(user_id)
+            if user is None:  # pragma: no cover - token for a deleted user
+                raise ServiceError(401, "user no longer exists")
+            return user
+        if self._guest is None:
+            self._guest = self.users.by_name("guest") or self.users.create(
+                "guest", self._hash("", secrets.token_hex(8))
+            )
+        return self._guest
+
+
+class RegistryService:
+    """PE/workflow registration, metadata generation and search."""
+
+    def __init__(
+        self,
+        pes: PERepository,
+        workflows: WorkflowRepository,
+        describer: CodeT5Describer | None = None,
+        embedder: UniXcoderEmbedder | None = None,
+        reacc: ReACCRetriever | None = None,
+    ) -> None:
+        self.pes = pes
+        self.workflows = workflows
+        self.describer = describer or CodeT5Describer()
+        self.embedder = embedder or UniXcoderEmbedder()
+        self.reacc = reacc or ReACCRetriever()
+        # Search-index caching: any registry mutation bumps the revision;
+        # cached indexes are rebuilt lazily when stale.  Keeps semantic
+        # search and code recommendation O(query) instead of O(registry)
+        # per call (measured in bench_ablate_registry_scale).
+        self._revision = 0
+        self._semantic_cache: dict[str, tuple[int, Any, dict]] = {}
+        self._code_cache: tuple[int, CodeSearch, dict] | None = None
+
+    def _mutated(self) -> None:
+        self._revision += 1
+
+    # -- metadata helpers ---------------------------------------------------
+
+    def _desc_embedding(self, description: str) -> str:
+        return json.dumps(self.embedder.encode(description)[0].round(8).tolist())
+
+    def _spt_embedding(self, code: str) -> str:
+        try:
+            return json.dumps(dict(extract_features(python_to_spt(code))))
+        except ParseFailure:
+            return json.dumps({})
+
+    # -- PE registration ------------------------------------------------------
+
+    @staticmethod
+    def extract_pe_classes(code: str) -> list[tuple[str, str]]:
+        """Find PE class definitions: ``[(class_name, class_source), ...]``.
+
+        A class is a PE when any base name (directly or dotted) is one of
+        the dispel4py PE base classes.  This is the client-side "extracts
+        the full class definition" step of §VI, performed server-side too
+        for defence in depth.
+        """
+        try:
+            from repro import pyast
+
+            tree = pyast.parse(code)
+        except SyntaxError as exc:
+            raise ServiceError(400, f"code does not parse: {exc}") from exc
+        found = []
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = set()
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    base_names.add(base.id)
+                elif isinstance(base, ast.Attribute):
+                    base_names.add(base.attr)
+            if base_names & _PE_BASES:
+                segment = ast.get_source_segment(code, node)
+                if segment:
+                    found.append((node.name, segment))
+        return found
+
+    def register_pe(
+        self, user: UserRecord, code: str, name: str | None = None,
+        description: str | None = None,
+    ) -> PERecord:
+        """Register one PE; generates description/embeddings when absent."""
+        classes = self.extract_pe_classes(code)
+        if classes:
+            class_name, class_source = classes[0]
+        else:
+            # Accept non-class snippets (bare functions) under a given name.
+            if not name:
+                raise ServiceError(
+                    400, "code defines no PE class and no name was provided"
+                )
+            class_name, class_source = name, code
+        desc = description or self.describer.describe(
+            class_source, DescriptionContext.FULL_CLASS
+        )
+        record = self.pes.create(
+            user_id=user.userId,
+            name=name or class_name,
+            code=class_source,
+            description=desc,
+            desc_embedding=self._desc_embedding(desc),
+            spt_embedding=self._spt_embedding(class_source),
+        )
+        self._mutated()
+        return record
+
+    def register_workflow(
+        self,
+        user: UserRecord,
+        code: str,
+        name: str,
+        description: str | None = None,
+        entry_point: str | None = None,
+    ) -> tuple[WorkflowRecord, list[PERecord]]:
+        """Register a workflow and every PE it defines (paper Fig 5a)."""
+        classes = self.extract_pe_classes(code)
+        pe_records = [
+            self.pes.create(
+                user_id=user.userId,
+                name=class_name,
+                code=class_source,
+                description=self.describer.describe(
+                    class_source, DescriptionContext.FULL_CLASS
+                ),
+                desc_embedding=self._desc_embedding(
+                    self.describer.describe(class_source)
+                ),
+                spt_embedding=self._spt_embedding(class_source),
+            )
+            for class_name, class_source in classes
+        ]
+        desc = description or self.describer.describe_workflow(
+            name, [src for _, src in classes]
+        )
+        workflow = self.workflows.create(
+            user_id=user.userId,
+            name=name,
+            code=code,
+            entry_point=entry_point or "",
+            description=desc,
+            desc_embedding=self._desc_embedding(desc),
+            spt_embedding=self._spt_embedding(code),
+        )
+        for pe in pe_records:
+            self.workflows.link_pe(workflow.workflowId, pe.peId)
+        self._mutated()
+        return workflow, pe_records
+
+    # -- lookup --------------------------------------------------------------------
+
+    def get_pe(self, ident: int | str) -> PERecord:
+        """Resolve a PE by numeric id or name (404 when absent)."""
+        record = (
+            self.pes.get(int(ident))
+            if str(ident).isdigit()
+            else self.pes.by_name(str(ident))
+        )
+        if record is None:
+            raise ServiceError(404, f"no PE {ident!r}")
+        return record
+
+    def get_workflow(self, ident: int | str) -> WorkflowRecord:
+        """Resolve a workflow by numeric id or name (404 when absent)."""
+        record = (
+            self.workflows.get(int(ident))
+            if str(ident).isdigit()
+            else self.workflows.by_name(str(ident))
+        )
+        if record is None:
+            raise ServiceError(404, f"no workflow {ident!r}")
+        return record
+
+    def registry_listing(self) -> dict:
+        """Every PE and workflow, without code bodies."""
+        return {
+            "pes": [pe.to_public(include_code=False) for pe in self.pes.all()],
+            "workflows": [
+                wf.to_public(include_code=False) for wf in self.workflows.all()
+            ],
+        }
+
+    # -- description updates ----------------------------------------------------------
+
+    def update_pe_description(self, ident: int | str, description: str) -> PERecord:
+        """Replace a PE's description and re-embed it."""
+        pe = self.get_pe(ident)
+        self.pes.update_description(
+            pe.peId, description, self._desc_embedding(description)
+        )
+        self._mutated()
+        return self.pes.get(pe.peId)
+
+    def update_workflow_description(
+        self, ident: int | str, description: str
+    ) -> WorkflowRecord:
+        """Replace a workflow's description and re-embed it."""
+        wf = self.get_workflow(ident)
+        self.workflows.update_description(
+            wf.workflowId, description, self._desc_embedding(description)
+        )
+        self._mutated()
+        return self.workflows.get(wf.workflowId)
+
+    # -- search -------------------------------------------------------------------------
+
+    def literal_search(self, term: str, kind: str = "all") -> dict:
+        """Substring search over names and descriptions (§V-A, Fig 7)."""
+        result: dict[str, list] = {}
+        if kind in ("all", "pe"):
+            result["pes"] = [
+                pe.to_public(include_code=False)
+                for pe in self.pes.literal_search(term)
+            ]
+        if kind in ("all", "workflow"):
+            result["workflows"] = [
+                wf.to_public(include_code=False)
+                for wf in self.workflows.literal_search(term)
+            ]
+        return result
+
+    def semantic_search(self, query: str, kind: str = "pe", top_k: int = DEFAULT_TOP_K) -> list[dict]:
+        """Text-to-code search by embedding cosine (§V-B, Fig 8).
+
+        Built on :class:`repro.search.semantic.SemanticSearch` fed the
+        embeddings stored at registration time — the registry stays the
+        source of truth and the index is rebuilt per query (registries
+        are small; rebuilding beats cache-invalidation bugs).
+        """
+        cached = self._semantic_cache.get(kind)
+        if cached is not None and cached[0] == self._revision:
+            _, index, by_id = cached
+        else:
+            records: list[PERecord | WorkflowRecord] = (
+                self.pes.all() if kind == "pe" else self.workflows.all()
+            )
+            index = SemanticSearch(self.embedder)
+            by_id = {}
+            for i, record in enumerate(records):
+                vector = record.desc_vector() or [0.0] * self.embedder.dim
+                index.add_precomputed(i, vector)
+                by_id[i] = record
+            self._semantic_cache[kind] = (self._revision, index, by_id)
+        if not by_id:
+            return []
+        out = []
+        for i, sim in index.search(query, top_k=top_k):
+            entry = by_id[i].to_public(include_code=False)
+            entry["cosine_similarity"] = float(round(sim, 6))
+            out.append(entry)
+        return out
+
+    def code_recommendation(
+        self,
+        snippet: str,
+        kind: str = "pe",
+        embedding_type: str = "spt",
+        top_k: int = DEFAULT_TOP_K,
+        threshold: float | None = None,
+    ) -> list[dict]:
+        """Code-to-code recommendation (§VI-A, Fig 9).
+
+        ``embedding_type='spt'`` (default) scores by SPT-feature overlap
+        against the stored ``sptEmbedding`` with Laminar's threshold of
+        6.0; ``'llm'`` falls back to the ReACC retriever.  Workflow
+        recommendations find similar PEs first, then rank the workflows
+        containing them by occurrence (only supported for 'spt').
+        """
+        if embedding_type not in ("spt", "llm"):
+            raise ServiceError(400, f"unknown embedding_type {embedding_type!r}")
+        if kind == "workflow" and embedding_type == "llm":
+            raise ServiceError(
+                400, "workflow recommendations are only possible with 'spt'"
+            )
+        if self._code_cache is not None and self._code_cache[0] == self._revision:
+            _, index, by_id = self._code_cache
+        else:
+            pes = self.pes.all()
+            index = CodeSearch(self.reacc)
+            by_id = {pe.peId: pe for pe in pes}
+            for pe in pes:
+                index.add(pe.peId, pe.peCode, features=pe.spt_features())
+            self._code_cache = (self._revision, index, by_id)
+        if not by_id:
+            return []
+        wide = max(len(by_id), top_k)
+        try:
+            if embedding_type == "spt":
+                cut = DEFAULT_SPT_THRESHOLD if threshold is None else threshold
+                hits = index.search_spt(snippet, top_k=wide, threshold=cut)
+            else:
+                cut = 0.1 if threshold is None else threshold
+                hits = index.search_llm(snippet, top_k=wide, threshold=cut)
+        except ParseFailure as exc:
+            raise ServiceError(400, f"snippet does not parse: {exc}") from exc
+        scored = [(score, by_id[pe_id]) for pe_id, score in hits]
+
+        if kind == "pe":
+            out = []
+            for score, pe in scored[:top_k]:
+                entry = pe.to_public()
+                entry["score"] = round(float(score), 4)
+                out.append(entry)
+            return out
+
+        # Workflow recommendation: aggregate over workflows containing hits.
+        occurrences: Counter = Counter()
+        best_scores: dict[int, float] = {}
+        wf_by_id: dict[int, WorkflowRecord] = {}
+        for score, pe in scored:
+            for wf in self.workflows.workflows_of_pe(pe.peId):
+                occurrences[wf.workflowId] += 1
+                best_scores[wf.workflowId] = max(
+                    best_scores.get(wf.workflowId, 0.0), float(score)
+                )
+                wf_by_id[wf.workflowId] = wf
+        ranked = sorted(
+            occurrences, key=lambda wid: (-best_scores[wid], -occurrences[wid])
+        )
+        out = []
+        for wid in ranked[:top_k]:
+            entry = wf_by_id[wid].to_public()
+            entry["occurrences"] = occurrences[wid]
+            entry["score"] = round(best_scores[wid], 4)
+            out.append(entry)
+        return out
+
+    def code_completion(
+        self,
+        snippet: str,
+        embedding_type: str = "spt",
+        top_k: int = 3,
+    ) -> list[dict]:
+        """Complete a partial snippet from the best-matching PEs (§I).
+
+        Retrieval reuses :meth:`code_recommendation`; for each hit the
+        *continuation* is computed by aligning the query against the
+        matched PE's source — the suggestion is the code that follows the
+        last line the developer has already written.  Hits whose code is
+        fully contained in the query offer nothing and are skipped.
+        """
+        hits = self.code_recommendation(
+            snippet, kind="pe", embedding_type=embedding_type,
+            top_k=max(top_k * 2, top_k), threshold=1.0 if embedding_type == "spt" else None,
+        )
+        query_lines = [line.strip() for line in snippet.splitlines() if line.strip()]
+        completions = []
+        for hit in hits:
+            source_lines = hit["peCode"].splitlines()
+            cut = 0
+            if query_lines:
+                stripped = [line.strip() for line in source_lines]
+                last = query_lines[-1]
+                for i, line in enumerate(stripped):
+                    if line and (line in last or last in line):
+                        cut = i + 1
+            continuation = "\n".join(source_lines[cut:]).strip("\n")
+            if not continuation:
+                continue
+            completions.append(
+                {
+                    "peId": hit["peId"],
+                    "peName": hit["peName"],
+                    "score": hit["score"],
+                    "completion": continuation,
+                }
+            )
+            if len(completions) >= top_k:
+                break
+        return completions
+
+    # -- removal -----------------------------------------------------------------------
+
+    def remove_pe(self, ident: int | str) -> dict:
+        """Delete a PE by id or name."""
+        pe = self.get_pe(ident)
+        self.pes.delete(pe.peId)
+        self._mutated()
+        return {"removed": pe.peName, "peId": pe.peId}
+
+    def remove_workflow(self, ident: int | str) -> dict:
+        """Delete a workflow by id or name."""
+        wf = self.get_workflow(ident)
+        self.workflows.delete(wf.workflowId)
+        self._mutated()
+        return {"removed": wf.workflowName, "workflowId": wf.workflowId}
+
+    def remove_all(self) -> dict:
+        """Delete every PE and workflow; returns counts."""
+        self._mutated()
+        return {
+            "pes_removed": self.pes.delete_all(),
+            "workflows_removed": self.workflows.delete_all(),
+        }
+
+
+class ExecutionService:
+    """Runs registered workflows through the execution engine."""
+
+    def __init__(
+        self,
+        registry: RegistryService,
+        executions: ExecutionRepository,
+        responses: ResponseRepository,
+        engine: ExecutionEngine | None = None,
+    ) -> None:
+        self.registry = registry
+        self.executions = executions
+        self.responses = responses
+        self.engine = engine or ExecutionEngine()
+
+    def check_resources(self, manifest: list[dict]) -> dict:
+        """The §IV-F handshake: which declared resources must be uploaded."""
+        entries = [ResourceManifestEntry.from_dict(m) for m in manifest]
+        return {"missing": self.engine.cache.missing(entries)}
+
+    def upload_resource(self, data_hex: str) -> dict:
+        """Store hex-encoded content; returns its digest."""
+        data = bytes.fromhex(data_hex)
+        digest = self.engine.cache.put(data)
+        return {"digest": digest, "bytes": len(data)}
+
+    def visualize_workflow(self, ident: int | str) -> dict:
+        """Graph renderings (text/DOT) of a registered workflow."""
+        workflow = self.registry.get_workflow(ident)
+        try:
+            return self.engine.inspect(
+                workflow.workflowCode, graph_name=workflow.entryPoint or None
+            )
+        except (SyntaxError, ValueError) as exc:
+            raise ServiceError(400, f"cannot build workflow graph: {exc}") from exc
+
+    def run_workflow(
+        self,
+        user: UserRecord,
+        ident: int | str,
+        input: Any = 1,
+        mapping: str = "simple",
+        resources: list[dict] | None = None,
+        verbose: bool = False,
+        **options: Any,
+    ) -> ServerStream:
+        """Start a run; returns a stream of output lines plus a summary.
+
+        Raises :class:`ServiceError` 428 when declared resources are not
+        yet cached (the client uploads them and retries).
+        """
+        workflow = self.registry.get_workflow(ident)
+        if resources:
+            missing = self.check_resources(resources)["missing"]
+            if missing:
+                raise ServiceError(
+                    428, "resources required: " + ", ".join(sorted(missing))
+                )
+        execution = self.executions.create(
+            workflow.workflowId,
+            user.userId,
+            mapping,
+            json.dumps(input, default=str),
+        )
+        stream, outcome = self.engine.execute_streaming(
+            workflow.workflowCode,
+            input=input,
+            mapping=mapping,
+            graph_name=workflow.entryPoint or None,
+            resources=resources,
+            verbose=verbose,
+            **options,
+        )
+
+        def chunks():
+            collected = []
+            for line in stream:
+                collected.append(line)
+                yield line
+            self.executions.finish(execution.executionId, outcome.status)
+            self.responses.create(
+                execution.executionId,
+                output=json.dumps(outcome.outputs),
+                log_lines="\n".join(outcome.logs + collected),
+            )
+
+        return ServerStream(
+            chunks(),
+            summary=lambda: {
+                "executionId": execution.executionId,
+                **outcome.to_public(),
+            },
+        )

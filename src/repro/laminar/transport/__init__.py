@@ -1,0 +1,32 @@
+"""Client–server transports with HTTP/2-style streaming.
+
+Laminar 1.0 used HTTP/1.1 request/response: the engine ran the whole
+workflow, captured stdout, and returned one batch body.  Laminar 2.0
+moved to HTTP/2 streaming — independent, bidirectional frames — so
+output lines reach the client as they are produced (§IV-E).
+
+A real HTTP/2 stack is out of scope offline; DESIGN.md substitution S7
+replaces it with a framed protocol that preserves the property under
+test — *incremental delivery*:
+
+* :mod:`repro.laminar.transport.frames` — HEADERS/DATA/END frame types.
+* :mod:`repro.laminar.transport.inprocess` — zero-copy in-process
+  transport (client holds the server object; streams are generators).
+* :mod:`repro.laminar.transport.tcp` — localhost TCP with
+  length-prefixed JSON frames and multiplexed stream ids.
+
+Both implement the same two-method interface (:class:`Transport`), so
+every client feature works identically over either.
+"""
+
+from repro.laminar.transport.frames import Frame, FrameType
+from repro.laminar.transport.inprocess import InProcessTransport
+from repro.laminar.transport.tcp import TcpServerTransport, TcpClientTransport
+
+__all__ = [
+    "Frame",
+    "FrameType",
+    "InProcessTransport",
+    "TcpServerTransport",
+    "TcpClientTransport",
+]

@@ -1,0 +1,66 @@
+"""Frame model for the streaming transport (HTTP/2-flavoured).
+
+A logical request/response exchange is one *stream*; frames belonging to
+a stream carry its id, mirroring RFC 9113's multiplexing.  Three frame
+types are enough for Laminar's traffic:
+
+* ``HEADERS`` — opens an exchange; payload is the request or the
+  response status/metadata.
+* ``DATA`` — one chunk of streamed body (an output line, a file part).
+* ``END`` — closes the stream; payload optionally carries a summary.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["FrameType", "Frame"]
+
+
+class FrameType(enum.Enum):
+    """The three frame kinds: HEADERS, DATA, END."""
+    HEADERS = "headers"
+    DATA = "data"
+    END = "end"
+
+
+@dataclass
+class Frame:
+    """One transport frame."""
+
+    stream_id: int
+    type: FrameType
+    payload: Any = field(default=None)
+
+    def encode(self) -> bytes:
+        """Length-prefixed JSON wire form (4-byte big-endian length)."""
+        body = json.dumps(
+            {"stream_id": self.stream_id, "type": self.type.value, "payload": self.payload},
+            default=str,
+        ).encode("utf-8")
+        return len(body).to_bytes(4, "big") + body
+
+    @classmethod
+    def decode(cls, body: bytes) -> "Frame":
+        """Inverse of :meth:`encode` (without the length prefix)."""
+        obj = json.loads(body.decode("utf-8"))
+        return cls(
+            stream_id=int(obj["stream_id"]),
+            type=FrameType(obj["type"]),
+            payload=obj.get("payload"),
+        )
+
+    @classmethod
+    def read_from(cls, sock_file) -> "Frame | None":
+        """Read one frame from a binary file-like; ``None`` at EOF."""
+        header = sock_file.read(4)
+        if len(header) < 4:
+            return None
+        length = int.from_bytes(header, "big")
+        body = sock_file.read(length)
+        if len(body) < length:
+            return None
+        return cls.decode(body)

@@ -1,0 +1,71 @@
+"""In-process transport: the client holds the server object directly.
+
+This is the zero-configuration mode used by tests, examples and the
+benchmark harness: no sockets, but the same framed streaming semantics —
+``stream`` yields DATA payloads as the execution engine produces them,
+because the server returns a live generator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.laminar.transport.frames import Frame, FrameType
+
+__all__ = ["InProcessTransport", "ServerStream"]
+
+
+class ServerStream:
+    """A streaming server response: an iterator of chunks plus a summary.
+
+    ``chunks`` yields JSON-able payloads (typically output lines);
+    ``summary()`` becomes the END frame payload once the iterator is
+    exhausted (the callable form lets the summary reflect what was
+    streamed).
+    """
+
+    def __init__(self, chunks: Iterator[Any], summary=None) -> None:
+        self.chunks = chunks
+        self._summary = summary
+
+    def summary(self) -> Any:
+        """The END-frame payload (resolved after chunks drain)."""
+        return self._summary() if callable(self._summary) else self._summary
+
+
+class InProcessTransport:
+    """Direct client↔server coupling with streaming support."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+        self._next_stream_id = 1
+
+    def request(self, payload: dict) -> dict:
+        """Unary exchange; a streaming response is drained into a list."""
+        response = self._server.handle(payload)
+        if isinstance(response.get("body"), ServerStream):
+            stream = response["body"]
+            lines = list(stream.chunks)
+            return {
+                "status": response["status"],
+                "body": {"lines": lines, "summary": stream.summary()},
+            }
+        return response
+
+    def stream(self, payload: dict) -> Iterator[Frame]:
+        """Framed exchange: HEADERS, then DATA per chunk, then END."""
+        stream_id = self._next_stream_id
+        self._next_stream_id += 1
+        response = self._server.handle(payload)
+        body = response.get("body")
+        if isinstance(body, ServerStream):
+            yield Frame(stream_id, FrameType.HEADERS, {"status": response["status"]})
+            for chunk in body.chunks:
+                yield Frame(stream_id, FrameType.DATA, chunk)
+            yield Frame(stream_id, FrameType.END, body.summary())
+        else:
+            yield Frame(stream_id, FrameType.HEADERS, {"status": response["status"]})
+            yield Frame(stream_id, FrameType.END, body)
+
+    def close(self) -> None:
+        """Nothing to release for the in-process transport."""

@@ -1,0 +1,150 @@
+"""Localhost TCP transport with length-prefixed, multiplex-ready frames.
+
+One connection carries one exchange at a time (the client serialises
+requests), but every frame carries its stream id so the wire format is
+multiplex-capable like HTTP/2.  The server is a threading socket server:
+each connection gets a handler thread, and streaming responses are
+written frame by frame as the execution engine produces chunks — the
+client observes output lines *before* the workflow finishes, which is
+what the A1 ablation bench measures.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Any, Iterator
+
+from repro.laminar.transport.frames import Frame, FrameType
+from repro.laminar.transport.inprocess import ServerStream
+
+__all__ = ["TcpServerTransport", "TcpClientTransport"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        """Serve HEADERS-opened exchanges until the peer disconnects."""
+        while True:
+            frame = Frame.read_from(self.rfile)
+            if frame is None:
+                return
+            if frame.type is not FrameType.HEADERS:
+                continue  # ignore stray frames; HEADERS opens an exchange
+            response = self.server.laminar_server.handle(frame.payload)
+            body = response.get("body")
+            try:
+                self.wfile.write(
+                    Frame(
+                        frame.stream_id,
+                        FrameType.HEADERS,
+                        {"status": response["status"]},
+                    ).encode()
+                )
+                if isinstance(body, ServerStream):
+                    for chunk in body.chunks:
+                        self.wfile.write(
+                            Frame(frame.stream_id, FrameType.DATA, chunk).encode()
+                        )
+                        self.wfile.flush()
+                    self.wfile.write(
+                        Frame(frame.stream_id, FrameType.END, body.summary()).encode()
+                    )
+                else:
+                    self.wfile.write(
+                        Frame(frame.stream_id, FrameType.END, body).encode()
+                    )
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TcpServerTransport:
+    """Serves a :class:`~repro.laminar.server.app.LaminarServer` over TCP."""
+
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._tcp = _ThreadingServer((host, port), _Handler)
+        self._tcp.laminar_server = server
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port)."""
+        return self._tcp.server_address
+
+    def start(self) -> "TcpServerTransport":
+        """Begin serving on a daemon thread."""
+        self._thread = threading.Thread(target=self._tcp.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and join the serving thread."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
+class TcpClientTransport:
+    """Client side: one persistent connection, sequential exchanges."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_stream_id = 1
+        self._lock = threading.Lock()
+
+    def _open(self, payload: dict) -> int:
+        stream_id = self._next_stream_id
+        self._next_stream_id += 2  # odd ids, client-initiated (RFC 9113 §5.1.1)
+        self._wfile.write(Frame(stream_id, FrameType.HEADERS, payload).encode())
+        self._wfile.flush()
+        return stream_id
+
+    def request(self, payload: dict) -> dict:
+        """Unary exchange; DATA frames (if any) are collected into lines."""
+        with self._lock:
+            self._open(payload)
+            status: dict[str, Any] = {}
+            lines: list[Any] = []
+            while True:
+                frame = Frame.read_from(self._rfile)
+                if frame is None:
+                    raise ConnectionError("server closed mid-exchange")
+                if frame.type is FrameType.HEADERS:
+                    status = frame.payload or {}
+                elif frame.type is FrameType.DATA:
+                    lines.append(frame.payload)
+                else:  # END
+                    body = frame.payload
+                    if lines:
+                        body = {"lines": lines, "summary": frame.payload}
+                    return {"status": status.get("status", 500), "body": body}
+
+    def stream(self, payload: dict) -> Iterator[Frame]:
+        """Framed exchange yielding frames as they arrive on the wire."""
+        with self._lock:
+            self._open(payload)
+            while True:
+                frame = Frame.read_from(self._rfile)
+                if frame is None:
+                    raise ConnectionError("server closed mid-exchange")
+                yield frame
+                if frame.type is FrameType.END:
+                    return
+
+    def close(self) -> None:
+        """Close the socket and its file handles."""
+        for handle in (self._rfile, self._wfile):
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        self._sock.close()

@@ -1,0 +1,44 @@
+"""Deterministic substitutes for the language models Laminar 2.0 uses.
+
+The paper relies on three pretrained transformers, none of which can be
+downloaded in this offline environment:
+
+* **CodeT5** — generates natural-language descriptions of PEs.  Substituted
+  by :class:`repro.models.describer.CodeT5Describer`, an extractive,
+  AST-driven description generator that (like the paper) supports both the
+  Laminar 1.0 context (``_process`` method only) and the Laminar 2.0
+  context (full class definition).
+* **UniXcoder** — embeds descriptions/queries for text-to-code search.
+  Substituted by :class:`repro.models.embedder.UniXcoderEmbedder`, a hashed
+  TF-IDF bag-of-subtokens with a seeded Gaussian random projection into a
+  dense, L2-normalised vector space; cosine search is an exact matrix
+  multiply.
+* **ReACC-py-retriever** — dense code-to-code retriever used by Laminar 1.0.
+  Substituted by :class:`repro.models.reacc.ReACCRetriever`, a token
+  *sequence* (n-gram) embedder that is deliberately surface-form sensitive:
+  excellent at clone detection on full snippets, degrading sharply on
+  partial ones — the qualitative behaviour the paper's Fig 13 reports.
+
+All substitutes are deterministic (fixed seeds), so evaluation results are
+reproducible bit-for-bit.
+"""
+
+from repro.models.describer import CodeT5Describer, DescriptionContext
+from repro.models.embedder import UniXcoderEmbedder, cosine_similarity_matrix
+from repro.models.reacc import ReACCRetriever
+from repro.models.tokenize import (
+    code_tokens,
+    split_identifier,
+    subtokens,
+)
+
+__all__ = [
+    "CodeT5Describer",
+    "DescriptionContext",
+    "UniXcoderEmbedder",
+    "ReACCRetriever",
+    "cosine_similarity_matrix",
+    "code_tokens",
+    "split_identifier",
+    "subtokens",
+]

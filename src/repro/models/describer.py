@@ -1,0 +1,256 @@
+"""CodeT5 substitute: automatic description generation for PEs and workflows.
+
+Laminar generates a natural-language description for every PE that lacks
+one; Laminar 1.0 fed CodeT5 only the ``_process`` method, Laminar 2.0 the
+full class definition (paper §IV-C, evaluated in Fig 10).  Offline we
+substitute an extractive, AST-driven generator that honours the same
+context distinction:
+
+* :attr:`DescriptionContext.PROCESS_ONLY` sees just the ``_process`` body —
+  no class name, no docstrings — and therefore produces vaguer text.
+* :attr:`DescriptionContext.FULL_CLASS` sees the class name, docstrings,
+  every method and the identifiers they use.
+
+The output is deterministic and composed of real sentences, so it is
+usable both for display (Figs 7–9 show descriptions in search results)
+and as input to the description embedder for text-to-code search.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+
+from repro.models.tokenize import STOPWORDS, split_identifier
+
+__all__ = ["CodeT5Describer", "DescriptionContext"]
+
+
+class DescriptionContext(enum.Enum):
+    """Which slice of the source the generator may look at."""
+
+    PROCESS_ONLY = "process_only"  # Laminar 1.0 behaviour
+    FULL_CLASS = "full_class"  # Laminar 2.0 behaviour
+
+
+#: Leading identifier words treated as verbs when building sentences.
+_VERBS = {
+    "add": "adds", "aggregate": "aggregates", "append": "appends",
+    "apply": "applies", "build": "builds", "calc": "calculates",
+    "calculate": "calculates", "check": "checks", "clean": "cleans",
+    "collect": "collects", "compute": "computes", "convert": "converts",
+    "count": "counts", "create": "creates", "decode": "decodes",
+    "detect": "detects", "drop": "drops", "emit": "emits",
+    "encode": "encodes", "extract": "extracts", "fetch": "fetches",
+    "filter": "filters", "find": "finds", "format": "formats",
+    "generate": "generates", "get": "gets", "group": "groups",
+    "is": "checks whether the input is", "join": "joins", "load": "loads",
+    "make": "makes", "merge": "merges", "normalize": "normalizes",
+    "parse": "parses", "print": "prints", "process": "processes",
+    "produce": "produces", "read": "reads", "remove": "removes",
+    "render": "renders", "resolve": "resolves", "return": "returns",
+    "reverse": "reverses", "save": "saves", "select": "selects",
+    "send": "sends", "sort": "sorts", "split": "splits", "sum": "sums",
+    "to": "converts to", "transform": "transforms", "update": "updates",
+    "validate": "validates", "write": "writes",
+}
+
+_GENERIC_METHODS = {"__init__", "process", "_process", "preprocess", "postprocess"}
+
+
+@dataclass
+class _Extracted:
+    """Everything the generator pulled out of the AST."""
+
+    class_name: str | None = None
+    docstrings: list[str] = field(default_factory=list)
+    method_names: list[str] = field(default_factory=list)
+    identifiers: list[str] = field(default_factory=list)
+    calls: list[str] = field(default_factory=list)
+    returns_value: bool = False
+
+
+class _Collector(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.out = _Extracted()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.out.class_name is None:
+            self.out.class_name = node.name
+            doc = ast.get_docstring(node)
+            if doc:
+                self.out.docstrings.append(doc)
+        self.generic_visit(node)
+
+    def _visit_func(self, node) -> None:
+        self.out.method_names.append(node.name)
+        doc = ast.get_docstring(node)
+        if doc:
+            self.out.docstrings.append(doc)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self.out.identifiers.append(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.out.identifiers.append(node.attr)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self.out.calls.append(func.id)
+        elif isinstance(func, ast.Attribute):
+            self.out.calls.append(func.attr)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.out.returns_value = True
+        self.generic_visit(node)
+
+
+def _words(name: str) -> list[str]:
+    return [w for w in split_identifier(name) if w not in STOPWORDS and len(w) > 1]
+
+
+def _salient_terms(extracted: _Extracted, limit: int = 6) -> list[str]:
+    """Most frequent meaningful identifier words, most frequent first."""
+    freq: dict[str, int] = {}
+    order: dict[str, int] = {}
+    for i, ident in enumerate(extracted.identifiers + extracted.calls):
+        for word in _words(ident):
+            freq[word] = freq.get(word, 0) + 1
+            order.setdefault(word, i)
+    ranked = sorted(freq, key=lambda w: (-freq[w], order[w]))
+    return ranked[:limit]
+
+
+def _method_phrase(name: str) -> str | None:
+    """Turn a method name like ``check_anomaly`` into "checks anomaly"."""
+    parts = split_identifier(name.strip("_"))
+    if not parts:
+        return None
+    head, *rest = parts
+    verb = _VERBS.get(head)
+    if verb is None:
+        return None
+    obj = " ".join(w for w in rest if w not in STOPWORDS)
+    return f"{verb} {obj}".strip()
+
+
+class CodeT5Describer:
+    """Extractive description generator standing in for CodeT5.
+
+    ``describe`` works on a PE class (or a bare function); workflow-level
+    descriptions follow the paper's recipe — synthesise a class named
+    after the workflow whose methods are the member PEs' functions, and
+    describe that (§IV-C).
+    """
+
+    def __init__(self, max_sentences: int = 3) -> None:
+        self.max_sentences = max_sentences
+
+    # -- public API ---------------------------------------------------------
+
+    def describe(
+        self,
+        source: str,
+        context: DescriptionContext = DescriptionContext.FULL_CLASS,
+    ) -> str:
+        """Generate a description of one PE / function source string."""
+        if context is DescriptionContext.PROCESS_ONLY:
+            source = self._extract_process_source(source)
+        try:
+            from repro import pyast
+
+            tree = pyast.parse(source)
+        except SyntaxError:
+            return "A processing element."
+        collector = _Collector()
+        collector.visit(tree)
+        return self._compose(collector.out, context)
+
+    def describe_workflow(self, name: str, pe_sources: list[str]) -> str:
+        """Describe a workflow from its member PEs (paper §IV-C).
+
+        Builds the summary from the workflow's name plus one clause per
+        member PE, mirroring the synthetic-class trick the paper uses.
+        """
+        name_words = " ".join(_words(name)) or name
+        clauses = []
+        for src in pe_sources:
+            desc = self.describe(src, DescriptionContext.FULL_CLASS)
+            clauses.append(desc.rstrip(". ").rstrip(".").lower())
+        body = "; ".join(dict.fromkeys(clauses))  # dedupe, keep order
+        if body:
+            return f"Workflow {name_words}: {body}."
+        return f"Workflow {name_words}."
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _extract_process_source(source: str) -> str:
+        """Return only the ``_process``/``process`` method, dedented.
+
+        This reproduces Laminar 1.0's limited context.  If no such method
+        exists the whole source is used unchanged.
+        """
+        try:
+            from repro import pyast
+
+            tree = pyast.parse(source)
+        except SyntaxError:
+            return source
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                node.name in ("_process", "process")
+            ):
+                segment = ast.get_source_segment(source, node)
+                if segment:
+                    import textwrap
+
+                    # Strip the docstring: Laminar 1.0 saw only the logic.
+                    lines = textwrap.dedent(segment).splitlines()
+                    return "\n".join(lines)
+        return source
+
+    def _compose(self, x: _Extracted, context: DescriptionContext) -> str:
+        sentences: list[str] = []
+
+        # 1. A docstring is the best description available — lead with it.
+        if x.docstrings and context is DescriptionContext.FULL_CLASS:
+            first = x.docstrings[0].strip().splitlines()[0].rstrip(".")
+            sentences.append(first + ".")
+
+        # 2. Class identity (only visible with full-class context).
+        if x.class_name and context is DescriptionContext.FULL_CLASS:
+            pretty = " ".join(split_identifier(x.class_name))
+            sentences.append(f"The {pretty} class.")
+
+        # 3. Behavioural clause from method names.
+        phrases = []
+        for name in x.method_names:
+            if name in _GENERIC_METHODS and context is DescriptionContext.FULL_CLASS:
+                continue
+            phrase = _method_phrase(name)
+            if phrase:
+                phrases.append(phrase)
+        if phrases:
+            joined = "; ".join(dict.fromkeys(phrases))
+            sentences.append(f"It {joined}.")
+
+        # 4. Salient vocabulary clause.
+        terms = _salient_terms(x)
+        if terms:
+            sentences.append("Works with " + ", ".join(terms) + ".")
+        if x.returns_value:
+            sentences.append("Returns a value for each input.")
+
+        if not sentences:
+            return "A processing element."
+        return " ".join(sentences[: self.max_sentences])

@@ -1,0 +1,132 @@
+"""UniXcoder substitute: deterministic dense text embeddings.
+
+The paper embeds PE/workflow descriptions and user queries with UniXcoder
+and ranks by cosine similarity.  Offline we substitute a classical but
+fully deterministic pipeline with the same interface and the same geometry:
+
+1. **Hashed bag-of-subtokens** — each subtoken (and each bigram, to keep a
+   little word order) is hashed into one of ``n_buckets`` sparse
+   dimensions; counts are sublinearly damped (``1 + log tf``).
+2. **IDF weighting** — fitted on a corpus when available, so corpus-wide
+   filler words stop dominating similarity.
+3. **Seeded Gaussian random projection** into ``dim`` dense dimensions
+   (Johnson–Lindenstrauss: cosine distances are approximately preserved),
+   then L2 normalisation.
+
+Cosine similarity over the resulting matrix is a single ``A @ B.T`` — the
+vectorised hot path the HPC guides prescribe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.models.tokenize import subtokens
+
+__all__ = ["UniXcoderEmbedder", "cosine_similarity_matrix"]
+
+
+def _bucket(token: str, n_buckets: int) -> int:
+    """Stable hash bucket for a token (md5-based, process-independent)."""
+    digest = hashlib.md5(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % n_buckets
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cosine similarity between every row of ``a`` and every row of ``b``.
+
+    Rows are normalised defensively (zero rows stay zero), so callers may
+    pass unnormalised vectors.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    a_norm = np.linalg.norm(a, axis=1, keepdims=True)
+    b_norm = np.linalg.norm(b, axis=1, keepdims=True)
+    np.maximum(a_norm, 1e-12, out=a_norm)
+    np.maximum(b_norm, 1e-12, out=b_norm)
+    return (a / a_norm) @ (b / b_norm).T
+
+
+class UniXcoderEmbedder:
+    """Deterministic dense embedder for descriptions and queries.
+
+    Parameters
+    ----------
+    dim:
+        Dense embedding dimensionality (the real UniXcoder uses 768; 256
+        is ample for the corpus sizes evaluated here).
+    n_buckets:
+        Sparse hashing dimensionality before projection.
+    seed:
+        Seed for the Gaussian projection matrix; two embedders with equal
+        ``(dim, n_buckets, seed)`` produce identical vectors.
+    use_bigrams:
+        Also hash adjacent subtoken pairs, preserving some word order.
+    """
+
+    def __init__(
+        self,
+        dim: int = 256,
+        n_buckets: int = 4096,
+        seed: int = 2024,
+        use_bigrams: bool = True,
+    ) -> None:
+        self.dim = dim
+        self.n_buckets = n_buckets
+        self.use_bigrams = use_bigrams
+        rng = np.random.default_rng(seed)
+        # (n_buckets, dim) Gaussian projection, scaled for unit variance.
+        self._projection = rng.standard_normal((n_buckets, dim)) / np.sqrt(dim)
+        self._idf = np.ones(n_buckets)
+        self._fitted = False
+
+    # -- corpus statistics ------------------------------------------------------
+
+    def fit(self, corpus: list[str]) -> "UniXcoderEmbedder":
+        """Fit IDF weights on a document corpus (optional but recommended)."""
+        if not corpus:
+            raise ValueError("cannot fit on an empty corpus")
+        df = np.zeros(self.n_buckets)
+        for text in corpus:
+            seen = {_bucket(t, self.n_buckets) for t in self._terms(text)}
+            for b in seen:
+                df[b] += 1
+        n = len(corpus)
+        self._idf = np.log((1 + n) / (1 + df)) + 1.0
+        self._fitted = True
+        return self
+
+    # -- encoding ------------------------------------------------------------------
+
+    def _terms(self, text: str) -> list[str]:
+        toks = subtokens(text, drop_stopwords=True, stem_words=True)
+        if not self.use_bigrams:
+            return toks
+        return toks + [f"{a}_{b}" for a, b in zip(toks, toks[1:])]
+
+    def _sparse_counts(self, text: str) -> np.ndarray:
+        counts = np.zeros(self.n_buckets)
+        for term in self._terms(text):
+            counts[_bucket(term, self.n_buckets)] += 1.0
+        # Sublinear tf damping.
+        nz = counts > 0
+        counts[nz] = 1.0 + np.log(counts[nz])
+        return counts * self._idf
+
+    def encode(self, texts: str | list[str]) -> np.ndarray:
+        """Embed one string or a batch; returns ``(n, dim)`` normalised rows."""
+        if isinstance(texts, str):
+            texts = [texts]
+        sparse = np.stack([self._sparse_counts(t) for t in texts])
+        dense = sparse @ self._projection
+        norms = np.linalg.norm(dense, axis=1, keepdims=True)
+        np.maximum(norms, 1e-12, out=norms)
+        return dense / norms
+
+    def similarity(self, query: str, documents: list[str]) -> np.ndarray:
+        """Cosine similarity of ``query`` against each document."""
+        q = self.encode(query)
+        d = self.encode(documents)
+        return (q @ d.T)[0]

@@ -1,0 +1,144 @@
+"""Code-aware tokenisation shared by the model substitutes.
+
+Both the embedder and the describer need to see *subtokens*: Python
+identifiers split on ``snake_case`` and ``camelCase`` boundaries, lowered,
+with punctuation stripped — the same normalisation the paper's transformer
+tokenisers effectively perform on code.
+"""
+
+from __future__ import annotations
+
+import io
+import keyword
+import re
+import tokenize as _pytokenize
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\d+")
+
+#: Words too generic to carry meaning in descriptions or embeddings.
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has have in is it its of on or
+    that the this to was were will with self def class return none true
+    false arg args kwargs obj value data item elem pe""".split()
+)
+
+
+def split_identifier(identifier: str) -> list[str]:
+    """Split an identifier into lowercase word parts.
+
+    ``parseHTTPResponse`` -> ``['parse', 'http', 'response']``;
+    ``num_events_2`` -> ``['num', 'events', '2']``.
+    """
+    parts: list[str] = []
+    for chunk in identifier.split("_"):
+        if not chunk:
+            continue
+        for piece in _CAMEL_RE.split(chunk):
+            if piece:
+                parts.append(piece.lower())
+    return parts
+
+
+def stem(word: str) -> str:
+    """Crude suffix-stripping stemmer (Porter-lite).
+
+    Collapses common inflections so that e.g. ``anomalies``, ``anomaly``
+    and ``detection``/``detects`` share a stem — enough for bag-of-words
+    semantic search without a full morphological analyser.
+    """
+    if len(word) <= 3:
+        return word
+    for suffix, replacement in (
+        ("ies", "y"),
+        ("sses", "ss"),
+        ("ation", "ate"),
+        ("tion", "t"),
+        ("ing", ""),
+        ("ers", "er"),
+        ("ed", ""),
+        ("es", ""),
+        ("s", ""),
+    ):
+        if word.endswith(suffix) and len(word) - len(suffix) >= 3:
+            return word[: -len(suffix)] + replacement
+    return word
+
+
+def subtokens(
+    text: str, drop_stopwords: bool = False, stem_words: bool = False
+) -> list[str]:
+    """Extract lowercase subtokens from arbitrary text or code.
+
+    Identifiers are split on case/underscore boundaries; punctuation is
+    discarded.  With ``drop_stopwords`` the generic filler words in
+    :data:`STOPWORDS` are removed; with ``stem_words`` each subtoken is
+    reduced with :func:`stem` (both useful for description embeddings).
+    """
+    out: list[str] = []
+    for match in _WORD_RE.finditer(text):
+        for part in split_identifier(match.group()):
+            if drop_stopwords and part in STOPWORDS:
+                continue
+            out.append(stem(part) if stem_words else part)
+    return out
+
+
+def code_tokens(source: str) -> list[str]:
+    """Tokenise Python source into a lexical token stream.
+
+    Uses the stdlib tokenizer when the source parses; falls back to a
+    regex scan for incomplete fragments (partial snippets are first-class
+    citizens in the code-to-code evaluation).  Comments, newlines and
+    indentation tokens are dropped; string literals are collapsed to the
+    marker ``"<str>"`` so formatting noise does not dominate similarity.
+    """
+    tokens: list[str] = []
+    try:
+        for tok in _pytokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type in (
+                _pytokenize.COMMENT,
+                _pytokenize.NL,
+                _pytokenize.NEWLINE,
+                _pytokenize.INDENT,
+                _pytokenize.DEDENT,
+                _pytokenize.ENCODING,
+                _pytokenize.ENDMARKER,
+            ):
+                continue
+            if tok.type == _pytokenize.STRING:
+                tokens.append("<str>")
+            elif tok.type == _pytokenize.NUMBER:
+                tokens.append("<num>")
+            else:
+                tokens.append(tok.string)
+    except (_pytokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        tokens = _regex_scan(source)
+    return tokens
+
+
+def _regex_scan(source: str) -> list[str]:
+    """Permissive lexical scan for code that the strict tokenizer rejects."""
+    pattern = re.compile(
+        r"""
+        (?P<str>(['"]).*?\2)      # naive string literal
+      | (?P<num>\d+(?:\.\d+)?)
+      | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<op>[+\-*/%=<>!&|^~@]+|[()\[\]{}:.,;])
+        """,
+        re.VERBOSE,
+    )
+    tokens: list[str] = []
+    for match in pattern.finditer(source):
+        if match.lastgroup == "str":
+            tokens.append("<str>")
+        elif match.lastgroup == "num":
+            tokens.append("<num>")
+        else:
+            tokens.append(match.group())
+    return tokens
+
+
+def is_keyword(token: str) -> bool:
+    """True for Python keywords and soft keywords."""
+    return keyword.iskeyword(token) or keyword.issoftkeyword(token)

@@ -1,0 +1,33 @@
+"""Serialized AST parsing/compilation.
+
+CPython's AST constructor maintains per-interpreter recursion-depth
+accounting that is not thread-safe in some 3.11.x releases: concurrent
+``ast.parse``/``compile`` calls from server handler threads sporadically
+raise ``SystemError: AST constructor recursion depth mismatch``.  Every
+component that parses user code on a server thread (registry services,
+the execution engine, SPT generation, the describer) routes through
+these helpers, which serialize parsing under one process-wide lock —
+parses are microseconds, so the lock is never contended meaningfully.
+"""
+
+from __future__ import annotations
+
+import ast
+import threading
+from typing import Any
+
+__all__ = ["parse", "compile_source"]
+
+_lock = threading.Lock()
+
+
+def parse(source: str, filename: str = "<unknown>", mode: str = "exec") -> ast.AST:
+    """Thread-safe ``ast.parse``."""
+    with _lock:
+        return ast.parse(source, filename=filename, mode=mode)
+
+
+def compile_source(source: Any, filename: str, mode: str):
+    """Thread-safe ``compile`` (accepts source text or an AST)."""
+    with _lock:
+        return compile(source, filename, mode)

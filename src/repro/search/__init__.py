@@ -1,0 +1,21 @@
+"""Search front-ends: literal, semantic (text-to-code) and code-to-code.
+
+These are the three search families of the paper's §II-D/§V, packaged as
+standalone engines over any collection of named, described, code-bearing
+items — the Laminar server's registry uses them, and so can user code
+operating on plain lists (see ``examples/search_showcase.py``).
+
+* :class:`repro.search.literal.LiteralSearch` — substring matching over
+  names and descriptions (§V-A).
+* :class:`repro.search.semantic.SemanticSearch` — embedding cosine over
+  descriptions (§V-B), with incremental add/remove.
+* :class:`repro.search.code.CodeSearch` — structural SPT-overlap search
+  with Laminar's top-5/threshold-6.0 defaults, plus the ReACC 'llm'
+  fallback (§VI-A).
+"""
+
+from repro.search.literal import LiteralSearch
+from repro.search.semantic import SemanticSearch
+from repro.search.code import CodeSearch
+
+__all__ = ["LiteralSearch", "SemanticSearch", "CodeSearch"]

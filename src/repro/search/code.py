@@ -1,0 +1,102 @@
+"""Code-to-code search front-end (paper §VI-A).
+
+Wraps the two retrieval back-ends behind one interface:
+
+* ``spt`` (default) — SPT feature overlap against stored feature sets,
+  Laminar's simplified Aroma with top-5 / threshold-6.0 defaults;
+* ``llm`` — the ReACC dense retriever fallback
+  (``--embedding_type llm`` in the paper's CLI).
+
+The index is incremental (add/remove per registration event) and keeps
+feature sets rather than a frozen matrix, trading a little per-query
+speed for zero rebuild cost — the right trade at registry scale.  For
+large read-mostly corpora, :class:`repro.aroma.index.AromaIndex` (sparse
+matrix) or :class:`repro.aroma.lsh.MinHashLSHIndex` are the bulk engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.aroma.features import extract_features
+from repro.aroma.spt import ParseFailure, python_to_spt
+from repro.models.reacc import ReACCRetriever
+
+__all__ = ["CodeSearch"]
+
+DEFAULT_TOP_K = 5
+DEFAULT_THRESHOLD = 6.0
+
+
+class CodeSearch:
+    """Incremental structural + dense code search index."""
+
+    def __init__(self, reacc: ReACCRetriever | None = None) -> None:
+        self.reacc = reacc or ReACCRetriever()
+        self._features: dict[Any, frozenset[str]] = {}
+        self._code: dict[Any, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def add(self, item_id: Any, code: str, features: dict | None = None) -> None:
+        """Index one snippet; ``features`` may come precomputed (registry
+        ``sptEmbedding``) to skip re-parsing."""
+        if features is None:
+            try:
+                features = dict(extract_features(python_to_spt(code)))
+            except ParseFailure:
+                features = {}
+        self._features[item_id] = frozenset(features)
+        self._code[item_id] = code
+
+    def remove(self, item_id: Any) -> bool:
+        """Drop one snippet; returns whether it was indexed."""
+        if item_id not in self._features:
+            return False
+        del self._features[item_id]
+        del self._code[item_id]
+        return True
+
+    def search_spt(
+        self,
+        snippet: str,
+        top_k: int = DEFAULT_TOP_K,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> list[tuple[Any, float]]:
+        """Structural overlap search; raises ``ParseFailure`` on garbage."""
+        query = frozenset(extract_features(python_to_spt(snippet)))
+        scored = [
+            (item_id, float(len(query & fs)))
+            for item_id, fs in self._features.items()
+        ]
+        scored = [(i, s) for i, s in scored if s >= threshold]
+        scored.sort(key=lambda t: (-t[1], str(t[0])))
+        return scored[:top_k]
+
+    def search_llm(
+        self, snippet: str, top_k: int = DEFAULT_TOP_K, threshold: float = 0.1
+    ) -> list[tuple[Any, float]]:
+        """Dense (ReACC) search over the indexed code bodies."""
+        if not self._code:
+            return []
+        ids = list(self._code)
+        sims = self.reacc.similarity(snippet, [self._code[i] for i in ids])
+        order = np.argsort(-sims, kind="stable")
+        return [
+            (ids[i], float(sims[i]))
+            for i in order[:top_k]
+            if sims[i] >= threshold
+        ]
+
+    def search(
+        self, snippet: str, embedding_type: str = "spt", **kwargs: Any
+    ) -> list[tuple[Any, float]]:
+        """Dispatch on ``embedding_type`` ('spt' default, 'llm' fallback)."""
+        if embedding_type == "spt":
+            return self.search_spt(snippet, **kwargs)
+        if embedding_type == "llm":
+            return self.search_llm(snippet, **kwargs)
+        raise ValueError(f"unknown embedding_type {embedding_type!r}")

@@ -1,0 +1,43 @@
+"""Literal term search over item names and descriptions (paper §V-A).
+
+Case-insensitive substring matching — "similar to a text editor search".
+Items are arbitrary objects exposed through accessor callables, so the
+engine works over registry records, corpus items or plain dicts alike.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable
+
+__all__ = ["LiteralSearch"]
+
+
+class LiteralSearch:
+    """Substring search over ``(name, description)`` of a collection."""
+
+    def __init__(
+        self,
+        name_of: Callable[[Any], str] = lambda item: item.get("name", ""),
+        description_of: Callable[[Any], str] = lambda item: item.get("description", ""),
+    ) -> None:
+        self.name_of = name_of
+        self.description_of = description_of
+
+    def search(self, items: Iterable[Any], term: str) -> list[Any]:
+        """Items whose name or description contains ``term`` (case-folded)."""
+        needle = term.casefold()
+        hits = []
+        for item in items:
+            name = (self.name_of(item) or "").casefold()
+            desc = (self.description_of(item) or "").casefold()
+            if needle in name or needle in desc:
+                hits.append(item)
+        return hits
+
+    def highlight(self, text: str, term: str, marker: str = "**") -> str:
+        """Wrap case-insensitive occurrences of ``term`` with ``marker``."""
+        if not term:
+            return text
+        pattern = re.compile(re.escape(term), re.IGNORECASE)
+        return pattern.sub(lambda m: f"{marker}{m.group(0)}{marker}", text)

@@ -1,0 +1,76 @@
+"""Semantic text-to-code search over description embeddings (paper §V-B).
+
+Maintains an incrementally updatable matrix of description embeddings;
+queries are one ``matrix @ vector`` product (the vectorised hot path the
+HPC guides prescribe).  Mirrors Laminar's flow exactly: descriptions are
+embedded once at registration, queries at search time, ranking by cosine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.models.embedder import UniXcoderEmbedder
+
+__all__ = ["SemanticSearch"]
+
+
+class SemanticSearch:
+    """Incremental cosine search index over text descriptions."""
+
+    def __init__(self, embedder: UniXcoderEmbedder | None = None) -> None:
+        self.embedder = embedder or UniXcoderEmbedder()
+        self._ids: list[Any] = []
+        self._vectors: np.ndarray = np.empty((0, self.embedder.dim))
+        self._row_of: dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, item_id: Any) -> bool:
+        return item_id in self._row_of
+
+    def add(self, item_id: Any, description: str) -> None:
+        """Index (or re-index) one item's description."""
+        vector = self.embedder.encode(description)
+        if item_id in self._row_of:
+            self._vectors[self._row_of[item_id]] = vector[0]
+            return
+        self._row_of[item_id] = len(self._ids)
+        self._ids.append(item_id)
+        self._vectors = np.vstack([self._vectors, vector])
+
+    def add_precomputed(self, item_id: Any, vector: list[float]) -> None:
+        """Index an item whose embedding was computed earlier (registry)."""
+        arr = np.asarray(vector, dtype=np.float64)
+        norm = np.linalg.norm(arr)
+        arr = arr / norm if norm > 0 else arr
+        if item_id in self._row_of:
+            self._vectors[self._row_of[item_id]] = arr
+            return
+        self._row_of[item_id] = len(self._ids)
+        self._ids.append(item_id)
+        self._vectors = np.vstack([self._vectors, arr[None, :]])
+
+    def remove(self, item_id: Any) -> bool:
+        """Drop one item; returns False when absent."""
+        row = self._row_of.pop(item_id, None)
+        if row is None:
+            return False
+        self._ids.pop(row)
+        self._vectors = np.delete(self._vectors, row, axis=0)
+        for other, r in self._row_of.items():
+            if r > row:
+                self._row_of[other] = r - 1
+        return True
+
+    def search(self, query: str, top_k: int = 5) -> list[tuple[Any, float]]:
+        """Top ``top_k`` ``(item_id, cosine)`` pairs for a text query."""
+        if not self._ids:
+            return []
+        query_vec = self.embedder.encode(query)[0]
+        sims = self._vectors @ query_vec
+        order = np.argsort(-sims, kind="stable")[:top_k]
+        return [(self._ids[i], float(sims[i])) for i in order]

@@ -1,0 +1,108 @@
+"""Reusable PEs and workflow builders shared across the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.d4py import (
+    ConsumerPE,
+    GenericPE,
+    IterativePE,
+    ProducerPE,
+    WorkflowGraph,
+)
+
+
+class RangeProducer(ProducerPE):
+    """Emits 0, 1, 2, ... one value per iteration."""
+
+    def __init__(self, name: str | None = None, start: int = 0) -> None:
+        super().__init__(name)
+        self._next = start
+
+    def _process(self, inputs: Any) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+
+class RandomProducer(ProducerPE):
+    """Emits seeded pseudo-random integers in [1, 1000] (paper's Fig 5)."""
+
+    def __init__(self, name: str | None = None, seed: int = 7) -> None:
+        super().__init__(name)
+        self._rng = random.Random(seed)
+
+    def _process(self, inputs: Any) -> int:
+        return self._rng.randint(1, 1000)
+
+
+class IsPrime(IterativePE):
+    """The paper's Listing 1: forwards a number iff it is prime."""
+
+    def _process(self, num: int):
+        if num > 1 and all(num % i != 0 for i in range(2, int(num**0.5) + 1)):
+            return num
+        return None
+
+
+class Double(IterativePE):
+    def _process(self, value):
+        return value * 2
+
+
+class AddOne(IterativePE):
+    def _process(self, value):
+        return value + 1
+
+
+class Collect(ConsumerPE):
+    """Sink that logs each value (used to observe consumer-side delivery)."""
+
+    def _process(self, data) -> None:
+        self.log(f"got {data!r}")
+
+
+class KeyedCount(GenericPE):
+    """Stateful group-by counter: emits (key, running_count) per item.
+
+    Input items are ``(key, value)`` tuples grouped on element 0, so all
+    items with the same key must reach the same instance for counts to be
+    correct — this is what the group_by tests verify.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        self._add_input("input", grouping=[0])
+        self._add_output("output")
+        self.counts: dict[Any, int] = {}
+
+    def _process(self, inputs):
+        key, _value = inputs["input"]
+        self.counts[key] = self.counts.get(key, 0) + 1
+        return {"output": (key, self.counts[key])}
+
+
+class WordSplit(IterativePE):
+    """Splits a line into words, one write per word."""
+
+    def _process(self, line: str):
+        for word in str(line).split():
+            self.write(self.OUTPUT_NAME, (word, 1))
+        return None
+
+
+def pipeline(*pes: GenericPE) -> WorkflowGraph:
+    """Chain single-port PEs into a linear workflow graph."""
+    graph = WorkflowGraph()
+    for upstream, downstream in zip(pes, pes[1:]):
+        graph.connect(upstream, "output", downstream, "input")
+    if len(pes) == 1:
+        graph.add(pes[0])
+    return graph
+
+
+def isprime_graph() -> WorkflowGraph:
+    """The paper's isprime_wf: RandomProducer -> IsPrime -> sink (leaf)."""
+    return pipeline(RandomProducer("NumberProducer"), IsPrime("IsPrime"))

@@ -1,0 +1,87 @@
+"""Tests for Aroma feature extraction (repro.aroma.features)."""
+
+from repro.aroma.features import VAR, extract_features, feature_set
+from repro.aroma.spt import python_to_spt
+
+
+def feats(source):
+    return extract_features(python_to_spt(source))
+
+
+def test_token_features_present():
+    f = feats("random.randint(1, 1000)")
+    assert f["random"] >= 1
+    assert f["randint"] >= 1
+
+
+def test_variables_abstracted_in_features():
+    f = feats("x = compute(1)\nuse(x)")
+    assert f[VAR] >= 2
+    assert "x" not in f
+
+
+def test_parent_features_encode_position():
+    f = feats("if flag:\n    pass")
+    parent_feats = [k for k in f if k.startswith("flag>")]
+    assert parent_feats, "expected parent features for the if-condition token"
+    assert any("if#:" in k for k in parent_feats)
+
+
+def test_sibling_features_encode_order():
+    f = feats("foo(bar)")
+    assert f["foo~bar"] >= 1
+
+
+def test_variable_usage_features():
+    src = "total = 0\nfor v in vs:\n    total += v"
+    f = feats(src)
+    usage = [k for k in f if "-->" in k]
+    assert usage, "expected variable-usage features for `total`"
+
+
+def test_renaming_variables_preserves_features():
+    """The heart of Aroma: local names must not change the feature set."""
+    a = feature_set(python_to_spt("def f(x):\n    y = x + 1\n    return y"))
+    b = feature_set(python_to_spt("def f(a):\n    b = a + 1\n    return b"))
+    # function name identical, variables abstracted -> identical sets
+    assert a == b
+
+
+def test_renaming_free_functions_changes_features():
+    a = feature_set(python_to_spt("parse(data)"))
+    b = feature_set(python_to_spt("render(data)"))
+    assert a != b
+
+
+def test_structural_change_changes_features():
+    a = feature_set(python_to_spt("if x:\n    foo()"))
+    b = feature_set(python_to_spt("while x:\n    foo()"))
+    assert a != b
+
+
+def test_feature_multiplicity_counted():
+    f = feats("foo()\nfoo()\nfoo()")
+    assert f["foo"] == 3
+
+
+def test_feature_set_ignores_multiplicity():
+    fs = feature_set(python_to_spt("foo()\nfoo()"))
+    assert "foo" in fs
+
+
+def test_empty_module():
+    f = feats("")
+    assert isinstance(sum(f.values()), int)
+
+
+def test_partial_snippet_shares_features_with_full():
+    full = """
+class IsPrime(IterativePE):
+    def _process(self, num):
+        if all(num % i != 0 for i in range(2, num)):
+            return num
+"""
+    partial = "\n".join(full.strip().splitlines()[:3])
+    shared = feature_set(python_to_spt(full)) & feature_set(python_to_spt(partial))
+    # Structural features of the class/def header survive truncation.
+    assert len(shared) >= 5

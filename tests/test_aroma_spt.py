@@ -1,0 +1,161 @@
+"""Tests for SPT generation (repro.aroma.spt)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aroma.spt import ParseFailure, SPTLeaf, SPTNode, python_to_spt
+
+
+def leaves_tokens(spt):
+    return [leaf.token for leaf in spt.leaves()]
+
+
+def test_simple_assignment():
+    spt = python_to_spt("x = 1")
+    assert "x" in leaves_tokens(spt)
+    assert "<num>" in leaves_tokens(spt)
+
+
+def test_variables_flagged():
+    spt = python_to_spt("x = compute(y)\nprint(x)")
+    flags = {leaf.token: leaf.is_variable for leaf in spt.leaves()}
+    assert flags["x"] is True  # assigned -> variable
+    assert flags["compute"] is False  # free name -> concrete
+    assert flags["print"] is False
+
+
+def test_function_params_are_variables():
+    spt = python_to_spt("def f(a, b):\n    return a + b")
+    flags = {leaf.token: leaf.is_variable for leaf in spt.leaves()}
+    assert flags["a"] and flags["b"]
+    assert flags["f"] is False  # function name kept concrete
+
+
+def test_if_label_contains_keyword():
+    spt = python_to_spt("if x:\n    pass\nelse:\n    pass")
+    labels = collect_labels(spt)
+    assert any(lab.startswith("if#:") and "else:" in lab for lab in labels)
+
+
+def collect_labels(node):
+    labels = [node.label]
+    for child in node.children:
+        if isinstance(child, SPTNode):
+            labels.extend(collect_labels(child))
+    return labels
+
+
+def test_for_loop_label():
+    spt = python_to_spt("for i in range(10):\n    total += i")
+    assert any(lab.startswith("for#in#:") for lab in collect_labels(spt))
+
+
+def test_string_and_number_literals_collapsed():
+    spt = python_to_spt("name = 'alice'\nage = 30")
+    toks = leaves_tokens(spt)
+    assert "<str>" in toks and "<num>" in toks
+    assert "alice" not in toks
+
+
+def test_attribute_and_call():
+    spt = python_to_spt("random.randint(1, 1000)")
+    toks = leaves_tokens(spt)
+    assert "random" in toks and "randint" in toks
+    labels = collect_labels(spt)
+    assert "#.#" in labels
+    assert any("(" in lab and ")" in lab for lab in labels)
+
+
+def test_binop_label_carries_operator():
+    spt = python_to_spt("x = a % b")
+    assert "#%#" in collect_labels(spt)
+
+
+def test_comparison_chain():
+    spt = python_to_spt("ok = 0 <= x < 10")
+    assert any("<=" in lab and "<" in lab for lab in collect_labels(spt))
+
+
+def test_comprehension():
+    spt = python_to_spt("[i * 2 for i in xs if i > 0]")
+    assert any("for#in#" in lab for lab in collect_labels(spt))
+
+
+def test_class_definition():
+    spt = python_to_spt("class Foo(Base):\n    def bar(self):\n        pass")
+    toks = leaves_tokens(spt)
+    assert "Foo" in toks and "Base" in toks and "bar" in toks
+
+
+def test_try_except_finally():
+    src = """
+try:
+    risky()
+except ValueError as e:
+    handle(e)
+finally:
+    cleanup()
+"""
+    labels = collect_labels(python_to_spt(src))
+    assert any("try:" in lab and "except:" in lab and "finally:" in lab for lab in labels)
+
+
+def test_partial_snippet_dangling_colon_repaired():
+    spt = python_to_spt("def f(x):\n    if x > 0:")
+    assert "f" in leaves_tokens(spt)
+
+
+def test_partial_snippet_trailing_garbage_repaired():
+    spt = python_to_spt("x = compute(1)\ny = x +")
+    assert "compute" in leaves_tokens(spt)
+
+
+def test_indented_fragment_repaired():
+    spt = python_to_spt("        return num\n")
+    assert "return#" in collect_labels(python_to_spt("        return num\n"))
+    assert "num" in leaves_tokens(spt)
+
+
+def test_unparseable_raises():
+    with pytest.raises(ParseFailure):
+        python_to_spt("£$%^&*@@@~~")
+
+
+def test_single_token_snippet():
+    spt = python_to_spt("foo")
+    assert leaves_tokens(spt) == ["foo"]
+
+
+def test_size_counts_nodes_and_leaves():
+    spt = python_to_spt("x = 1")
+    assert spt.size() >= 3
+
+
+def test_render_roundtrips_keywords():
+    rendered = python_to_spt("if x:\n    return y").render()
+    assert "if" in rendered and "return" in rendered
+
+
+def test_fstring_collapsed():
+    toks = leaves_tokens(python_to_spt('msg = f"value {x}"'))
+    assert "<fstr>" in toks
+
+
+IDENTIFIERS = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@settings(max_examples=30)
+@given(name=IDENTIFIERS, value=st.integers(0, 1000))
+def test_assignment_always_parses(name, value):
+    spt = python_to_spt(f"{name} = {value}")
+    assert name in leaves_tokens(spt)
+
+
+@settings(max_examples=30)
+@given(st.text(max_size=80))
+def test_python_to_spt_never_hangs_or_crashes_unexpectedly(source):
+    try:
+        spt = python_to_spt(source)
+        assert isinstance(spt, SPTNode)
+    except ParseFailure:
+        pass

@@ -1,0 +1,98 @@
+"""Unit tests for the feature vocabulary and sparse vectorisation."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aroma.vocab import FeatureVocabulary
+
+
+def test_vocab_grows_until_frozen():
+    vocab = FeatureVocabulary()
+    assert vocab.index_of("a") == 0
+    assert vocab.index_of("b") == 1
+    assert vocab.index_of("a") == 0  # stable
+    assert len(vocab) == 2
+    vocab.freeze()
+    assert vocab.index_of("c") is None
+    assert len(vocab) == 2
+
+
+def test_contains():
+    vocab = FeatureVocabulary()
+    vocab.index_of("x")
+    assert "x" in vocab
+    assert "y" not in vocab
+
+
+def test_vectorize_binary_vs_counts():
+    vocab = FeatureVocabulary()
+    features = Counter({"a": 3, "b": 1})
+    binary = vocab.vectorize(features, binary=True)
+    counts = vocab.vectorize(features, binary=False)
+    assert binary.toarray().tolist() == [[1.0, 1.0]]
+    assert counts.toarray().tolist() == [[3.0, 1.0]]
+
+
+def test_vectorize_accepts_iterables():
+    vocab = FeatureVocabulary()
+    row = vocab.vectorize(["a", "a", "b"], binary=False)
+    assert row.toarray().tolist() == [[2.0, 1.0]]
+
+
+def test_vectorize_drops_oov_when_frozen():
+    vocab = FeatureVocabulary()
+    vocab.index_of("known")
+    vocab.freeze()
+    row = vocab.vectorize(Counter({"known": 1, "unknown": 5}))
+    assert row.sum() == 1.0
+
+
+def test_matrix_stacks_rows():
+    vocab = FeatureVocabulary()
+    matrix = vocab.matrix([Counter({"a": 1}), Counter({"b": 2, "a": 1})], binary=False)
+    dense = matrix.toarray()
+    assert dense.shape == (2, 2)
+    np.testing.assert_array_equal(dense, [[1.0, 0.0], [1.0, 2.0]])
+
+
+def test_matrix_empty_counters():
+    vocab = FeatureVocabulary()
+    matrix = vocab.matrix([Counter(), Counter()])
+    assert matrix.shape[0] == 2
+    assert matrix.nnz == 0
+
+
+def test_overlap_via_matmul_matches_set_intersection():
+    """The sparse product D @ q must equal |F(d) ∩ F(q)| per row."""
+    docs = [Counter({"a": 2, "b": 1}), Counter({"b": 1, "c": 4}), Counter({"d": 1})]
+    vocab = FeatureVocabulary()
+    matrix = vocab.matrix(docs, binary=True)
+    vocab.freeze()
+    query = Counter({"b": 9, "c": 1, "zzz": 1})
+    q = vocab.vectorize(query, binary=True)
+    overlap = (matrix @ q.T).toarray().ravel()
+    expected = [len(set(d) & set(query)) for d in docs]
+    assert overlap.tolist() == [float(e) for e in expected]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=3),
+            st.integers(1, 5),
+            max_size=8,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_matrix_row_sums_match_counters(counters):
+    vocab = FeatureVocabulary()
+    matrix = vocab.matrix([Counter(c) for c in counters], binary=False)
+    sums = matrix.sum(axis=1).A1
+    for row_sum, counter in zip(sums, counters):
+        assert row_sum == sum(counter.values())

@@ -1,0 +1,196 @@
+"""Unit tests for PE base classes (repro.d4py.core)."""
+
+import pytest
+
+from repro.d4py import (
+    CompositePE,
+    ConsumerPE,
+    GenericPE,
+    IterativePE,
+    ProducerPE,
+    WorkflowGraph,
+    run_graph,
+)
+from repro.d4py.core import pes_from_iterable
+
+from tests.helpers import AddOne, Collect, Double, RangeProducer, pipeline
+
+
+class TwoPort(GenericPE):
+    def __init__(self, name=None):
+        super().__init__(name)
+        self._add_input("left")
+        self._add_input("right")
+        self._add_output("sum")
+        self._add_output("product")
+
+    def _process(self, inputs):
+        if "left" in inputs:
+            self.write("sum", inputs["left"])
+        if "right" in inputs:
+            self.write("product", inputs["right"])
+        return None
+
+
+def test_generic_pe_declares_connections():
+    pe = TwoPort()
+    assert set(pe.inputconnections) == {"left", "right"}
+    assert set(pe.outputconnections) == {"sum", "product"}
+
+
+def test_pe_names_are_unique_by_default():
+    names = {GenericPE().name for _ in range(10)}
+    assert len(names) == 10
+
+
+def test_explicit_name_is_kept():
+    assert GenericPE(name="MyPE").name == "MyPE"
+
+
+def test_write_to_undeclared_output_raises():
+    pe = TwoPort()
+    pe._set_emitter(lambda *a: None)
+    with pytest.raises(KeyError, match="no output"):
+        pe.write("nope", 1)
+
+
+def test_write_outside_engine_raises():
+    pe = TwoPort()
+    with pytest.raises(RuntimeError, match="not attached"):
+        pe.write("sum", 1)
+
+
+def test_process_return_mapping_is_written():
+    class Ret(GenericPE):
+        def __init__(self):
+            super().__init__()
+            self._add_output("output")
+
+        def _process(self, inputs):
+            return {"output": 42}
+
+    pe = Ret()
+    seen = []
+    pe._set_emitter(lambda out, data: seen.append((out, data)))
+    pe.process({})
+    assert seen == [("output", 42)]
+
+
+def test_process_non_mapping_return_raises():
+    class Bad(GenericPE):
+        def _process(self, inputs):
+            return 42
+
+    with pytest.raises(TypeError, match="mapping"):
+        Bad().process({})
+
+
+def test_unimplemented_process_raises():
+    with pytest.raises(NotImplementedError):
+        GenericPE().process({})
+    with pytest.raises(NotImplementedError):
+        IterativePE().process({"input": 1})
+    with pytest.raises(NotImplementedError):
+        ProducerPE().process({})
+    with pytest.raises(NotImplementedError):
+        ConsumerPE().process({"input": 1})
+
+
+def test_iterative_pe_ports():
+    pe = Double()
+    assert list(pe.inputconnections) == ["input"]
+    assert list(pe.outputconnections) == ["output"]
+
+
+def test_iterative_none_result_emits_nothing():
+    class DropAll(IterativePE):
+        def _process(self, data):
+            return None
+
+    graph = pipeline(RangeProducer("src"), DropAll("drop"))
+    result = run_graph(graph, input=5)
+    assert result.output_for("drop") == []
+
+
+def test_producer_emits_per_iteration():
+    graph = pipeline(RangeProducer("src"))
+    result = run_graph(graph, input=4)
+    assert result.output_for("src") == [0, 1, 2, 3]
+
+
+def test_consumer_receives_all_items():
+    graph = pipeline(RangeProducer("src"), Collect("sink"))
+    result = run_graph(graph, input=3)
+    got = [line for line in result.logs if "got" in line]
+    assert len(got) == 3
+
+
+def test_log_goes_through_engine():
+    graph = pipeline(RangeProducer("src"), Collect("sink"))
+    result = run_graph(graph, input=1)
+    assert any(line.startswith("sink (rank 0): got") for line in result.logs)
+
+
+def test_composite_pe_expands_and_runs():
+    composite = CompositePE("DoubleThenAdd")
+    d, a = Double("inner_double"), AddOne("inner_add")
+    composite.connect(d, "output", a, "input")
+    composite._map_input("input", d, "input")
+    composite._map_output("output", a, "output")
+
+    graph = WorkflowGraph()
+    src = RangeProducer("src")
+    graph.connect(src, "output", composite, "input")
+
+    result = run_graph(graph, input=3)
+    assert result.output_for("inner_add") == [1, 3, 5]
+
+
+def test_nested_composites_flatten():
+    inner = CompositePE("inner")
+    d = Double("d")
+    inner.subgraph.add(d)
+    inner._map_input("input", d, "input")
+    inner._map_output("output", d, "output")
+
+    outer = CompositePE("outer")
+    a = AddOne("a")
+    outer.connect(inner, "output", a, "input")
+    outer._map_input("input", inner, "input")
+    outer._map_output("output", a, "output")
+
+    graph = WorkflowGraph()
+    src = RangeProducer("src")
+    graph.connect(src, "output", outer, "input")
+
+    result = run_graph(graph, input=3)
+    assert result.output_for("a") == [1, 3, 5]
+
+
+def test_composite_never_processes_directly():
+    with pytest.raises(RuntimeError, match="expanded"):
+        CompositePE().process({})
+
+
+def test_pes_from_iterable_replays_items():
+    src = pes_from_iterable(["a", "b", "c"], name="lit")
+    result = run_graph(pipeline(src), input=3)
+    assert result.output_for("lit") == ["a", "b", "c"]
+
+
+def test_pes_from_iterable_exhaustion_is_silent():
+    src = pes_from_iterable([1], name="lit")
+    result = run_graph(pipeline(src), input=5)
+    assert result.output_for("lit") == [1]
+
+
+def test_multiple_writes_per_process():
+    class Fan(IterativePE):
+        def _process(self, value):
+            for i in range(value):
+                self.write("output", i)
+
+    graph = pipeline(RangeProducer("src", start=2), Fan("fan"))
+    result = run_graph(graph, input=2)
+    # items 2 and 3 -> 0,1 and 0,1,2
+    assert result.output_for("fan") == [0, 1, 0, 1, 2]

@@ -1,0 +1,140 @@
+"""Tests for the dynamic (work-queue, autoscaling) mapping."""
+
+import pytest
+
+from repro.d4py import WorkflowGraph, run_graph
+from repro.d4py.redisim import RedisSim
+
+from tests.helpers import (
+    AddOne,
+    Double,
+    KeyedCount,
+    RangeProducer,
+    pipeline,
+)
+
+
+def test_dynamic_matches_simple_results():
+    def build():
+        return pipeline(RangeProducer("src"), Double("dbl"), AddOne("inc"))
+
+    sequential = run_graph(build(), input=25, mapping="simple")
+    dynamic = run_graph(build(), input=25, mapping="dynamic", max_workers=4)
+    assert sorted(dynamic.output_for("inc")) == sorted(sequential.output_for("inc"))
+
+
+def test_dynamic_single_worker_no_autoscale():
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    result = run_graph(
+        graph, input=10, mapping="dynamic", min_workers=1, autoscale=False
+    )
+    assert sorted(result.output_for("dbl")) == [i * 2 for i in range(10)]
+    assert "peak workers 1" in result.logs[-1]
+
+
+def test_dynamic_autoscales_under_load():
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    result = run_graph(
+        graph,
+        input=300,
+        mapping="dynamic",
+        min_workers=1,
+        max_workers=6,
+        autoscale=True,
+    )
+    assert len(result.output_for("dbl")) == 300
+    peak_line = result.logs[-1]
+    peak = int(peak_line.split("peak workers ")[1].split()[0])
+    assert peak >= 1
+
+
+def test_dynamic_group_by_state_is_correct():
+    g = WorkflowGraph()
+    src = RangeProducer("src")
+
+    class Tag(Double):
+        def _process(self, value):
+            return (value % 3, value)
+
+    tag = Tag("tag")
+    count = KeyedCount("count")
+    g.connect(src, "output", tag, "input")
+    g.connect(tag, "output", count, "input")
+    result = run_graph(
+        g, input=30, mapping="dynamic", max_workers=4, instances_per_pe=5
+    )
+    best = {}
+    for key, n in result.output_for("count"):
+        best[key] = max(best.get(key, 0), n)
+    assert best == {0: 10, 1: 10, 2: 10}
+
+
+def test_dynamic_task_error_propagates():
+    class Boom(Double):
+        def _process(self, value):
+            raise ValueError("dynamite")
+
+    graph = pipeline(RangeProducer("src"), Boom("boom"))
+    with pytest.raises(RuntimeError, match="dynamic worker failures"):
+        run_graph(graph, input=3, mapping="dynamic")
+
+
+def test_dynamic_shared_broker_runs_are_isolated():
+    broker = RedisSim()
+    graph1 = pipeline(RangeProducer("src"), Double("dbl"))
+    graph2 = pipeline(RangeProducer("src"), Double("dbl"))
+    r1 = run_graph(graph1, input=5, mapping="dynamic", broker=broker)
+    r2 = run_graph(graph2, input=7, mapping="dynamic", broker=broker)
+    assert len(r1.output_for("dbl")) == 5
+    assert len(r2.output_for("dbl")) == 7
+
+
+def test_dynamic_iterations_accounted():
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    result = run_graph(graph, input=12, mapping="dynamic", instances_per_pe=3)
+    src_total = sum(v for k, v in result.iterations.items() if k.startswith("src"))
+    dbl_total = sum(v for k, v in result.iterations.items() if k.startswith("dbl"))
+    assert src_total == 12
+    assert dbl_total == 12
+
+
+def test_dynamic_timings_reported():
+    import time as _t
+
+    class Slow(Double):
+        def _process(self, value):
+            _t.sleep(0.005)
+            return value
+
+    graph = pipeline(RangeProducer("src"), Slow("slow"))
+    result = run_graph(graph, input=8, mapping="dynamic", max_workers=2)
+    slow_time = sum(v for k, v in result.timings.items() if k.startswith("slow"))
+    assert slow_time >= 0.03
+
+
+def test_dynamic_autoscaler_retires_idle_workers():
+    """After a burst drains, the pool shrinks back toward min_workers."""
+    import time as _t
+
+    from repro.d4py.mappings.dynamic import _DynamicEngine
+    from repro.d4py.redisim import RedisSim
+
+    class Slowish(Double):
+        def _process(self, value):
+            _t.sleep(0.002)
+            return value
+
+    graph = pipeline(RangeProducer("src"), Slowish("slow"))
+    engine = _DynamicEngine(
+        graph,
+        RedisSim(),
+        instances_per_pe=4,
+        min_workers=1,
+        max_workers=6,
+        autoscale=True,
+    )
+    result = engine.run(200)
+    assert engine.peak_workers > 1, "burst should have scaled the pool up"
+    # After the drain loop the pool target returns to the floor.
+    assert engine.target_workers <= engine.peak_workers
+    assert len(result.output_for("slow")) == 200

@@ -1,0 +1,106 @@
+"""Unit + property tests for grouping/routing (repro.d4py.grouping)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.d4py.grouping import Grouping, _stable_hash
+
+
+def test_of_none_is_shuffle():
+    assert Grouping.of(None).kind == "shuffle"
+
+
+def test_of_string_forms():
+    assert Grouping.of("global").kind == "global"
+    assert Grouping.of("all").kind == "all"
+    assert Grouping.of("shuffle").kind == "shuffle"
+
+
+def test_of_sequence_is_group_by():
+    g = Grouping.of([0, 2])
+    assert g.kind == "group_by"
+    assert g.keys == (0, 2)
+
+
+def test_of_grouping_passthrough():
+    g = Grouping("global")
+    assert Grouping.of(g) is g
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown grouping"):
+        Grouping("banana")
+
+
+def test_group_by_requires_keys():
+    with pytest.raises(ValueError, match="key index"):
+        Grouping("group_by")
+
+
+def test_single_instance_always_zero():
+    for kind in ("shuffle", "global", "all"):
+        assert Grouping(kind).route("x", 1, 99) == [0]
+
+
+def test_shuffle_round_robin():
+    g = Grouping("shuffle")
+    assert [g.route("x", 3, i) for i in range(6)] == [[0], [1], [2], [0], [1], [2]]
+
+
+def test_global_always_instance_zero():
+    g = Grouping("global")
+    assert all(g.route(i, 5, i) == [0] for i in range(20))
+
+
+def test_all_broadcasts():
+    assert Grouping("all").route("x", 4, 0) == [0, 1, 2, 3]
+
+
+def test_group_by_same_key_same_instance():
+    g = Grouping.of([0])
+    dest1 = g.route(("alice", 1), 7, 0)
+    dest2 = g.route(("alice", 999), 7, 5)
+    assert dest1 == dest2
+
+
+def test_group_by_scalar_items():
+    g = Grouping.of([0])
+    # Scalars group on their own value rather than failing.
+    assert g.extract_key(42) == (42,)
+
+
+def test_extract_key_only_for_group_by():
+    with pytest.raises(ValueError):
+        Grouping("shuffle").extract_key(1)
+
+
+# -- property tests ------------------------------------------------------------
+
+items = st.one_of(
+    st.integers(), st.text(max_size=20), st.tuples(st.integers(), st.integers())
+)
+
+
+@given(data=items, n=st.integers(1, 64), counter=st.integers(0, 10_000))
+def test_route_targets_in_range(data, n, counter):
+    for kind in ("shuffle", "global", "all"):
+        targets = Grouping(kind).route(data, n, counter)
+        assert targets and all(0 <= t < n for t in targets)
+
+
+@given(
+    key=st.text(max_size=10),
+    values=st.lists(st.integers(), min_size=1, max_size=10),
+    n=st.integers(1, 64),
+)
+def test_group_by_is_consistent(key, values, n):
+    """All items sharing a key land on one instance regardless of payload."""
+    g = Grouping.of([0])
+    targets = {tuple(g.route((key, v), n, i)) for i, v in enumerate(values)}
+    assert len(targets) == 1
+
+
+@given(value=st.one_of(st.integers(), st.text(max_size=50), st.floats(allow_nan=False)))
+def test_stable_hash_is_deterministic(value):
+    assert _stable_hash(value) == _stable_hash(value)
+    assert _stable_hash(value) >= 0

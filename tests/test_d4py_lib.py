@@ -1,0 +1,258 @@
+"""Tests for the PE standard library and functional helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.d4py import WorkflowGraph, run_graph
+from repro.d4py.functional import (
+    SimpleFunctionPE,
+    chain,
+    create_iterative,
+    producer_from,
+)
+from repro.d4py.lib import (
+    BatchPE,
+    DistinctPE,
+    FilterPE,
+    FlatMapPE,
+    KeyedReducePE,
+    MapPE,
+    RateLimitPE,
+    SlidingWindowPE,
+    TakePE,
+    ZipPE,
+)
+
+
+def run_through(pe, items, extra=None):
+    """Run items through a single PE (plus optional downstream PE)."""
+    src = producer_from(items, name="src")
+    graph = WorkflowGraph()
+    graph.connect(src, "output", pe, "input")
+    if extra is not None:
+        graph.connect(pe, "output", extra, "input")
+    result = run_graph(graph, input=len(items))
+    leaf = (extra or pe).name
+    return result.output_for(leaf)
+
+
+# -- functional helpers ------------------------------------------------------
+
+
+def test_simple_function_pe():
+    assert run_through(SimpleFunctionPE(lambda x: x * 10), [1, 2, 3]) == [10, 20, 30]
+
+
+def test_simple_function_pe_partial_args():
+    pe = SimpleFunctionPE(round, 1)
+    assert run_through(pe, [1.24, 5.67]) == [1.2, 5.7]
+
+
+def test_simple_function_pe_name_defaults_to_fn():
+    def halve(x):
+        return x / 2
+
+    assert SimpleFunctionPE(halve).name.startswith("halve_pe")
+
+
+def test_create_iterative_builds_class():
+    def double_it(x):
+        """Doubles the input."""
+        return x * 2
+
+    cls = create_iterative(double_it)
+    assert cls.__name__ == "DoubleItPE"
+    assert "Doubles" in cls.__doc__
+    assert run_through(cls(), [1, 2]) == [2, 4]
+
+
+def test_chain_lifts_callables():
+    graph = chain(producer_from(["ab", "cd"], name="src"), str.upper)
+    result = run_graph(graph, input=2)
+    assert result.all_outputs() == ["AB", "CD"]
+
+
+def test_chain_requires_stages():
+    with pytest.raises(ValueError):
+        chain()
+
+
+def test_chain_rejects_non_callable():
+    with pytest.raises(TypeError):
+        chain(producer_from([1]), "not callable")
+
+
+# -- map / filter / flatmap -------------------------------------------------------
+
+
+def test_map_pe():
+    assert run_through(MapPE(lambda x: x + 1), [0, 1]) == [1, 2]
+
+
+def test_filter_pe():
+    assert run_through(FilterPE(lambda x: x % 2 == 0), list(range(6))) == [0, 2, 4]
+
+
+def test_flat_map_pe():
+    assert run_through(FlatMapPE(lambda s: s.split()), ["a b", "c"]) == ["a", "b", "c"]
+
+
+def test_flat_map_empty_expansion():
+    assert run_through(FlatMapPE(lambda s: []), ["x"]) == []
+
+
+# -- windowing / batching -------------------------------------------------------------
+
+
+def test_sliding_window():
+    out = run_through(SlidingWindowPE(3), [1, 2, 3, 4, 5])
+    assert out == [[1, 2, 3], [2, 3, 4], [3, 4, 5]]
+
+
+def test_tumbling_window():
+    out = run_through(SlidingWindowPE(2, step=2), [1, 2, 3, 4, 5, 6])
+    assert out == [[1, 2], [3, 4], [5, 6]]
+
+
+def test_window_validates_params():
+    with pytest.raises(ValueError):
+        SlidingWindowPE(0)
+    with pytest.raises(ValueError):
+        SlidingWindowPE(2, step=0)
+
+
+def test_batch_pe_flushes_remainder():
+    out = run_through(BatchPE(2), [1, 2, 3, 4, 5])
+    assert out == [[1, 2], [3, 4], [5]]
+
+
+def test_batch_exact_multiple():
+    out = run_through(BatchPE(3), [1, 2, 3])
+    assert out == [[1, 2, 3]]
+
+
+def test_batch_validates_size():
+    with pytest.raises(ValueError):
+        BatchPE(0)
+
+
+# -- keyed reduce / distinct / take -------------------------------------------------------
+
+
+def test_keyed_reduce_running_sums():
+    items = [("a", 1), ("b", 10), ("a", 2), ("b", 20)]
+    out = run_through(KeyedReducePE(lambda acc, v: acc + v), items)
+    assert out == [("a", 1), ("b", 10), ("a", 3), ("b", 30)]
+
+
+def test_keyed_reduce_custom_initial():
+    items = [("x", 2), ("x", 3)]
+    out = run_through(KeyedReducePE(lambda acc, v: acc * v, initial=1), items)
+    assert out[-1] == ("x", 6)
+
+
+def test_keyed_reduce_parallel_state():
+    items = [(i % 3, 1) for i in range(30)]
+    src = producer_from(items, name="src")
+    red = KeyedReducePE(lambda acc, v: acc + v, name="red")
+    g = WorkflowGraph()
+    g.connect(src, "output", red, "input")
+    result = run_graph(g, input=30, mapping="multi", num_processes=6)
+    best = {}
+    for key, acc in result.output_for("red"):
+        best[key] = max(best.get(key, 0), acc)
+    assert best == {0: 10, 1: 10, 2: 10}
+
+
+def test_distinct_pe():
+    assert run_through(DistinctPE(), [1, 2, 1, 3, 2]) == [1, 2, 3]
+
+
+def test_distinct_with_key():
+    out = run_through(DistinctPE(key=str.lower), ["A", "a", "B"])
+    assert out == ["A", "B"]
+
+
+def test_take_pe():
+    assert run_through(TakePE(2), [9, 8, 7, 6]) == [9, 8]
+
+
+def test_take_zero():
+    assert run_through(TakePE(0), [1, 2]) == []
+
+
+def test_take_validates():
+    with pytest.raises(ValueError):
+        TakePE(-1)
+
+
+# -- rate limiting --------------------------------------------------------------------------
+
+
+def test_rate_limit_drops_rapid_items():
+    out = run_through(RateLimitPE(10.0), [1, 2, 3])
+    assert out == [1]  # items arrive back-to-back, only the first passes
+
+
+def test_rate_limit_validates():
+    with pytest.raises(ValueError):
+        RateLimitPE(0)
+
+
+# -- zip join ----------------------------------------------------------------------------------
+
+
+def test_zip_pairs_in_order():
+    g = WorkflowGraph()
+    left = producer_from([1, 2, 3], name="left_src")
+    right = producer_from(["a", "b", "c"], name="right_src")
+    z = ZipPE("zip")
+    g.connect(left, "output", z, "left")
+    g.connect(right, "output", z, "right")
+    result = run_graph(g, input=3)
+    assert sorted(result.output_for("zip")) == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_zip_buffers_uneven_streams():
+    g = WorkflowGraph()
+    left = producer_from([1, 2, 3], name="l")
+    right = producer_from(["only"], name="r")
+    z = ZipPE("zip")
+    g.connect(left, "output", z, "left")
+    g.connect(right, "output", z, "right")
+    result = run_graph(g, input={"l": 3, "r": 1})
+    assert result.output_for("zip") == [(1, "only")]
+
+
+# -- properties ------------------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(), max_size=30), st.integers(1, 5))
+def test_batch_concat_roundtrip(items, size):
+    """Concatenating batches reproduces the input stream exactly."""
+    out = run_through(BatchPE(size), items) if items else []
+    flattened = [x for batch in out for x in batch]
+    assert flattened == items
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(-5, 5), max_size=30))
+def test_map_filter_composition(items):
+    if not items:
+        return
+    graph = chain(
+        producer_from(items, name="src"),
+        MapPE(lambda x: x * 2, name="dbl"),
+        FilterPE(lambda x: x >= 0, name="pos"),
+    )
+    result = run_graph(graph, input=len(items))
+    assert result.output_for("pos") == [x * 2 for x in items if x * 2 >= 0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=40), st.integers(2, 4))
+def test_window_contents_are_stream_slices(items, size):
+    out = run_through(SlidingWindowPE(size), items)
+    for i, window in enumerate(out):
+        assert window == items[i : i + size]

@@ -1,0 +1,108 @@
+"""Tests for data provenance capture (repro.d4py.provenance)."""
+
+import pytest
+
+from repro.d4py import WorkflowGraph, run_graph
+from repro.d4py.provenance import ProvenanceTrace
+
+from tests.helpers import AddOne, Double, RangeProducer, WordSplit, pipeline
+
+
+@pytest.fixture()
+def traced():
+    graph = pipeline(RangeProducer("src"), Double("dbl"), AddOne("inc"))
+    result = run_graph(graph, input=3, provenance=True)
+    return result
+
+
+def test_provenance_off_by_default():
+    result = run_graph(pipeline(RangeProducer("src")), input=1)
+    assert result.provenance is None
+
+
+def test_provenance_records_all_items(traced):
+    trace = traced.provenance
+    # 3 items from each of src, dbl, inc
+    assert len(trace.items) == 9
+    assert len(trace.items_produced_by("src")) == 3
+    assert len(trace.items_produced_by("inc")) == 3
+
+
+def test_provenance_records_all_invocations(traced):
+    trace = traced.provenance
+    assert len(trace.invocations) == 9
+    by_pe = {}
+    for inv in trace.invocations:
+        by_pe.setdefault(inv.pe_name, []).append(inv)
+    assert {pe: len(v) for pe, v in by_pe.items()} == {"src": 3, "dbl": 3, "inc": 3}
+
+
+def test_roots_consume_nothing(traced):
+    trace = traced.provenance
+    for inv in trace.invocations:
+        if inv.pe_name == "src":
+            assert inv.consumed == ()
+        else:
+            assert len(inv.consumed) == 1
+
+
+def test_lineage_walks_to_the_source(traced):
+    trace = traced.provenance
+    final = trace.items_produced_by("inc")[0]
+    chain = trace.lineage(final.item_id)
+    assert [rec.pe_name for rec in chain] == ["inc", "dbl", "src"]
+
+
+def test_lineage_values_are_consistent(traced):
+    """src emits 0,1,2; dbl doubles; inc adds one — previews must agree."""
+    trace = traced.provenance
+    for final in trace.items_produced_by("inc"):
+        chain = trace.lineage(final.item_id)
+        src_value = int(chain[-1].preview)
+        assert int(final.preview) == src_value * 2 + 1
+
+
+def test_lineage_unknown_item(traced):
+    with pytest.raises(KeyError):
+        traced.provenance.lineage(10_000)
+
+
+def test_describe_renders_chain(traced):
+    trace = traced.provenance
+    final = trace.items_produced_by("inc")[0]
+    text = trace.describe(final.item_id)
+    assert "inc.output" in text and "src.output" in text
+
+
+def test_fan_out_provenance():
+    """One input producing several items: all share the same ancestor."""
+    from repro.d4py.core import pes_from_iterable
+
+    graph = WorkflowGraph()
+    src = pes_from_iterable(["a b c"], name="lines")
+    split = WordSplit("split")
+    graph.connect(src, "output", split, "input")
+    result = run_graph(graph, input=1, provenance=True)
+    trace = result.provenance
+    words = trace.items_produced_by("split")
+    assert len(words) == 3
+    ancestors = {trace.lineage(w.item_id)[-1].item_id for w in words}
+    assert len(ancestors) == 1  # all three words come from the single line
+
+
+def test_invocation_durations_nonnegative(traced):
+    assert all(inv.seconds >= 0 for inv in traced.provenance.invocations)
+
+
+def test_preview_truncated():
+    trace = ProvenanceTrace()
+    item = trace.record_item("pe", "output", 0, "x" * 500)
+    assert len(trace.items[item].preview) <= 80
+
+
+def test_provenance_rejected_for_parallel_mappings():
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    with pytest.raises(ValueError, match="simple mapping"):
+        run_graph(graph, input=2, mapping="multi", provenance=True)
+    with pytest.raises(ValueError, match="simple mapping"):
+        run_graph(graph, input=2, mapping="dynamic", provenance=True)

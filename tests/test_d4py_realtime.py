@@ -1,0 +1,122 @@
+"""Tests for live stream ingestion (repro.d4py.realtime)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.d4py import WorkflowGraph
+from repro.d4py.realtime import StreamSession
+
+from tests.helpers import AddOne, Double, KeyedCount, RangeProducer, pipeline
+
+
+def entry_graph():
+    """dbl -> inc, entry at dbl.input."""
+    g = WorkflowGraph()
+    d, a = Double("dbl"), AddOne("inc")
+    g.connect(d, "output", a, "input")
+    return g
+
+
+def test_push_and_stop_collects_results():
+    session = StreamSession(entry_graph()).start()
+    for i in range(10):
+        session.push(i)
+    result = session.stop()
+    assert sorted(result.output_for("inc")) == [i * 2 + 1 for i in range(10)]
+    assert session.pushed == 10
+
+
+def test_context_manager():
+    with StreamSession(entry_graph()) as session:
+        session.push_many(range(5))
+    # __exit__ stopped it; results are final
+    assert sorted(session.results_so_far()["inc.output"]) == [1, 3, 5, 7, 9]
+
+
+def test_results_visible_while_running():
+    session = StreamSession(entry_graph()).start()
+    session.push(1)
+    deadline = time.monotonic() + 10
+    while not session.results_so_far().get("inc.output"):
+        assert time.monotonic() < deadline, "no live result within 10s"
+        time.sleep(0.01)
+    assert session.results_so_far()["inc.output"] == [3]
+    session.stop()
+
+
+def test_concurrent_pushers():
+    session = StreamSession(entry_graph(), max_workers=4).start()
+
+    def feed(base):
+        for i in range(25):
+            session.push(base + i)
+
+    threads = [threading.Thread(target=feed, args=(j * 100,)) for j in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    result = session.stop()
+    assert len(result.output_for("inc")) == 100
+
+
+def test_keyed_state_in_streaming_mode():
+    g = WorkflowGraph()
+    count = KeyedCount("count")
+    g.add(count)
+    session = StreamSession(g, instances_per_pe=3).start()
+    for i in range(30):
+        session.push((i % 3, i))
+    result = session.stop()
+    finals = {}
+    for key, n in result.output_for("count"):
+        finals[key] = max(finals.get(key, 0), n)
+    assert finals == {0: 10, 1: 10, 2: 10}
+
+
+def test_producer_roots_rejected():
+    with pytest.raises(ValueError, match="producer"):
+        StreamSession(pipeline(RangeProducer("src"), Double("dbl")))
+
+
+def test_push_before_start_rejected():
+    session = StreamSession(entry_graph())
+    with pytest.raises(RuntimeError):
+        session.push(1)
+
+
+def test_push_after_stop_rejected():
+    session = StreamSession(entry_graph()).start()
+    session.stop()
+    with pytest.raises(RuntimeError):
+        session.push(1)
+
+
+def test_stop_is_idempotent():
+    session = StreamSession(entry_graph()).start()
+    session.push(1)
+    first = session.stop()
+    second = session.stop()
+    assert first is second
+
+
+def test_pending_drains_to_zero():
+    session = StreamSession(entry_graph()).start()
+    session.push_many(range(20))
+    session.stop()
+    assert session.pending() == 0
+
+
+def test_worker_error_propagates_on_stop():
+    class Boom(Double):
+        def _process(self, value):
+            raise ValueError("stream boom")
+
+    g = WorkflowGraph()
+    g.add(Boom("boom"))
+    session = StreamSession(g).start()
+    session.push(1)
+    with pytest.raises(RuntimeError, match="stream session failures"):
+        session.stop()

@@ -1,0 +1,234 @@
+"""Tests for the sequential mapping and input normalization."""
+
+import pytest
+
+from repro.d4py import WorkflowGraph, run_graph
+from repro.d4py.mappings.base import normalize_inputs, partition_processes
+
+from tests.helpers import (
+    AddOne,
+    Collect,
+    Double,
+    IsPrime,
+    KeyedCount,
+    RangeProducer,
+    WordSplit,
+    isprime_graph,
+    pipeline,
+)
+
+
+def test_linear_pipeline_results_in_order():
+    graph = pipeline(RangeProducer("src"), Double("dbl"), AddOne("inc"))
+    result = run_graph(graph, input=5)
+    assert result.output_for("inc") == [1, 3, 5, 7, 9]
+
+
+def test_input_as_list_of_values():
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    # list input to a producer binds to '_data'; RangeProducer ignores it,
+    # producing one value per invocation.
+    result = run_graph(graph, input=[None, None, None])
+    assert result.output_for("dbl") == [0, 2, 4]
+
+
+def test_input_dict_addresses_roots_by_name():
+    g = WorkflowGraph()
+    a, b = RangeProducer("a"), RangeProducer("b", start=100)
+    sink_a, sink_b = Double("da"), Double("db")
+    g.connect(a, "output", sink_a, "input")
+    g.connect(b, "output", sink_b, "input")
+    result = run_graph(g, input={"a": 2, "b": 3})
+    assert result.output_for("da") == [0, 2]
+    assert result.output_for("db") == [200, 202, 204]
+
+
+def test_input_dict_unknown_root_raises():
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    with pytest.raises(KeyError, match="unknown root"):
+        run_graph(graph, input={"nope": 3})
+
+
+def test_negative_iterations_rejected():
+    graph = pipeline(RangeProducer("src"))
+    with pytest.raises(ValueError, match=">= 0"):
+        run_graph(graph, input=-1)
+
+
+def test_bool_input_rejected():
+    graph = pipeline(RangeProducer("src"))
+    with pytest.raises(TypeError, match="bool"):
+        run_graph(graph, input=True)
+
+
+def test_zero_iterations_produce_nothing():
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    result = run_graph(graph, input=0)
+    assert result.all_outputs() == []
+
+
+def test_no_roots_raises():
+    with pytest.raises(ValueError, match="no root"):
+        run_graph(WorkflowGraph(), input=1)
+
+
+def test_isprime_workflow_outputs_primes():
+    result = run_graph(isprime_graph(), input=50)
+    primes = result.output_for("IsPrime")
+    assert primes, "expected at least one prime among 50 random numbers"
+    for p in primes:
+        assert p > 1 and all(p % i for i in range(2, p))
+
+
+def test_iterations_counted_per_instance():
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    result = run_graph(graph, input=7)
+    assert result.iterations["src0"] == 7
+    assert result.iterations["dbl0"] == 7
+
+
+def test_stateful_pe_keeps_state_sequentially():
+    source = RangeProducer("src")
+    counter = KeyedCount("count")
+    g = WorkflowGraph()
+
+    class Tag(Double):
+        def _process(self, value):
+            return ("even" if value % 2 == 0 else "odd", value)
+
+    tag = Tag("tag")
+    g.connect(source, "output", tag, "input")
+    g.connect(tag, "output", counter, "input")
+    result = run_graph(g, input=6)
+    counts = dict(result.output_for("count")[-2:])
+    # 6 items: 3 even, 3 odd; final running counts must both be 3.
+    assert counts == {"even": 3, "odd": 3}
+
+
+def test_wordcount_fan_out():
+    from repro.d4py.core import pes_from_iterable
+
+    src = pes_from_iterable(["the quick fox", "the lazy dog"], name="lines")
+    split = WordSplit("split")
+    count = KeyedCount("count")
+    g = WorkflowGraph()
+    g.connect(src, "output", split, "input")
+    g.connect(split, "output", count, "input")
+    result = run_graph(g, input=2)
+    finals = {}
+    for word, n in result.output_for("count"):
+        finals[word] = n
+    assert finals["the"] == 2
+    assert finals["fox"] == 1
+
+
+def test_preprocess_postprocess_called():
+    calls = []
+
+    class Hooked(Double):
+        def preprocess(self):
+            calls.append("pre")
+
+        def postprocess(self):
+            calls.append("post")
+
+    graph = pipeline(RangeProducer("src"), Hooked("h"))
+    run_graph(graph, input=1)
+    assert calls == ["pre", "post"]
+
+
+def test_diamond_topology():
+    g = WorkflowGraph()
+    src = RangeProducer("src")
+    left, right = Double("left"), AddOne("right")
+    sink = Collect("sink")
+    g.connect(src, "output", left, "input")
+    g.connect(src, "output", right, "input")
+    g.connect(left, "output", sink, "input")
+    g.connect(right, "output", sink, "input")
+    result = run_graph(g, input=3)
+    got = [line for line in result.logs if "got" in line]
+    assert len(got) == 6  # 3 via each branch
+
+
+# -- normalize_inputs / partition_processes unit tests ----------------------
+
+
+def test_normalize_int_spec():
+    graph = pipeline(RangeProducer("src"))
+    spec = normalize_inputs(graph, 3)
+    (invocations,) = spec.values()
+    assert invocations == [{}, {}, {}]
+
+
+def test_normalize_dict_spec_fills_unnamed_roots():
+    g = WorkflowGraph()
+    a, b = RangeProducer("a"), RangeProducer("b")
+    g.connect(a, "output", Double("da"), "input")
+    g.connect(b, "output", Double("db"), "input")
+    spec = normalize_inputs(g, {"a": 2})
+    assert len(spec[a]) == 2
+    assert spec[b] == [{}]
+
+
+def test_normalize_scalar_to_iterative_first_input():
+    graph = pipeline(Double("d"))
+    spec = normalize_inputs(graph, [10, 20])
+    assert spec[graph.get_pe("d")] == [{"input": 10}, {"input": 20}]
+
+
+def test_partition_matches_paper_fig5b():
+    """9 processes over producer+2 PEs -> ranges (0,1), (1,5), (5,9)."""
+    graph = pipeline(RangeProducer("NumberProducer"), IsPrime("IsPrime"), Collect("PrintPrime"))
+    partition = partition_processes(graph, 9)
+    assert partition == {
+        "NumberProducer": range(0, 1),
+        "IsPrime": range(1, 5),
+        "PrintPrime": range(5, 9),
+    }
+
+
+def test_partition_respects_explicit_numprocesses():
+    graph = pipeline(RangeProducer("src"), Double("d"), Collect("sink"))
+    graph.get_pe("d").numprocesses = 3
+    partition = partition_processes(graph, 5)
+    assert partition["d"] == range(1, 4)
+    assert partition["sink"] == range(4, 5)
+
+
+def test_partition_with_too_few_processes_gives_one_each():
+    graph = pipeline(RangeProducer("src"), Double("d"), Collect("sink"))
+    partition = partition_processes(graph, 2)
+    assert all(len(r) == 1 for r in partition.values())
+
+
+def test_partition_empty_graph_raises():
+    with pytest.raises(ValueError, match="empty"):
+        partition_processes(WorkflowGraph(), 4)
+
+
+def test_unknown_mapping_rejected():
+    graph = pipeline(RangeProducer("src"))
+    with pytest.raises(ValueError, match="unknown mapping"):
+        run_graph(graph, mapping="banana")
+
+
+def test_timings_recorded_per_instance():
+    import time as _t
+
+    class Slow(Double):
+        def _process(self, value):
+            _t.sleep(0.01)
+            return value
+
+    graph = pipeline(RangeProducer("src"), Slow("slow"))
+    result = run_graph(graph, input=5)
+    assert result.timings["slow0"] >= 0.05
+    assert result.timings["src0"] < result.timings["slow0"]
+    assert result.hotspot() == "slow0"
+
+
+def test_hotspot_none_when_no_timings():
+    from repro.d4py.mappings.base import RunResult
+
+    assert RunResult().hotspot() is None

@@ -1,0 +1,61 @@
+"""Tests for workflow visualisation (DOT and text renderings)."""
+
+from repro.d4py import WorkflowGraph
+from repro.d4py.visualise import to_dot, to_text
+
+from tests.helpers import Collect, Double, KeyedCount, RangeProducer, pipeline
+
+
+def sample_graph():
+    return pipeline(RangeProducer("src"), Double("dbl"), Collect("sink"))
+
+
+def test_dot_contains_all_nodes():
+    dot = to_dot(sample_graph())
+    for name in ("src", "dbl", "sink"):
+        assert f'"{name}"' in dot
+
+
+def test_dot_contains_edges_with_ports():
+    dot = to_dot(sample_graph())
+    assert '"src" -> "dbl"' in dot
+    assert "output->input" in dot
+
+
+def test_dot_is_valid_digraph():
+    dot = to_dot(sample_graph(), name="wf")
+    assert dot.startswith("digraph wf {")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("{") == dot.count("}")
+
+
+def test_dot_marks_group_by():
+    g = WorkflowGraph()
+    src, count = RangeProducer("src"), KeyedCount("count")
+    g.connect(src, "output", count, "input")
+    dot = to_dot(g)
+    assert "group_by[0]" in dot
+
+
+def test_text_topological_order():
+    text = to_text(sample_graph())
+    assert text.index("src") < text.index("dbl") < text.index("sink")
+
+
+def test_text_marks_roots_and_workflow_outputs():
+    text = to_text(sample_graph())
+    assert "◆ src" in text  # root marker
+    assert "(workflow output)" not in text.split("dbl")[0]  # dbl has a successor
+
+
+def test_text_leaf_port_labelled():
+    g = pipeline(RangeProducer("src"), Double("dbl"))
+    text = to_text(g)
+    assert "(workflow output)" in text
+
+
+def test_text_shows_grouping():
+    g = WorkflowGraph()
+    src, count = RangeProducer("src"), KeyedCount("count")
+    g.connect(src, "output", count, "input")
+    assert "group_by[0]" in to_text(g)

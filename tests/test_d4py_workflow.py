@@ -1,0 +1,136 @@
+"""Unit tests for WorkflowGraph (repro.d4py.workflow)."""
+
+import pytest
+
+from repro.d4py import WorkflowGraph
+from repro.d4py.grouping import Grouping
+
+from tests.helpers import AddOne, Collect, Double, RangeProducer
+
+
+def triangle():
+    """src -> a -> sink and src -> sink (two inputs would be needed);
+    here: src feeds both a and b, both feed sink-ish Collect? Build a
+    simple diamond-free 3-node graph instead."""
+    g = WorkflowGraph()
+    src, a, sink = RangeProducer("src"), Double("a"), Collect("sink")
+    g.connect(src, "output", a, "input")
+    g.connect(a, "output", sink, "input")
+    return g, src, a, sink
+
+
+def test_connect_validates_output_port():
+    g = WorkflowGraph()
+    with pytest.raises(KeyError, match="no output"):
+        g.connect(RangeProducer("s"), "bogus", Double("d"), "input")
+
+
+def test_connect_validates_input_port():
+    g = WorkflowGraph()
+    with pytest.raises(KeyError, match="no input"):
+        g.connect(RangeProducer("s"), "output", Double("d"), "bogus")
+
+
+def test_add_rejects_non_pe():
+    with pytest.raises(TypeError):
+        WorkflowGraph().add("not a pe")
+
+
+def test_cycle_rejected_and_rolled_back():
+    g = WorkflowGraph()
+    a, b = Double("a"), Double("b")
+    g.connect(a, "output", b, "input")
+    with pytest.raises(ValueError, match="cycle"):
+        g.connect(b, "output", a, "input")
+    # graph still usable, the offending edge was rolled back
+    assert len(list(g.edges())) == 1
+
+
+def test_topological_order():
+    g, src, a, sink = triangle()
+    order = g.pes
+    assert order.index(src) < order.index(a) < order.index(sink)
+
+
+def test_roots_and_sinks():
+    g, src, a, sink = triangle()
+    assert g.roots() == [src]
+    assert g.sinks() == [sink]
+
+
+def test_get_pe_by_name():
+    g, src, a, sink = triangle()
+    assert g.get_pe("a") is a
+    with pytest.raises(KeyError):
+        g.get_pe("missing")
+
+
+def test_successors_filters_by_port():
+    g, src, a, sink = triangle()
+    dests = g.successors(src, "output")
+    assert [(pe.name, port) for pe, port, _ in dests] == [("a", "input")]
+    assert g.successors(sink, "output") == [] if "output" in sink.outputconnections else True
+
+
+def test_len_and_contains():
+    g, src, a, sink = triangle()
+    assert len(g) == 3
+    assert src in g
+    assert RangeProducer("other") not in g
+
+
+def test_fan_out_multiple_consumers():
+    g = WorkflowGraph()
+    src = RangeProducer("src")
+    d1, d2 = Double("d1"), Double("d2")
+    g.connect(src, "output", d1, "input")
+    g.connect(src, "output", d2, "input")
+    assert len(g.successors(src, "output")) == 2
+
+
+def test_edges_carry_grouping():
+    g, src, a, sink = triangle()
+    for _u, _out, _v, _inp, grouping in g.edges():
+        assert isinstance(grouping, Grouping)
+
+
+def test_flatten_is_identity_without_composites():
+    g, *_ = triangle()
+    assert g.flatten() is g
+
+
+def test_multigraph_allows_parallel_distinct_edges():
+    """Two distinct port-to-port connections between the same PE pair."""
+    from repro.d4py import GenericPE
+
+    class TwoOut(GenericPE):
+        def __init__(self, name=None):
+            super().__init__(name)
+            self._add_output("a")
+            self._add_output("b")
+
+        def _process(self, inputs):
+            self.write("a", 1)
+            self.write("b", 2)
+
+    class TwoIn(GenericPE):
+        def __init__(self, name=None):
+            super().__init__(name)
+            self._add_input("x")
+            self._add_input("y")
+            self._add_output("output")
+
+        def _process(self, inputs):
+            for v in inputs.values():
+                self.write("output", v)
+
+    g = WorkflowGraph()
+    u, v = TwoOut("u"), TwoIn("v")
+    g.connect(u, "a", v, "x")
+    g.connect(u, "b", v, "y")
+    assert len(list(g.edges())) == 2
+
+    from repro.d4py import run_graph
+
+    result = run_graph(g, input=1)
+    assert sorted(result.output_for("v")) == [1, 2]

@@ -1,0 +1,45 @@
+"""Tests for the programmatic experiment report (repro.eval.report)."""
+
+import pytest
+
+from repro.eval.report import PAPER, build_report, main
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Smallest scale at which the cross-model ordering is statistically
+    # stable (tinier corpora make the Aroma-vs-ReACC margin noisy).
+    return build_report(corpus_size=160, max_queries=40)
+
+
+def test_report_contains_all_figures(report_text):
+    for heading in ("Fig 10", "Fig 11", "Fig 12", "Fig 13", "Cross-model"):
+        assert heading in report_text
+
+
+def test_report_states_paper_references(report_text):
+    assert f"paper ≈ {PAPER['fig11_best_f1']}" in report_text
+    assert "0.63 vs 0.24" in report_text
+
+
+def test_report_claims_hold(report_text):
+    assert "**holds**" in report_text
+    assert "VIOLATED" not in report_text
+
+
+def test_report_is_markdown_tabular(report_text):
+    assert "| k | precision | recall | F1 |" in report_text
+    assert report_text.startswith("# Laminar 2.0 reproduction")
+
+
+def test_main_writes_file(tmp_path):
+    out = tmp_path / "report.md"
+    rc = main(["--corpus", "60", "--queries", "10", "--out", str(out)])
+    assert rc == 0
+    assert out.read_text().startswith("# Laminar 2.0 reproduction")
+
+
+def test_main_stdout(capsys):
+    rc = main(["--corpus", "60", "--queries", "10"])
+    assert rc == 0
+    assert "Fig 11" in capsys.readouterr().out

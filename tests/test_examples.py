@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Examples are the repository's living documentation; these tests execute
+each script in a subprocess and check the markers its narrative promises,
+so a regression that breaks the user-facing flows fails the suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, timeout seconds, substrings the output must contain)
+CASES = [
+    ("quickstart.py", 240, ["registering isprime_wf", "code recommendation", "NumberProducer"]),
+    ("sensor_anomaly_pipeline.py", 240, ["simple", "multi", "dynamic", "alerts"]),
+    ("wordcount_streaming.py", 240, ["all mappings agree"]),
+    ("market_window_analytics.py", 240, ["stream totals match batch ground truth"]),
+    ("client_server_tcp.py", 240, ["second run uploaded 0", "arrived at"]),
+    ("code_recommendation.py", 300, ["structural recommendation", "MovingAverage"]),
+    ("provenance_audit.py", 120, ["flagged items", "hotspot PE", "Samples.output"]),
+    ("live_stream_ingestion.py", 180, ["live:", "all 200 live ticks accounted for"]),
+]
+
+
+@pytest.mark.parametrize("script,timeout,markers", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, timeout, markers):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} missing"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\nstdout:\n{proc.stdout[-2000:]}"
+        f"\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    for marker in markers:
+        assert marker in proc.stdout, f"{script}: missing {marker!r} in output"

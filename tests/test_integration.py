@@ -1,0 +1,158 @@
+"""Cross-module integration tests: the full stack working together."""
+
+import threading
+
+import pytest
+
+from repro.datasets import generate_corpus
+from repro.laminar import LaminarClient
+from repro.laminar.server.app import LaminarServer
+from repro.laminar.transport.tcp import TcpServerTransport
+
+PIPELINE_WF = """
+class Feed(ProducerPE):
+    def __init__(self, name=None):
+        super().__init__(name)
+        self.n = 0
+    def _process(self, inputs):
+        self.n += 1
+        return self.n
+
+class Square(IterativePE):
+    def _process(self, x):
+        return x * x
+
+class Tail(ConsumerPE):
+    def _process(self, x):
+        print(f"value {x}")
+
+f, s, t = Feed("Feed"), Square("Square"), Tail("Tail")
+graph = WorkflowGraph()
+graph.connect(f, "output", s, "input")
+graph.connect(s, "output", t, "input")
+"""
+
+
+def test_corpus_to_registry_to_search_roundtrip():
+    """Generated corpus PEs register cleanly and are findable three ways."""
+    corpus = generate_corpus(60)
+    client = LaminarClient()
+    for item in corpus:
+        client.register_PE(item.pe_source, name=item.pe_name, description=item.description)
+
+    assert len(client.get_Registry()["pes"]) == 60
+
+    # literal: by family description words
+    anomaly = next(c for c in corpus if c.family == "zscore_anomaly")
+    lit = client.search_Registry_Literal("anomalies", kind="pe")
+    assert any(h["peName"] == anomaly.pe_name for h in lit["pes"])
+
+    # semantic: by the family's natural query
+    sem = client.search_Registry_Semantic(anomaly.query, top_k=10)
+    assert any(h["peName"].startswith(("DetectAnomalies", "FindOutliers", "AnomalyScan"))
+               for h in sem)
+
+    # structural: by the family's own code
+    rec = client.code_Recommendation(anomaly.function_source, threshold=1.0)
+    assert rec and rec[0]["peName"] == anomaly.pe_name
+
+
+def test_full_stack_over_tcp_with_run_and_search():
+    """Server over real sockets: register, run (streamed), search."""
+    server = LaminarServer()
+    transport = TcpServerTransport(server).start()
+    host, port = transport.address
+    client = LaminarClient.connect(host, port)
+    try:
+        client.register("integration", "pw")
+        client.login("integration", "pw")
+        client.register_Workflow(PIPELINE_WF, name="squares_wf")
+
+        streamed = []
+        summary = client.run("squares_wf", input=4, on_line=streamed.append)
+        assert summary.ok
+        assert streamed == [f"value {i * i}" for i in range(1, 5)]
+
+        results = client.search_Registry_Semantic("squares numbers")
+        assert results
+    finally:
+        client.close()
+        transport.stop()
+
+
+def test_concurrent_clients_one_server():
+    """Several TCP clients registering and running simultaneously."""
+    server = LaminarServer()
+    transport = TcpServerTransport(server).start()
+    host, port = transport.address
+    errors = []
+
+    def session(i):
+        try:
+            c = LaminarClient.connect(host, port, timeout=120.0)
+            code = PIPELINE_WF.replace("Feed", f"Feed{i}").replace(
+                "Square", f"Square{i}"
+            ).replace("Tail", f"Tail{i}")
+            c.register_Workflow(code, name=f"wf{i}")
+            summary = c.run(f"wf{i}", input=3)
+            assert summary.ok, summary.error
+            c.close()
+        except Exception as exc:  # surface in main thread
+            errors.append(f"client {i}: {exc}")
+
+    threads = [threading.Thread(target=session, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    transport.stop()
+    if errors:
+        import pytest
+
+        pytest.fail("concurrent sessions failed: " + " | ".join(errors))
+    assert len(server.workflows.all()) == 4
+
+
+def test_execution_history_accumulates():
+    client = LaminarClient()
+    client.register_Workflow(PIPELINE_WF, name="wf")
+    server = client._transport._server
+    wf = server.workflows.by_name("wf")
+    for _ in range(3):
+        assert client.run("wf", input=2).ok
+    executions = server.executions.for_workflow(wf.workflowId)
+    assert len(executions) == 3
+    assert all(e.status == "success" for e in executions)
+    for e in executions:
+        responses = server.responses.for_execution(e.executionId)
+        assert len(responses) == 1
+
+
+def test_registered_corpus_workflow_runs():
+    """A corpus PE embedded in a workflow executes through the engine."""
+    corpus = generate_corpus(10)
+    item = next(c for c in corpus if c.family == "is_prime")
+    wf = f"""
+{item.pe_source}
+
+class Numbers(ProducerPE):
+    def __init__(self, name=None):
+        super().__init__(name)
+        self.n = 0
+    def _process(self, inputs):
+        self.n += 1
+        return self.n
+
+n = Numbers("Numbers")
+p = {item.pe_name}()
+p.name = "Prime"
+graph = WorkflowGraph()
+graph.connect(n, "output", p, "input")
+"""
+    client = LaminarClient()
+    client.register_Workflow(wf, name="prime_check_wf")
+    summary = client.run("prime_check_wf", input=10)
+    assert summary.ok
+    flags = summary.outputs["Prime.output"]
+    # first 10 integers: 2,3,5,7 are prime
+    assert flags.count(True) == 4

@@ -1,0 +1,317 @@
+"""Tests for the LaminarClient — every Table I function — and RunSummary."""
+
+import inspect
+
+import pytest
+
+from repro.d4py import WorkflowGraph
+from repro.laminar import LaminarClient, Process
+from repro.laminar.client.client import ClientError
+
+from tests.helpers import Collect, RangeProducer, pipeline
+
+ISPRIME_WF = '''
+import random
+
+class NumberProducer(ProducerPE):
+    def _process(self, inputs):
+        return random.randint(1, 1000)
+
+class IsPrime(IterativePE):
+    """Checks whether a given number is prime and returns the number."""
+    def _process(self, num):
+        if num > 1 and all(num % i != 0 for i in range(2, num)):
+            return num
+
+class PrintPrime(ConsumerPE):
+    def _process(self, num):
+        print(f"the num {num} is prime")
+
+producer = NumberProducer("NumberProducer")
+isprime = IsPrime("IsPrime")
+printer = PrintPrime("PrintPrime")
+graph = WorkflowGraph()
+graph.connect(producer, "output", isprime, "input")
+graph.connect(isprime, "output", printer, "input")
+'''
+
+#: Table I of the paper, exactly.
+TABLE_I_FUNCTIONS = [
+    "register",
+    "login",
+    "register_PE",
+    "register_Workflow",
+    "get_PE",
+    "get_Workflow",
+    "get_PEs_By_Workflow",
+    "get_Registry",
+    "describe",
+    "update_PE_Description",
+    "update_Workflow_Description",
+    "remove_PE",
+    "remove_Workflow",
+    "remove_All",
+    "search_Registry_Literal",
+    "search_Registry_Semantic",
+    "code_Recommendation",
+    "run",
+    "run_multiprocess",
+    "run_dynamic",
+]
+
+
+@pytest.fixture()
+def client():
+    return LaminarClient()
+
+
+@pytest.fixture()
+def registered(client):
+    body = client.register_Workflow(ISPRIME_WF, name="isprime_wf")
+    return client, body
+
+
+def test_table1_functions_all_exist(client):
+    for name in TABLE_I_FUNCTIONS:
+        fn = getattr(client, name, None)
+        assert callable(fn), f"Table I function {name} missing"
+        assert inspect.getdoc(fn), f"{name} lacks a docstring"
+
+
+def test_register_and_login(client):
+    client.register("alice", "secret")
+    session = client.login("alice", "secret")
+    assert session["userName"] == "alice"
+    # subsequent registrations are owned by alice
+    pe = client.register_PE("class P(IterativePE):\n    def _process(self, x):\n        return x")
+    assert pe["peId"] > 0
+
+
+def test_login_failure_raises(client):
+    client.register("bob", "pw")
+    with pytest.raises(ClientError) as err:
+        client.login("bob", "wrong")
+    assert err.value.status == 401
+
+
+def test_register_workflow_returns_pes(registered):
+    _client, body = registered
+    names = {pe["peName"] for pe in body["pes"]}
+    assert names == {"NumberProducer", "IsPrime", "PrintPrime"}
+    assert body["workflow"]["workflowName"] == "isprime_wf"
+
+
+def test_register_workflow_from_file(tmp_path, client):
+    path = tmp_path / "isprime_wf.py"
+    path.write_text(ISPRIME_WF)
+    body = client.register_Workflow(path)
+    assert body["workflow"]["workflowName"] == "isprime_wf"
+
+
+def test_register_workflow_missing_file(client):
+    with pytest.raises(FileNotFoundError):
+        client.register_Workflow("no_such_file.py")
+
+
+def test_get_pe_and_workflow(registered):
+    client, body = registered
+    pe_id = body["pes"][0]["peId"]
+    assert client.get_PE(pe_id)["peId"] == pe_id
+    assert client.get_PE("IsPrime")["peName"] == "IsPrime"
+    wf = client.get_Workflow("isprime_wf")
+    assert wf["workflowName"] == "isprime_wf"
+
+
+def test_get_pes_by_workflow(registered):
+    client, body = registered
+    pes = client.get_PEs_By_Workflow(body["workflow"]["workflowId"])
+    assert len(pes) == 3
+
+
+def test_get_registry(registered):
+    client, _ = registered
+    listing = client.get_Registry()
+    assert len(listing["pes"]) == 3
+    assert len(listing["workflows"]) == 1
+
+
+def test_describe_includes_code(registered):
+    client, _ = registered
+    body = client.describe("IsPrime", kind="pe")
+    assert "class IsPrime" in body["peCode"]
+    assert body["description"]
+
+
+def test_update_descriptions(registered):
+    client, body = registered
+    updated = client.update_PE_Description("IsPrime", "finds primes fast")
+    assert updated["description"] == "finds primes fast"
+    wf_updated = client.update_Workflow_Description("isprime_wf", "prime pipeline")
+    assert wf_updated["description"] == "prime pipeline"
+
+
+def test_remove_pe_and_workflow(registered):
+    client, _ = registered
+    client.remove_PE("PrintPrime")
+    with pytest.raises(ClientError):
+        client.get_PE("PrintPrime")
+    client.remove_Workflow("isprime_wf")
+    with pytest.raises(ClientError):
+        client.get_Workflow("isprime_wf")
+
+
+def test_remove_all(registered):
+    client, _ = registered
+    result = client.remove_All()
+    assert result["pes_removed"] == 3
+    assert result["workflows_removed"] == 1
+    assert client.get_Registry() == {"pes": [], "workflows": []}
+
+
+def test_literal_search(registered):
+    client, _ = registered
+    hits = client.search_Registry_Literal("prime")
+    assert {h["peName"] for h in hits["pes"]} >= {"IsPrime"}
+
+
+def test_semantic_search(registered):
+    client, _ = registered
+    results = client.search_Registry_Semantic("check whether numbers are prime")
+    assert results[0]["peName"] == "IsPrime"
+
+
+def test_code_recommendation_fig9(registered):
+    """Fig 9: 'random.randint(1, 1000)' recommends NumberProducer."""
+    client, _ = registered
+    recs = client.code_Recommendation("random.randint(1, 1000)")
+    assert recs[0]["peName"] == "NumberProducer"
+    assert recs[0]["score"] >= 6.0
+    wf_recs = client.code_Recommendation("random.randint(1, 1000)", kind="workflow")
+    assert wf_recs[0]["workflowName"] == "isprime_wf"
+
+
+def test_run_registered_workflow_streams(registered):
+    client, _ = registered
+    streamed = []
+    summary = client.run("isprime_wf", input=30, on_line=streamed.append)
+    assert summary.ok
+    assert streamed and all("prime" in line for line in streamed)
+    assert summary.lines == streamed
+    assert summary.execution_id is not None
+
+
+def test_run_multiprocess(registered):
+    client, _ = registered
+    summary = client.run_multiprocess("isprime_wf", input=10, num_processes=9, verbose=True)
+    assert summary.ok
+    assert summary.iterations["NumberProducer0"] == 10
+    assert any("Processed" in l for l in summary.logs)
+
+
+def test_run_dynamic_listing3(registered):
+    """Listing 3: one-argument dynamic run."""
+    client, _ = registered
+    summary = client.run_dynamic("isprime_wf", input=5)
+    assert summary.ok
+
+
+def test_run_local_graph(client):
+    graph = pipeline(RangeProducer("src"), Collect("sink"))
+    summary = client.run(graph, input=3)
+    assert summary.ok
+    assert len([l for l in summary.logs if "got" in l]) == 3
+
+
+def test_run_local_graph_process_modes(client):
+    graph = pipeline(RangeProducer("src"), Collect("sink"))
+    summary = client.run(graph, input=4, process=Process.DYNAMIC)
+    assert summary.ok
+
+
+def test_run_unknown_workflow_raises(client):
+    with pytest.raises(ClientError) as err:
+        client.run("ghost_wf", input=1)
+    assert err.value.status == 404
+
+
+def test_run_with_resources(tmp_path, client):
+    data_file = tmp_path / "values.txt"
+    data_file.write_text("10\n20\n30\n")
+    wf = """
+class SumFile(ProducerPE):
+    def _process(self, inputs):
+        with open(RESOURCES["values.txt"]) as fh:
+            total = sum(int(line) for line in fh)
+        print(f"total={total}")
+        return total
+
+g = WorkflowGraph()
+g.add(SumFile("SumFile"))
+"""
+    client.register_Workflow(wf, name="sum_wf")
+    summary = client.run("sum_wf", input=1, resources=[data_file])
+    assert summary.ok
+    assert summary.outputs["SumFile.output"] == [60]
+    # second run: resource served from cache, no re-upload needed
+    summary2 = client.run("sum_wf", input=1, resources=[data_file])
+    assert summary2.ok
+
+
+def test_run_summary_error_surface(client):
+    client.register_Workflow(
+        "class B(IterativePE):\n"
+        "    def _process(self, x):\n"
+        "        raise RuntimeError('nope')\n"
+        "b = B('B')\n"
+        "graph = WorkflowGraph()\n"
+        "graph.add(b)\n",
+        name="bad",
+    )
+    summary = client.run("bad", input=[{"input": 1}])
+    assert not summary.ok
+    assert "nope" in (summary.error or "")
+
+
+def test_visualize_workflow(registered):
+    client, _ = registered
+    body = client.visualize_Workflow("isprime_wf")
+    assert "NumberProducer" in body["text"]
+    assert body["dot"].startswith("digraph")
+    assert set(body["roots"]) == {"NumberProducer"}
+    assert body["edges"] == 2
+
+
+def test_visualize_unknown_workflow(client):
+    with pytest.raises(ClientError):
+        client.visualize_Workflow("ghost")
+
+
+def test_run_summary_carries_timings(registered):
+    client, _ = registered
+    summary = client.run("isprime_wf", input=10)
+    assert summary.timings
+    assert all(v >= 0 for v in summary.timings.values())
+
+
+def test_run_with_sandbox_option(client):
+    client.register_Workflow(
+        "class Spy(ProducerPE):\n"
+        "    def _process(self, inputs):\n"
+        "        return open('/etc/hostname').read()\n"
+        "spy = Spy('Spy')\ngraph = WorkflowGraph()\ngraph.add(spy)\n",
+        name="spy_wf",
+    )
+    unsafe = client.run("spy_wf", input=1)
+    assert unsafe.ok  # default engine mode allows IO
+    sandboxed = client.run("spy_wf", input=1, sandbox=True)
+    assert not sandboxed.ok
+    assert "open()" in (sandboxed.error or "") or "Sandbox" in (sandboxed.error or "")
+
+
+def test_code_completion_via_client(registered):
+    client, _ = registered
+    hits = client.code_Completion(
+        "class IsPrime(IterativePE):\n    def _process(self, num):"
+    )
+    assert hits and hits[0]["peName"] == "IsPrime"
+    assert "return num" in hits[0]["completion"]

@@ -1,0 +1,114 @@
+"""Tests for the controller layer: routing, parameter validation, statuses."""
+
+import pytest
+
+from repro.laminar.server.app import LaminarServer
+
+PE_CODE = (
+    "class Echo(IterativePE):\n"
+    '    """Echoes its input."""\n'
+    "    def _process(self, x):\n"
+    "        return x\n"
+)
+
+
+@pytest.fixture()
+def server():
+    s = LaminarServer()
+    yield s
+    s.close()
+
+
+def call(server, action, **params):
+    return server.handle({"action": action, **params})
+
+
+def test_ping(server):
+    response = call(server, "ping")
+    assert response["status"] == 200
+    assert response["body"]["user"] == "guest"
+
+
+def test_unknown_action_404(server):
+    assert call(server, "warp_drive")["status"] == 404
+
+
+def test_non_dict_payload_400(server):
+    assert server.handle("just a string")["status"] == 400
+    assert server.handle(None)["status"] == 400
+
+
+def test_missing_required_param_400(server):
+    response = call(server, "register_pe")  # no code
+    assert response["status"] == 400
+    assert "code" in response["body"]["error"]
+
+
+def test_schema_action_lists_table2(server):
+    body = call(server, "schema")["body"]
+    tables = {t["table"] for t in body["tables"]}
+    assert "ProcessingElement" in tables
+
+
+def test_actions_listing_is_complete(server):
+    actions = server.router.actions()
+    for expected in (
+        "register_user", "login", "register_pe", "register_workflow",
+        "get_pe", "get_workflow", "get_pes_by_workflow", "get_registry",
+        "describe", "update_pe_description", "update_workflow_description",
+        "remove_pe", "remove_workflow", "remove_all", "search_literal",
+        "search_semantic", "code_recommendation", "run", "check_resources",
+        "upload_resource", "visualize", "ping", "schema",
+    ):
+        assert expected in actions
+
+
+def test_describe_requires_valid_kind(server):
+    call(server, "register_pe", code=PE_CODE)
+    response = call(server, "describe", kind="gadget", id="Echo")
+    assert response["status"] == 400
+
+
+def test_invalid_token_401(server):
+    response = call(server, "ping", token="forged")
+    assert response["status"] == 401
+
+
+def test_internal_errors_become_500(server):
+    # break the registry under the router to exercise the 500 path
+    server.registry.pes = None
+    response = call(server, "get_registry")
+    assert response["status"] == 500
+    assert "error" in response["body"]
+
+
+def test_run_options_forwarded(server):
+    call(
+        server,
+        "register_workflow",
+        code=PE_CODE + "\ne = Echo('E')\ngraph = WorkflowGraph()\ngraph.add(e)\n",
+        name="echo_wf",
+    )
+    response = call(
+        server,
+        "run",
+        id="echo_wf",
+        input=[{"input": "hi"}],
+        mapping="simple",
+    )
+    assert response["status"] == 200
+
+
+def test_code_recommendation_params(server):
+    call(server, "register_pe", code=PE_CODE)
+    response = call(
+        server, "code_recommendation", snippet="x + 1", topK=2, threshold=0.0
+    )
+    assert response["status"] == 200
+    assert isinstance(response["body"], list)
+
+
+def test_search_semantic_topk_coercion(server):
+    call(server, "register_pe", code=PE_CODE)
+    response = call(server, "search_semantic", query="echo", topK="3")
+    assert response["status"] == 200

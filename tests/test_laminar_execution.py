@@ -1,0 +1,371 @@
+"""Tests for the execution engine, streaming, auto-import and resources."""
+
+import time
+
+import pytest
+
+from repro.laminar.execution import (
+    ExecutionEngine,
+    ResourceCache,
+    StdoutRouter,
+    auto_import,
+    file_digest,
+)
+from repro.laminar.execution.autoimport import missing_modules
+from repro.laminar.execution.resources import ResourceManifestEntry
+
+WF = """
+class Source(ProducerPE):
+    def _process(self, inputs):
+        return inputs.get("_data", 1) if isinstance(inputs, dict) else 1
+
+class Printer(ConsumerPE):
+    def _process(self, item):
+        print(f"item={item}")
+
+s = Source("Source")
+p = Printer("Printer")
+graph = WorkflowGraph()
+graph.connect(s, "output", p, "input")
+"""
+
+
+# -- auto-import -----------------------------------------------------------
+
+
+def test_missing_modules_detects_random():
+    code = "class X:\n    def f(self):\n        return random.randint(1, 5)\n"
+    assert missing_modules(code) == ["random"]
+
+
+def test_missing_modules_ignores_imported():
+    code = "import random\nx = random.random()\n"
+    assert missing_modules(code) == []
+
+
+def test_missing_modules_ignores_bound_names():
+    code = "math = object()\nx = math\n"
+    assert missing_modules(code) == []
+
+
+def test_missing_modules_ignores_unknown_names():
+    code = "x = mystery_helper()\n"
+    assert missing_modules(code) == []
+
+
+def test_missing_modules_respects_provided():
+    code = "x = json.dumps({})\n"
+    assert missing_modules(code, provided={"json"}) == []
+
+
+def test_auto_import_prepends():
+    code = "x = math.sqrt(2)\ny = json.dumps(x)\n"
+    patched = auto_import(code)
+    assert patched.startswith("import json\nimport math\n")
+    exec(compile(patched, "<test>", "exec"), {})
+
+
+def test_auto_import_noop():
+    code = "x = 1\n"
+    assert auto_import(code) is code
+
+
+# -- stdout streaming ------------------------------------------------------------
+
+
+def test_run_streaming_yields_lines_live():
+    router = StdoutRouter.instance()
+    seen_at = []
+
+    def work():
+        for i in range(3):
+            print(f"line{i}")
+            time.sleep(0.02)
+
+    start = time.monotonic()
+    for line in router.run_streaming(work):
+        seen_at.append((line, time.monotonic() - start))
+    total = time.monotonic() - start
+    assert [l for l, _ in seen_at] == ["line0", "line1", "line2"]
+    # liveness: the first line arrived while the work was still running
+    # (strictly before the stream completed), not after a batch drain.
+    assert seen_at[0][1] < total
+    assert seen_at[0][1] < seen_at[-1][1]
+
+
+def test_run_streaming_propagates_errors_after_output():
+    router = StdoutRouter.instance()
+
+    def work():
+        print("partial")
+        raise RuntimeError("boom")
+
+    lines = []
+    with pytest.raises(RuntimeError, match="boom"):
+        for line in router.run_streaming(work):
+            lines.append(line)
+    assert lines == ["partial"]
+
+
+def test_run_streaming_unterminated_tail_flushed():
+    router = StdoutRouter.instance()
+
+    def work():
+        import sys
+
+        sys.stdout.write("no newline")
+
+    assert list(router.run_streaming(work)) == ["no newline"]
+
+
+def test_concurrent_streams_do_not_interleave():
+    import threading
+
+    router = StdoutRouter.instance()
+    results = {}
+
+    def run(tag):
+        def work():
+            for i in range(5):
+                print(f"{tag}-{i}")
+                time.sleep(0.005)
+
+        results[tag] = list(router.run_streaming(work))
+
+    threads = [threading.Thread(target=run, args=(t,)) for t in ("a", "b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert results["a"] == [f"a-{i}" for i in range(5)]
+    assert results["b"] == [f"b-{i}" for i in range(5)]
+
+
+def test_stdout_restored_after_streams():
+    import sys
+
+    router = StdoutRouter.instance()
+    list(router.run_streaming(lambda: print("x")))
+    assert not isinstance(sys.stdout, type(None))
+    print("", end="")  # must not explode
+
+
+# -- resource cache ------------------------------------------------------------------
+
+
+def test_cache_put_get_roundtrip(tmp_path):
+    cache = ResourceCache(tmp_path)
+    digest = cache.put(b"hello world")
+    assert cache.has(digest)
+    assert cache.get(digest) == b"hello world"
+
+
+def test_cache_put_idempotent(tmp_path):
+    cache = ResourceCache(tmp_path)
+    d1 = cache.put(b"data")
+    d2 = cache.put(b"data")
+    assert d1 == d2
+    assert cache.stats.uploads == 1
+
+
+def test_cache_missing_names(tmp_path):
+    cache = ResourceCache(tmp_path)
+    d = cache.put(b"present")
+    manifest = [
+        ResourceManifestEntry("have.txt", d),
+        ResourceManifestEntry("need.txt", "f" * 64),
+    ]
+    assert cache.missing(manifest) == ["need.txt"]
+
+
+def test_cache_materialize(tmp_path):
+    cache = ResourceCache(tmp_path / "cache")
+    d = cache.put(b"contents")
+    placed = cache.materialize(
+        [ResourceManifestEntry("input.csv", d)], tmp_path / "run"
+    )
+    assert open(placed["input.csv"], "rb").read() == b"contents"
+    assert cache.stats.cache_hits == 1
+
+
+def test_cache_materialize_missing_raises(tmp_path):
+    cache = ResourceCache(tmp_path)
+    with pytest.raises(KeyError):
+        cache.materialize([ResourceManifestEntry("x", "e" * 64)], tmp_path / "run")
+
+
+def test_cache_rejects_bad_digest(tmp_path):
+    cache = ResourceCache(tmp_path)
+    with pytest.raises(ValueError):
+        cache.has("../../etc/passwd")
+
+
+def test_file_digest_stable():
+    assert file_digest(b"abc") == file_digest(b"abc")
+    assert file_digest(b"abc") != file_digest(b"abd")
+
+
+# -- engine -----------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def engine():
+    return ExecutionEngine()
+
+
+def test_engine_executes_simple(engine):
+    outcome = engine.execute(WF, input=3)
+    assert outcome.status == "success"
+    assert outcome.iterations["Source0"] == 3
+    assert sum(1 for l in outcome.logs if l.startswith("item=")) == 3
+
+
+def test_engine_streams_lines(engine):
+    stream, outcome = engine.execute_streaming(WF, input=2)
+    lines = list(stream)
+    assert lines == ["item=1", "item=1"]
+    assert outcome.status == "success"
+
+
+def test_engine_finds_named_graph(engine):
+    code = WF.replace("graph", "mygraph")
+    outcome = engine.execute(code, input=1, graph_name="mygraph")
+    assert outcome.status == "success"
+
+
+def test_engine_graph_factory(engine):
+    code = """
+class Src(ProducerPE):
+    def _process(self, inputs):
+        return 7
+
+def create_workflow():
+    g = WorkflowGraph()
+    g.add(Src("Src"))
+    return g
+"""
+    outcome = engine.execute(code, input=1)
+    assert outcome.status == "success"
+    assert outcome.outputs == {"Src.output": [7]}
+
+
+def test_engine_no_graph_is_error(engine):
+    outcome = engine.execute("x = 1\n")
+    assert outcome.status == "error"
+    assert "WorkflowGraph" in outcome.error
+
+
+def test_engine_bad_graph_name(engine):
+    outcome = engine.execute(WF, graph_name="nonexistent")
+    assert outcome.status == "error"
+
+
+def test_engine_auto_imports_dependencies(engine):
+    code = """
+class R(ProducerPE):
+    def _process(self, inputs):
+        return random.randint(0, 10)
+
+g = WorkflowGraph()
+g.add(R("R"))
+"""
+    outcome = engine.execute(code, input=5)
+    assert outcome.status == "success"
+    assert len(outcome.outputs["R.output"]) == 5
+
+
+def test_engine_multi_mapping(engine):
+    outcome = engine.execute(WF, input=6, mapping="multi", num_processes=4)
+    assert outcome.status == "success"
+    assert sum(v for k, v in outcome.iterations.items() if k.startswith("Printer")) == 6
+
+
+def test_engine_dynamic_mapping(engine):
+    outcome = engine.execute(WF, input=6, mapping="dynamic")
+    assert outcome.status == "success"
+
+
+def test_engine_materializes_resources(engine, tmp_path):
+    data = b"1,2,3\n4,5,6\n"
+    digest = engine.cache.put(data)
+    code = """
+class FileReader(ProducerPE):
+    def _process(self, inputs):
+        return open(RESOURCES["numbers.csv"]).read().count(",")
+
+g = WorkflowGraph()
+g.add(FileReader("FileReader"))
+"""
+    outcome = engine.execute(
+        code, input=1, resources=[{"name": "numbers.csv", "digest": digest}]
+    )
+    assert outcome.status == "success"
+    assert outcome.outputs["FileReader.output"] == [4]
+
+
+def test_engine_outputs_json_safe(engine):
+    code = """
+class ObjSource(ProducerPE):
+    def _process(self, inputs):
+        return object()
+
+g = WorkflowGraph()
+g.add(ObjSource("ObjSource"))
+"""
+    outcome = engine.execute(code, input=1)
+    (value,) = outcome.outputs["ObjSource.output"]
+    assert isinstance(value, str) and "object" in value
+
+
+def test_engine_inspect_returns_renderings(engine):
+    info = engine.inspect(WF)
+    assert info["pes"] == ["Source", "Printer"]
+    assert info["roots"] == ["Source"]
+    assert info["edges"] == 1
+    assert "Source" in info["text"]
+    assert info["dot"].startswith("digraph")
+
+
+def test_engine_inspect_does_not_execute(engine):
+    code = WF + "\nSIDE_EFFECT = []\nSIDE_EFFECT.append(1)\n"
+    # inspect executes module top-level (graph construction) but never
+    # enacts the workflow: no iterations, no output.
+    info = engine.inspect(code)
+    assert info["edges"] == 1
+
+
+def test_engine_inspect_propagates_errors(engine):
+    with pytest.raises(ValueError, match="WorkflowGraph"):
+        engine.inspect("x = 1\n")
+
+
+def test_stdout_router_timeout():
+    import time as _t
+
+    from repro.laminar.execution.streaming import StdoutRouter
+
+    def hang():
+        _t.sleep(1.0)
+        print("late")
+
+    router = StdoutRouter.instance()
+    with pytest.raises(TimeoutError):
+        for _ in router.run_streaming(hang, timeout=0.05):
+            pass
+
+
+def test_engine_inactivity_timeout(engine):
+    code = """
+import time
+
+class Stall(ProducerPE):
+    def _process(self, inputs):
+        time.sleep(0.5)
+        return 1
+
+g = WorkflowGraph()
+g.add(Stall("Stall"))
+"""
+    outcome = engine.execute(code, input=1, inactivity_timeout=0.05)
+    assert outcome.status == "error"
+    assert "wedged" in outcome.error or "TimeoutError" in outcome.error

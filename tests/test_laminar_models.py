@@ -1,0 +1,85 @@
+"""Unit tests for the server model records (repro.laminar.server.models)."""
+
+import json
+
+from repro.laminar.server.models import (
+    ExecutionRecord,
+    PERecord,
+    ResponseRecord,
+    UserRecord,
+    WorkflowRecord,
+)
+
+
+def test_user_public_hides_password():
+    user = UserRecord(userId=1, userName="alice", passwordHash="salt:deadbeef")
+    public = user.to_public()
+    assert public == {"userId": 1, "userName": "alice"}
+    assert "passwordHash" not in public
+
+
+def make_pe(**overrides):
+    defaults = dict(
+        peId=7,
+        userId=1,
+        peName="IsPrime",
+        peCode="class IsPrime(IterativePE): pass",
+        description="checks primes",
+        descEmbedding=json.dumps([0.1, -0.2]),
+        sptEmbedding=json.dumps({"f": 2, "g": 1}),
+    )
+    defaults.update(overrides)
+    return PERecord(**defaults)
+
+
+def test_pe_vector_and_features_parse_json():
+    pe = make_pe()
+    assert pe.desc_vector() == [0.1, -0.2]
+    assert pe.spt_features() == {"f": 2, "g": 1}
+
+
+def test_pe_empty_embeddings():
+    pe = make_pe(descEmbedding="", sptEmbedding="")
+    assert pe.desc_vector() == []
+    assert pe.spt_features() == {}
+
+
+def test_pe_public_with_and_without_code():
+    pe = make_pe()
+    with_code = pe.to_public(include_code=True)
+    without = pe.to_public(include_code=False)
+    assert "peCode" in with_code
+    assert "peCode" not in without
+    assert without["peName"] == "IsPrime"
+    # embeddings never leak into public payloads
+    assert "descEmbedding" not in with_code
+    assert "sptEmbedding" not in with_code
+
+
+def test_workflow_public_shapes():
+    wf = WorkflowRecord(
+        workflowId=3,
+        userId=1,
+        workflowName="wf",
+        workflowCode="graph = WorkflowGraph()",
+        descEmbedding=json.dumps([1.0]),
+        sptEmbedding=json.dumps({"x": 1}),
+    )
+    assert wf.desc_vector() == [1.0]
+    assert wf.spt_features() == {"x": 1}
+    assert "workflowCode" not in wf.to_public(include_code=False)
+    assert wf.to_public()["workflowName"] == "wf"
+
+
+def test_execution_public_is_full_record():
+    record = ExecutionRecord(
+        executionId=1, workflowId=2, userId=3, mapping="multi", status="success"
+    )
+    public = record.to_public()
+    assert public["mapping"] == "multi"
+    assert public["status"] == "success"
+
+
+def test_response_public_roundtrip():
+    record = ResponseRecord(responseId=1, executionId=2, output="{}", logLines="a\nb")
+    assert record.to_public()["logLines"] == "a\nb"

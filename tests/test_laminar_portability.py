@@ -1,0 +1,124 @@
+"""Tests for registry export/import and server metrics."""
+
+import json
+
+import pytest
+
+from repro.laminar import LaminarClient
+from repro.laminar.client.client import ClientError
+
+WF = '''
+class Gen(ProducerPE):
+    """Generates ones."""
+    def _process(self, inputs):
+        return 1
+
+class Neg(IterativePE):
+    """Negates numbers."""
+    def _process(self, x):
+        return -x
+
+g_pe = Gen("Gen")
+n_pe = Neg("Neg")
+graph = WorkflowGraph()
+graph.connect(g_pe, "output", n_pe, "input")
+'''
+
+
+@pytest.fixture()
+def seeded():
+    client = LaminarClient()
+    client.register_Workflow(WF, name="neg_wf")
+    client.register_PE(
+        'class Extra(IterativePE):\n    """Extra PE."""\n'
+        "    def _process(self, x):\n        return x\n"
+    )
+    return client
+
+
+def test_export_contains_everything(seeded):
+    dump = seeded.export_Registry()
+    assert dump["version"] == 1
+    assert {p["peName"] for p in dump["pes"]} == {"Gen", "Neg", "Extra"}
+    assert dump["workflows"][0]["workflowName"] == "neg_wf"
+    assert len(dump["workflows"][0]["peIds"]) == 2
+    # embeddings travel with the dump
+    assert dump["pes"][0]["sptEmbedding"]
+
+
+def test_roundtrip_into_fresh_server(seeded):
+    dump = seeded.export_Registry()
+    fresh = LaminarClient()
+    counts = fresh.import_Registry(dump)
+    assert counts == {"pes": 3, "workflows": 1}
+
+    # links survived with remapped ids
+    pes = fresh.get_PEs_By_Workflow("neg_wf")
+    assert {p["peName"] for p in pes} == {"Gen", "Neg"}
+
+    # the imported workflow is actually runnable
+    summary = fresh.run("neg_wf", input=3)
+    assert summary.ok
+    assert summary.outputs["Neg.output"] == [-1, -1, -1]
+
+    # search works because embeddings were imported, not recomputed
+    hits = fresh.search_Registry_Semantic("negates numbers")
+    assert hits[0]["peName"] == "Neg"
+
+
+def test_import_accepts_json_string(seeded):
+    dump_text = json.dumps(seeded.export_Registry())
+    fresh = LaminarClient()
+    counts = fresh.import_Registry(dump_text)
+    assert counts["pes"] == 3
+
+
+def test_import_rejects_bad_version(seeded):
+    with pytest.raises(ClientError) as err:
+        seeded.import_Registry({"version": 99})
+    assert err.value.status == 400
+
+
+def test_import_rejects_garbage(seeded):
+    with pytest.raises(ClientError):
+        seeded.import_Registry({"pes": "nope"})
+
+
+def test_export_empty_registry():
+    dump = LaminarClient().export_Registry()
+    assert dump["pes"] == [] and dump["workflows"] == []
+
+
+# -- server metrics -----------------------------------------------------------
+
+
+def test_stats_action_counts_requests(seeded):
+    server = seeded._transport._server
+    seeded.get_Registry()
+    seeded.get_Registry()
+    stats = server.handle({"action": "stats"})["body"]
+    assert stats["total_requests"] >= 2
+    assert stats["by_action"]["get_registry"]["requests"] >= 2
+    assert stats["uptime_seconds"] >= 0
+
+
+def test_stats_tracks_errors(seeded):
+    server = seeded._transport._server
+    with pytest.raises(ClientError):
+        seeded.get_PE("no-such-pe")
+    stats = server.handle({"action": "stats"})["body"]
+    assert stats["by_action"]["get_pe"]["errors"] >= 1
+
+
+def test_stats_latency_is_positive(seeded):
+    server = seeded._transport._server
+    seeded.get_Registry()
+    stats = server.handle({"action": "stats"})["body"]
+    assert stats["by_action"]["get_registry"]["mean_ms"] >= 0.0
+
+
+def test_stats_not_self_counted(seeded):
+    server = seeded._transport._server
+    server.handle({"action": "stats"})
+    stats = server.handle({"action": "stats"})["body"]
+    assert "stats" not in stats["by_action"]

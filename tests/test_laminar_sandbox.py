@@ -1,0 +1,176 @@
+"""Tests for the sandboxed execution mode."""
+
+import pytest
+
+from repro.laminar.execution import ExecutionEngine
+from repro.laminar.execution.sandbox import (
+    SandboxViolation,
+    make_sandbox_builtins,
+)
+
+
+@pytest.fixture()
+def engine():
+    return ExecutionEngine()
+
+
+GOOD_WF = """
+import math
+
+class Root(ProducerPE):
+    def _process(self, inputs):
+        return math.sqrt(16)
+
+g = WorkflowGraph()
+g.add(Root("Root"))
+"""
+
+
+def test_sandbox_allows_computation(engine):
+    outcome = engine.execute(GOOD_WF, input=1, sandbox=True)
+    assert outcome.status == "success"
+    assert outcome.outputs == {"Root.output": [4.0]}
+
+
+def test_sandbox_blocks_disallowed_import(engine):
+    code = """
+import socket
+
+class X(ProducerPE):
+    def _process(self, inputs):
+        return 1
+
+g = WorkflowGraph()
+g.add(X("X"))
+"""
+    outcome = engine.execute(code, input=1, sandbox=True)
+    assert outcome.status == "error"
+    assert "not permitted" in outcome.error
+
+
+def test_sandbox_blocks_open(engine):
+    code = """
+class Leak(ProducerPE):
+    def _process(self, inputs):
+        return open("/etc/hostname").read()
+
+g = WorkflowGraph()
+g.add(Leak("Leak"))
+"""
+    outcome = engine.execute(code, input=1, sandbox=True)
+    assert outcome.status == "error"
+    assert "open()" in outcome.error or "SandboxViolation" in outcome.error
+
+
+def test_sandbox_blocks_eval_and_exec(engine):
+    for expr in ("eval('1+1')", "exec('x = 1')"):
+        code = f"""
+class E(ProducerPE):
+    def _process(self, inputs):
+        return {expr}
+
+g = WorkflowGraph()
+g.add(E("E"))
+"""
+        outcome = engine.execute(code, input=1, sandbox=True)
+        assert outcome.status == "error"
+
+
+def test_sandbox_open_reaches_resources(engine, tmp_path):
+    digest = engine.cache.put(b"42\n")
+    code = """
+class Reader(ProducerPE):
+    def _process(self, inputs):
+        return int(open(RESOURCES["n.txt"]).read())
+
+g = WorkflowGraph()
+g.add(Reader("Reader"))
+"""
+    outcome = engine.execute(
+        code,
+        input=1,
+        sandbox=True,
+        resources=[{"name": "n.txt", "digest": digest}],
+    )
+    assert outcome.status == "success"
+    assert outcome.outputs == {"Reader.output": [42]}
+
+
+def test_sandbox_open_cannot_escape_resource_dir(engine):
+    digest = engine.cache.put(b"data")
+    code = """
+class Escape(ProducerPE):
+    def _process(self, inputs):
+        return open(RESOURCE_DIR + "/../../etc/hostname").read()
+
+g = WorkflowGraph()
+g.add(Escape("Escape"))
+"""
+    outcome = engine.execute(
+        code,
+        input=1,
+        sandbox=True,
+        resources=[{"name": "f", "digest": digest}],
+    )
+    assert outcome.status == "error"
+
+
+def test_sandbox_open_cannot_write(engine):
+    digest = engine.cache.put(b"data")
+    code = """
+class Writer(ProducerPE):
+    def _process(self, inputs):
+        open(RESOURCES["f"], "w").write("oops")
+        return 1
+
+g = WorkflowGraph()
+g.add(Writer("Writer"))
+"""
+    outcome = engine.execute(
+        code, input=1, sandbox=True, resources=[{"name": "f", "digest": digest}]
+    )
+    assert outcome.status == "error"
+
+
+def test_unsandboxed_open_still_works(engine, tmp_path):
+    path = tmp_path / "free.txt"
+    path.write_text("free")
+    code = f"""
+class Free(ProducerPE):
+    def _process(self, inputs):
+        return open({str(path)!r}).read()
+
+g = WorkflowGraph()
+g.add(Free("Free"))
+"""
+    outcome = engine.execute(code, input=1, sandbox=False)
+    assert outcome.status == "success"
+
+
+# -- unit-level builtins table ------------------------------------------------
+
+
+def test_builtins_table_denies_capabilities():
+    table = make_sandbox_builtins()
+    for denied in ("exec", "eval", "compile", "input", "breakpoint"):
+        assert denied not in table
+
+
+def test_builtins_table_guards_import():
+    table = make_sandbox_builtins()
+    module = table["__import__"]("math")
+    assert module.sqrt(4) == 2
+    with pytest.raises(SandboxViolation):
+        table["__import__"]("subprocess")
+
+
+def test_builtins_open_without_resources():
+    table = make_sandbox_builtins(resource_dir=None)
+    with pytest.raises(SandboxViolation):
+        table["open"]("/etc/hostname")
+
+
+def test_builtins_keeps_computation():
+    table = make_sandbox_builtins()
+    for name in ("len", "range", "sum", "min", "max", "sorted", "print", "isinstance"):
+        assert name in table

@@ -1,0 +1,387 @@
+"""Tests for the server's service layer (auth, registry, execution)."""
+
+import pytest
+
+from repro.laminar.server.app import LaminarServer
+from repro.laminar.server.services import ServiceError
+
+ISPRIME_PE = '''
+class IsPrime(IterativePE):
+    """Checks whether a given number is prime and returns it if so."""
+
+    def _process(self, num):
+        if num > 1 and all(num % i != 0 for i in range(2, num)):
+            return num
+'''
+
+ANOMALY_PE = """
+class AnomalyDetectionPE(IterativePE):
+    def _process(self, record):
+        if abs(record - self.mean) > self.threshold:
+            return record
+"""
+
+WF_SOURCE = (
+    "import random\n"
+    + ISPRIME_PE
+    + """
+class NumberProducer(ProducerPE):
+    def _process(self, inputs):
+        return random.randint(1, 1000)
+
+graph = WorkflowGraph()
+prod = NumberProducer("NumberProducer")
+prime = IsPrime("IsPrime")
+graph.connect(prod, "output", prime, "input")
+"""
+)
+
+
+@pytest.fixture()
+def server():
+    s = LaminarServer()
+    yield s
+    s.close()
+
+
+@pytest.fixture()
+def guest(server):
+    return server.auth.resolve(None)
+
+
+# -- auth ---------------------------------------------------------------------
+
+
+def test_register_and_login(server):
+    server.auth.register("alice", "pw")
+    session = server.auth.login("alice", "pw")
+    assert session["token"]
+    user = server.auth.resolve(session["token"])
+    assert user.userName == "alice"
+
+
+def test_login_wrong_password(server):
+    server.auth.register("alice", "pw")
+    with pytest.raises(ServiceError) as err:
+        server.auth.login("alice", "nope")
+    assert err.value.status == 401
+
+
+def test_duplicate_user_rejected(server):
+    server.auth.register("alice", "pw")
+    with pytest.raises(ServiceError) as err:
+        server.auth.register("alice", "pw")
+    assert err.value.status == 409
+
+
+def test_invalid_token_rejected(server):
+    with pytest.raises(ServiceError):
+        server.auth.resolve("bogus-token")
+
+
+def test_guest_fallback(server):
+    guest = server.auth.resolve(None)
+    assert guest.userName == "guest"
+    assert server.auth.resolve(None).userId == guest.userId
+
+
+def test_password_hashes_are_salted(server):
+    a = server.auth.register("a", "same")
+    b = server.auth.register("b", "same")
+    ha = server.users.by_name("a").passwordHash
+    hb = server.users.by_name("b").passwordHash
+    assert ha != hb
+
+
+# -- PE registration ------------------------------------------------------------
+
+
+def test_register_pe_generates_metadata(server, guest):
+    pe = server.registry.register_pe(guest, ISPRIME_PE)
+    assert pe.peName == "IsPrime"
+    assert "prime" in pe.description.lower()
+    assert len(pe.desc_vector()) > 0
+    assert len(pe.spt_features()) > 0
+
+
+def test_register_pe_explicit_description_kept(server, guest):
+    pe = server.registry.register_pe(guest, ISPRIME_PE, description="Custom desc.")
+    assert pe.description == "Custom desc."
+
+
+def test_register_pe_without_class_requires_name(server, guest):
+    with pytest.raises(ServiceError) as err:
+        server.registry.register_pe(guest, "def foo():\n    return 1")
+    assert err.value.status == 400
+    pe = server.registry.register_pe(guest, "def foo():\n    return 1", name="FooPE")
+    assert pe.peName == "FooPE"
+
+
+def test_register_pe_invalid_code(server, guest):
+    with pytest.raises(ServiceError) as err:
+        server.registry.register_pe(guest, "class X(IterativePE:")
+    assert err.value.status == 400
+
+
+def test_extract_pe_classes_filters_non_pes(server):
+    code = ISPRIME_PE + "\nclass Helper:\n    pass\n"
+    classes = server.registry.extract_pe_classes(code)
+    assert [name for name, _ in classes] == ["IsPrime"]
+
+
+def test_extract_pe_classes_dotted_base(server):
+    code = "class X(core.IterativePE):\n    pass\n"
+    assert [n for n, _ in server.registry.extract_pe_classes(code)] == ["X"]
+
+
+# -- workflow registration ----------------------------------------------------------
+
+
+def test_register_workflow_registers_pes_and_links(server, guest):
+    wf, pes = server.registry.register_workflow(guest, WF_SOURCE, "isprime_wf")
+    assert wf.workflowName == "isprime_wf"
+    assert {pe.peName for pe in pes} == {"IsPrime", "NumberProducer"}
+    linked = server.workflows.pes_of(wf.workflowId)
+    assert len(linked) == 2
+    assert "prime" in wf.description.lower()
+
+
+def test_workflow_description_generated_from_pes(server, guest):
+    wf, _ = server.registry.register_workflow(guest, WF_SOURCE, "isprime_wf")
+    assert wf.description.startswith("Workflow isprime wf")
+
+
+# -- lookup and updates -----------------------------------------------------------------
+
+
+def test_get_pe_by_id_and_name(server, guest):
+    pe = server.registry.register_pe(guest, ISPRIME_PE)
+    assert server.registry.get_pe(pe.peId).peId == pe.peId
+    assert server.registry.get_pe("IsPrime").peId == pe.peId
+    with pytest.raises(ServiceError) as err:
+        server.registry.get_pe("Missing")
+    assert err.value.status == 404
+
+
+def test_update_pe_description_reembeds(server, guest):
+    pe = server.registry.register_pe(guest, ISPRIME_PE)
+    old_vec = pe.desc_vector()
+    updated = server.registry.update_pe_description(pe.peId, "finds prime integers")
+    assert updated.description == "finds prime integers"
+    assert updated.desc_vector() != old_vec
+
+
+def test_registry_listing(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    server.registry.register_workflow(guest, WF_SOURCE, "wf")
+    listing = server.registry.registry_listing()
+    assert len(listing["pes"]) >= 2
+    assert len(listing["workflows"]) == 1
+
+
+def test_remove_all(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    server.registry.register_workflow(guest, WF_SOURCE, "wf")
+    result = server.registry.remove_all()
+    assert result["pes_removed"] >= 1
+    assert result["workflows_removed"] == 1
+
+
+# -- search ----------------------------------------------------------------------------------
+
+
+def test_literal_search(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    server.registry.register_pe(guest, ANOMALY_PE)
+    hits = server.registry.literal_search("anomaly", kind="pe")
+    assert [h["peName"] for h in hits["pes"]] == ["AnomalyDetectionPE"]
+
+
+def test_semantic_search_orders_by_cosine(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    server.registry.register_pe(guest, ANOMALY_PE)
+    results = server.registry.semantic_search("a pe that is able to detect anomalies")
+    assert results[0]["peName"] == "AnomalyDetectionPE"
+    sims = [r["cosine_similarity"] for r in results]
+    assert sims == sorted(sims, reverse=True)
+
+
+def test_semantic_search_empty_registry(server):
+    assert server.registry.semantic_search("anything") == []
+
+
+def test_code_recommendation_spt_threshold(server, guest):
+    wf, _ = server.registry.register_workflow(guest, WF_SOURCE, "isprime_wf")
+    hits = server.registry.code_recommendation("random.randint(1, 1000)")
+    assert hits and hits[0]["peName"] == "NumberProducer"
+    assert hits[0]["score"] >= 6.0
+
+
+def test_code_recommendation_llm_mode(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    hits = server.registry.code_recommendation(
+        ISPRIME_PE, embedding_type="llm", threshold=0.5
+    )
+    assert hits and hits[0]["peName"] == "IsPrime"
+
+
+def test_code_recommendation_workflow_kind(server, guest):
+    server.registry.register_workflow(guest, WF_SOURCE, "isprime_wf")
+    hits = server.registry.code_recommendation(
+        "random.randint(1, 1000)", kind="workflow"
+    )
+    assert hits and hits[0]["workflowName"] == "isprime_wf"
+    assert hits[0]["occurrences"] >= 1
+
+
+def test_code_recommendation_workflow_llm_rejected(server):
+    with pytest.raises(ServiceError) as err:
+        server.registry.code_recommendation("x", kind="workflow", embedding_type="llm")
+    assert err.value.status == 400
+
+
+def test_code_recommendation_bad_embedding_type(server):
+    with pytest.raises(ServiceError):
+        server.registry.code_recommendation("x", embedding_type="bert")
+
+
+def test_code_recommendation_unparseable_snippet(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    with pytest.raises(ServiceError) as err:
+        server.registry.code_recommendation("£$%^&*")
+    assert err.value.status == 400
+
+
+# -- execution service --------------------------------------------------------------------------
+
+
+def test_run_workflow_streams_and_records(server, guest):
+    wf, _ = server.registry.register_workflow(guest, WF_SOURCE, "isprime_wf")
+    stream = server.execution.run_workflow(guest, "isprime_wf", input=10)
+    lines = list(stream.chunks)
+    summary = stream.summary()
+    assert summary["status"] == "success"
+    executions = server.executions.for_workflow(wf.workflowId)
+    assert len(executions) == 1 and executions[0].status == "success"
+    responses = server.responses.for_execution(executions[0].executionId)
+    assert len(responses) == 1
+
+
+def test_run_workflow_error_recorded(server, guest):
+    bad = "class Boom(IterativePE):\n    def _process(self, x):\n        raise ValueError('x')\n"
+    wf, _ = server.registry.register_workflow(
+        guest,
+        bad + "\nb = Boom('B')\ngraph = WorkflowGraph()\ngraph.add(b)",
+        "bad_wf",
+    )
+    stream = server.execution.run_workflow(guest, "bad_wf", input=[{"input": 1}])
+    list(stream.chunks)
+    assert stream.summary()["status"] == "error"
+
+
+def test_run_unknown_workflow(server, guest):
+    with pytest.raises(ServiceError) as err:
+        server.execution.run_workflow(guest, "ghost")
+    assert err.value.status == 404
+
+
+def test_resource_handshake(server, guest):
+    manifest = [{"name": "data.txt", "digest": "a" * 64}]
+    missing = server.execution.check_resources(manifest)["missing"]
+    assert missing == ["data.txt"]
+    uploaded = server.execution.upload_resource(b"hello".hex())
+    manifest2 = [{"name": "data.txt", "digest": uploaded["digest"]}]
+    assert server.execution.check_resources(manifest2)["missing"] == []
+
+
+def test_run_with_missing_resources_rejected(server, guest):
+    server.registry.register_workflow(guest, WF_SOURCE, "wf")
+    with pytest.raises(ServiceError) as err:
+        server.execution.run_workflow(
+            guest, "wf", resources=[{"name": "f.txt", "digest": "b" * 64}]
+        )
+    assert err.value.status == 428
+
+
+# -- search-index caching -------------------------------------------------------
+
+
+def test_search_cache_invalidated_on_registration(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    first = server.registry.semantic_search("prime numbers")
+    assert first[0]["peName"] == "IsPrime"
+    # register a better match: the cache must pick it up immediately
+    server.registry.register_pe(guest, ANOMALY_PE)
+    results = server.registry.semantic_search("detect anomalies in records")
+    assert any(r["peName"] == "AnomalyDetectionPE" for r in results)
+
+
+def test_search_cache_invalidated_on_removal(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    server.registry.register_pe(guest, ANOMALY_PE)
+    server.registry.semantic_search("prime")  # warm the cache
+    server.registry.remove_pe("IsPrime")
+    names = {r["peName"] for r in server.registry.semantic_search("prime")}
+    assert "IsPrime" not in names
+
+
+def test_code_cache_invalidated_on_update(server, guest):
+    pe = server.registry.register_pe(guest, ISPRIME_PE)
+    server.registry.code_recommendation("num % 2", threshold=0.0)  # warm
+    server.registry.update_pe_description(pe.peId, "entirely new words")
+    hits = server.registry.code_recommendation("num % 2", threshold=0.0)
+    match = next(h for h in hits if h["peName"] == "IsPrime")
+    assert match["description"] == "entirely new words"
+
+
+def test_cached_search_is_faster_than_cold(server, guest):
+    import time as _t
+
+    for i in range(60):
+        server.registry.register_pe(
+            guest,
+            f"class Cached{i}(IterativePE):\n"
+            f'    """PE number {i} doing arithmetic."""\n'
+            f"    def _process(self, x):\n        return x + {i}\n",
+        )
+    t0 = _t.perf_counter()
+    server.registry.semantic_search("arithmetic")
+    cold = _t.perf_counter() - t0
+    t0 = _t.perf_counter()
+    server.registry.semantic_search("arithmetic")
+    warm = _t.perf_counter() - t0
+    assert warm < cold
+
+
+# -- code completion -----------------------------------------------------------
+
+
+def test_code_completion_returns_continuation(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    partial = "class IsPrime(IterativePE):\n    def _process(self, num):"
+    hits = server.registry.code_completion(partial)
+    assert hits and hits[0]["peName"] == "IsPrime"
+    completion = hits[0]["completion"]
+    # the suggestion is the code AFTER what the developer already typed
+    assert "return num" in completion
+    assert "class IsPrime" not in completion
+
+
+def test_code_completion_skips_fully_typed_matches(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    full = server.registry.get_pe("IsPrime").peCode
+    hits = server.registry.code_completion(full)
+    # nothing left to suggest from the identical PE
+    assert all(h["peName"] != "IsPrime" or h["completion"] for h in hits)
+
+
+def test_code_completion_llm_mode(server, guest):
+    server.registry.register_pe(guest, ISPRIME_PE)
+    hits = server.registry.code_completion(
+        "class IsPrime(IterativePE):", embedding_type="llm"
+    )
+    assert isinstance(hits, list)
+
+
+def test_code_completion_empty_registry(server):
+    assert server.registry.code_completion("def f():") == []

@@ -1,0 +1,228 @@
+"""Tests for frames and the in-process / TCP transports."""
+
+import threading
+
+import pytest
+
+from repro.laminar.server.app import LaminarServer
+from repro.laminar.transport import (
+    Frame,
+    FrameType,
+    InProcessTransport,
+    TcpClientTransport,
+    TcpServerTransport,
+)
+from repro.laminar.transport.inprocess import ServerStream
+
+WF = """
+class Counter(ProducerPE):
+    def _process(self, inputs):
+        print("tick")
+        return 1
+
+c = Counter("Counter")
+graph = WorkflowGraph()
+graph.add(c)
+"""
+
+
+# -- frames -----------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    frame = Frame(3, FrameType.DATA, {"line": "hello"})
+    encoded = frame.encode()
+    decoded = Frame.decode(encoded[4:])
+    assert decoded.stream_id == 3
+    assert decoded.type is FrameType.DATA
+    assert decoded.payload == {"line": "hello"}
+
+
+def test_frame_read_from_file():
+    import io
+
+    buf = io.BytesIO(
+        Frame(1, FrameType.HEADERS, {"a": 1}).encode()
+        + Frame(1, FrameType.END, None).encode()
+    )
+    first = Frame.read_from(buf)
+    second = Frame.read_from(buf)
+    third = Frame.read_from(buf)
+    assert first.type is FrameType.HEADERS
+    assert second.type is FrameType.END
+    assert third is None
+
+
+def test_frame_read_truncated_returns_none():
+    import io
+
+    data = Frame(1, FrameType.DATA, "x").encode()
+    assert Frame.read_from(io.BytesIO(data[:-2])) is None
+
+
+# -- in-process -----------------------------------------------------------------
+
+
+@pytest.fixture()
+def server():
+    s = LaminarServer()
+    yield s
+    s.close()
+
+
+def test_inprocess_unary(server):
+    transport = InProcessTransport(server)
+    response = transport.request({"action": "ping"})
+    assert response["status"] == 200
+    assert response["body"]["pong"] is True
+
+
+def test_inprocess_unknown_action(server):
+    transport = InProcessTransport(server)
+    assert transport.request({"action": "nope"})["status"] == 404
+
+
+def test_inprocess_stream_frames(server):
+    transport = InProcessTransport(server)
+    server.registry.register_workflow(
+        server.auth.resolve(None), WF, "tick_wf"
+    )
+    frames = list(
+        transport.stream({"action": "run", "id": "tick_wf", "input": 3})
+    )
+    types = [f.type for f in frames]
+    assert types[0] is FrameType.HEADERS
+    assert types[-1] is FrameType.END
+    data = [f.payload for f in frames if f.type is FrameType.DATA]
+    assert data == ["tick", "tick", "tick"]
+    assert frames[-1].payload["status"] == "success"
+
+
+def test_inprocess_unary_drains_stream(server):
+    transport = InProcessTransport(server)
+    server.registry.register_workflow(server.auth.resolve(None), WF, "wf2")
+    response = transport.request({"action": "run", "id": "wf2", "input": 2})
+    assert response["status"] == 200
+    assert response["body"]["lines"] == ["tick", "tick"]
+    assert response["body"]["summary"]["status"] == "success"
+
+
+def test_server_stream_callable_summary():
+    stream = ServerStream(iter([1, 2]), summary=lambda: {"done": True})
+    list(stream.chunks)
+    assert stream.summary() == {"done": True}
+
+
+# -- TCP ----------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def tcp(server):
+    transport = TcpServerTransport(server).start()
+    host, port = transport.address
+    client = TcpClientTransport(host, port)
+    yield server, client
+    client.close()
+    transport.stop()
+
+
+def test_tcp_unary(tcp):
+    _server, client = tcp
+    response = client.request({"action": "ping"})
+    assert response["status"] == 200
+    assert response["body"]["pong"] is True
+
+
+def test_tcp_register_and_search(tcp):
+    _server, client = tcp
+    code = (
+        'class AnomalyPE(IterativePE):\n'
+        '    """Detects anomalies in sensor streams."""\n'
+        "    def _process(self, x):\n"
+        "        return x\n"
+    )
+    reg = client.request({"action": "register_pe", "code": code})
+    assert reg["status"] == 200
+    result = client.request(
+        {"action": "search_semantic", "query": "detect anomalies", "kind": "pe"}
+    )
+    assert result["body"][0]["peName"] == "AnomalyPE"
+
+
+def test_tcp_streamed_run(tcp):
+    server, client = tcp
+    server.registry.register_workflow(server.auth.resolve(None), WF, "tcp_wf")
+    frames = list(client.stream({"action": "run", "id": "tcp_wf", "input": 4}))
+    data = [f.payload for f in frames if f.type is FrameType.DATA]
+    assert data == ["tick"] * 4
+    assert frames[-1].type is FrameType.END
+
+
+def test_tcp_parallel_clients(tcp):
+    server, _client = tcp
+    host, port = None, None
+    # derive address from the fixture's transport via a fresh client
+    results = []
+    lock = threading.Lock()
+
+    def worker():
+        c = TcpClientTransport(*_client._sock.getpeername())
+        try:
+            r = c.request({"action": "ping"})
+            with lock:
+                results.append(r["status"])
+        finally:
+            c.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert results == [200] * 6
+
+
+def test_tcp_error_status_propagates(tcp):
+    _server, client = tcp
+    response = client.request({"action": "get_pe", "id": "missing"})
+    assert response["status"] == 404
+
+
+def test_frame_unicode_payload_roundtrip():
+    frame = Frame(1, FrameType.DATA, {"text": "π ≈ 3.14159 — ユニコード"})
+    decoded = Frame.decode(frame.encode()[4:])
+    assert decoded.payload["text"] == "π ≈ 3.14159 — ユニコード"
+
+
+def test_frame_large_payload_roundtrip():
+    big = "x" * 500_000
+    frame = Frame(7, FrameType.DATA, big)
+    decoded = Frame.decode(frame.encode()[4:])
+    assert decoded.payload == big
+
+
+def test_frame_non_json_payload_stringified():
+    frame = Frame(1, FrameType.END, {"value": range(3)})
+    decoded = Frame.decode(frame.encode()[4:])
+    assert "range" in decoded.payload["value"]
+
+
+def test_tcp_large_response(tcp):
+    server, client = tcp
+    code = (
+        "class Big(IterativePE):\n"
+        '    """' + "A very long description. " * 200 + '"""\n'
+        "    def _process(self, x):\n        return x\n"
+    )
+    response = client.request({"action": "register_pe", "code": code})
+    assert response["status"] == 200
+    fetched = client.request({"action": "get_pe", "id": "Big"})
+    assert len(fetched["body"]["peCode"]) > 4000
+
+
+def test_stopped_server_refuses_new_connections(server):
+    transport = TcpServerTransport(server).start()
+    host, port = transport.address
+    transport.stop()  # listener closed; established handlers may drain
+    with pytest.raises(OSError):
+        TcpClientTransport(host, port, timeout=2.0)

@@ -1,0 +1,157 @@
+"""Tests for the CodeT5 substitute description generator."""
+
+import pytest
+
+from repro.models.describer import CodeT5Describer, DescriptionContext
+
+ISPRIME = '''
+class IsPrime(IterativePE):
+    """Checks whether a given number is prime and returns the number if it is."""
+
+    def __init__(self):
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        if all(num % i != 0 for i in range(2, num)):
+            return num
+'''
+
+NO_DOCSTRING = """
+class AnomalyDetector(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+
+    def detect_anomaly(self, reading):
+        return abs(reading - self.mean) > self.threshold
+
+    def _process(self, record):
+        if self.detect_anomaly(record["temperature"]):
+            return record
+"""
+
+
+@pytest.fixture(scope="module")
+def describer():
+    return CodeT5Describer()
+
+
+def test_full_class_uses_docstring(describer):
+    desc = describer.describe(ISPRIME)
+    assert "prime" in desc.lower()
+    assert desc.startswith("Checks whether a given number is prime")
+
+
+def test_full_class_mentions_class_name(describer):
+    desc = describer.describe(NO_DOCSTRING)
+    assert "anomaly" in desc.lower()
+
+
+def test_process_only_has_no_class_name(describer):
+    desc = describer.describe(NO_DOCSTRING, DescriptionContext.PROCESS_ONLY)
+    # _process body references detect_anomaly and temperature, but the
+    # class identity is invisible.
+    assert "detector class" not in desc.lower()
+
+
+def test_process_only_is_less_specific_than_full(describer):
+    """The paper's Fig 10 claim: full-class context -> richer descriptions."""
+    full = set(describer.describe(ISPRIME).lower().split())
+    proc = set(
+        describer.describe(ISPRIME, DescriptionContext.PROCESS_ONLY).lower().split()
+    )
+    reference = {"checks", "whether", "number", "prime", "returns"}
+    assert len(full & reference) > len(proc & reference)
+
+
+def test_method_verb_phrases(describer):
+    desc = describer.describe(NO_DOCSTRING)
+    assert "detects anomaly" in desc.lower()
+
+
+def test_bare_function(describer):
+    desc = describer.describe("def compute_average(values):\n    return sum(values)/len(values)")
+    assert "computes average" in desc.lower()
+
+
+def test_invalid_source_falls_back(describer):
+    assert describer.describe("%%% not python %%%") == "A processing element."
+
+
+def test_deterministic(describer):
+    assert describer.describe(ISPRIME) == describer.describe(ISPRIME)
+
+
+def test_workflow_description_names_workflow(describer):
+    desc = describer.describe_workflow("isprime_wf", [ISPRIME])
+    assert desc.startswith("Workflow isprime wf")
+    assert "prime" in desc.lower()
+
+
+def test_workflow_description_combines_pes(describer):
+    desc = describer.describe_workflow("sensor_wf", [ISPRIME, NO_DOCSTRING])
+    assert "prime" in desc.lower() and "anomaly" in desc.lower()
+
+
+def test_workflow_description_dedupes_clauses(describer):
+    desc = describer.describe_workflow("dup_wf", [ISPRIME, ISPRIME])
+    assert desc.lower().count("checks whether a given number is prime") == 1
+
+
+def test_empty_workflow(describer):
+    desc = describer.describe_workflow("empty_wf", [])
+    assert desc == "Workflow empty wf."
+
+
+def test_max_sentences_respected():
+    short = CodeT5Describer(max_sentences=1)
+    desc = short.describe(NO_DOCSTRING)
+    assert desc.count(".") <= 2  # one sentence (allowing class-name dot)
+
+
+def test_multiple_classes_first_described(describer):
+    two = ISPRIME + "\n\nclass Other(IterativePE):\n    def _process(self, x):\n        return x\n"
+    desc = describer.describe(two)
+    assert "prime" in desc.lower()
+
+
+def test_async_function(describer):
+    desc = describer.describe(
+        "async def fetch_records(url):\n    return await session.get(url)\n"
+    )
+    assert "fetches records" in desc.lower()
+
+
+def test_nested_class_methods_visible(describer):
+    code = """
+class Outer(IterativePE):
+    class Helper:
+        def normalize_values(self, xs):
+            return [x / max(xs) for x in xs]
+
+    def _process(self, xs):
+        return self.Helper().normalize_values(xs)
+"""
+    desc = describer.describe(code)
+    assert "normalizes values" in desc.lower()
+
+
+def test_empty_source(describer):
+    assert describer.describe("") == "A processing element."
+
+
+def test_description_is_prose_not_code(describer):
+    desc = describer.describe(NO_DOCSTRING)
+    assert "def " not in desc
+    assert "self." not in desc
+
+
+def test_long_docstring_only_first_line(describer):
+    code = (
+        "class Doc(IterativePE):\n"
+        '    """First line summary.\n\n    Much longer body text that should\n'
+        '    not appear in the description.\n    """\n'
+        "    def _process(self, x):\n        return x\n"
+    )
+    desc = describer.describe(code)
+    assert desc.startswith("First line summary.")
+    assert "longer body" not in desc

@@ -1,0 +1,122 @@
+"""Tests for the UniXcoder substitute embedder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.embedder import UniXcoderEmbedder, cosine_similarity_matrix
+
+DOCS = [
+    "Anomaly detection PE.",
+    "Checks whether a number is prime.",
+    "Normalizes the temperature of a record.",
+    "Aggregate data from a sequence of records.",
+    "Splits text lines into words.",
+]
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return UniXcoderEmbedder().fit(DOCS)
+
+
+def test_encode_shape_and_normalisation(embedder):
+    vecs = embedder.encode(DOCS)
+    assert vecs.shape == (len(DOCS), embedder.dim)
+    norms = np.linalg.norm(vecs, axis=1)
+    np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+
+def test_encode_single_string(embedder):
+    vec = embedder.encode("hello world")
+    assert vec.shape == (1, embedder.dim)
+
+
+def test_identical_text_has_similarity_one(embedder):
+    sims = embedder.similarity(DOCS[0], [DOCS[0]])
+    assert sims[0] == pytest.approx(1.0)
+
+
+def test_semantic_query_ranks_right_document(embedder):
+    sims = embedder.similarity("a pe that is able to detect anomalies", DOCS)
+    assert int(np.argmax(sims)) == 0
+
+
+def test_prime_query(embedder):
+    sims = embedder.similarity("check if a number is prime", DOCS)
+    assert int(np.argmax(sims)) == 1
+
+
+def test_determinism_across_instances():
+    a = UniXcoderEmbedder().encode("some description text")
+    b = UniXcoderEmbedder().encode("some description text")
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = UniXcoderEmbedder(seed=1).encode("some text")
+    b = UniXcoderEmbedder(seed=2).encode("some text")
+    assert not np.allclose(a, b)
+
+
+def test_fit_empty_corpus_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        UniXcoderEmbedder().fit([])
+
+
+def test_fit_returns_self():
+    e = UniXcoderEmbedder()
+    assert e.fit(["a b c"]) is e
+
+
+def test_idf_downweights_ubiquitous_terms():
+    corpus = [f"common word doc{i}" for i in range(20)] + ["rare anomaly report"]
+    e = UniXcoderEmbedder().fit(corpus)
+    sims_common = e.similarity("common word", corpus)
+    sims_rare = e.similarity("rare anomaly", corpus)
+    # the rare query should single out its document decisively
+    assert np.argmax(sims_rare) == len(corpus) - 1
+
+
+def test_empty_text_encodes_to_zero_safe_vector(embedder):
+    vec = embedder.encode("")
+    assert vec.shape == (1, embedder.dim)
+    assert np.all(np.isfinite(vec))
+
+
+def test_cosine_similarity_matrix_shape():
+    a = np.random.default_rng(0).normal(size=(3, 8))
+    b = np.random.default_rng(1).normal(size=(5, 8))
+    sims = cosine_similarity_matrix(a, b)
+    assert sims.shape == (3, 5)
+    assert np.all(sims <= 1.0 + 1e-9) and np.all(sims >= -1.0 - 1e-9)
+
+
+def test_cosine_similarity_handles_zero_rows():
+    a = np.zeros((1, 4))
+    b = np.ones((1, 4))
+    sims = cosine_similarity_matrix(a, b)
+    assert sims[0, 0] == 0.0
+
+
+@settings(max_examples=25)
+@given(st.text(min_size=1, max_size=100))
+def test_encode_always_finite(text):
+    vec = UniXcoderEmbedder(dim=32, n_buckets=256).encode(text)
+    assert np.all(np.isfinite(vec))
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.text(alphabet="abcdefgh ", min_size=3, max_size=30),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_self_similarity_is_maximal(texts):
+    e = UniXcoderEmbedder(dim=64, n_buckets=512)
+    vecs = e.encode(texts)
+    sims = vecs @ vecs.T
+    for i in range(len(texts)):
+        assert sims[i, i] >= sims[i].max() - 1e-9

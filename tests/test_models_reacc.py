@@ -1,0 +1,88 @@
+"""Tests for the ReACC-py retriever substitute."""
+
+import numpy as np
+import pytest
+
+from repro.models.reacc import ReACCRetriever
+
+SNIPPET = """
+def running_mean(values, window):
+    total = 0.0
+    out = []
+    for i, v in enumerate(values):
+        total += v
+        if i >= window:
+            total -= values[i - window]
+        out.append(total / min(i + 1, window))
+    return out
+"""
+
+RENAMED = SNIPPET.replace("values", "xs").replace("total", "acc").replace(
+    "running_mean", "moving_avg"
+)
+
+UNRELATED = """
+class HttpClient:
+    def get(self, url):
+        response = self.session.request("GET", url)
+        return response.json()
+"""
+
+
+@pytest.fixture(scope="module")
+def retriever():
+    return ReACCRetriever()
+
+
+def test_encode_shape(retriever):
+    vecs = retriever.encode([SNIPPET, UNRELATED])
+    assert vecs.shape == (2, retriever.dim)
+    np.testing.assert_allclose(np.linalg.norm(vecs, axis=1), 1.0, atol=1e-9)
+
+
+def test_exact_clone_scores_one(retriever):
+    assert retriever.similarity(SNIPPET, [SNIPPET])[0] == pytest.approx(1.0)
+
+
+def test_unrelated_scores_low(retriever):
+    sim = retriever.similarity(SNIPPET, [UNRELATED])[0]
+    assert sim < 0.2
+
+
+def test_renamed_clone_still_recognisable(retriever):
+    """Renaming identifiers keeps much of the token stream intact."""
+    sim = retriever.similarity(SNIPPET, [RENAMED])[0]
+    assert 0.2 < sim < 1.0
+
+
+def test_partial_snippet_degrades_sharply(retriever):
+    """The paper's Fig 13 behaviour: ReACC collapses on truncated input."""
+    lines = SNIPPET.strip().splitlines()
+    full = retriever.similarity(SNIPPET, [SNIPPET])[0]
+    half = retriever.similarity("\n".join(lines[: len(lines) // 2]), [SNIPPET])[0]
+    tenth = retriever.similarity(lines[0], [SNIPPET])[0]
+    assert full > half > tenth
+    assert half < 0.8
+
+
+def test_determinism():
+    a = ReACCRetriever().encode(SNIPPET)
+    b = ReACCRetriever().encode(SNIPPET)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_empty_source_is_finite(retriever):
+    vec = retriever.encode("")
+    assert np.all(np.isfinite(vec))
+
+
+def test_short_snippet_below_ngram(retriever):
+    vec = retriever.encode("x")
+    assert np.all(np.isfinite(vec))
+    assert retriever.similarity("x", ["x"])[0] == pytest.approx(1.0)
+
+
+def test_similarity_orders_corpus(retriever):
+    corpus = [UNRELATED, RENAMED, SNIPPET]
+    sims = retriever.similarity(SNIPPET, corpus)
+    assert list(np.argsort(-sims)) == [2, 1, 0]

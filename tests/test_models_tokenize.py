@@ -1,0 +1,99 @@
+"""Tests for the shared code tokenizer (repro.models.tokenize)."""
+
+from hypothesis import given, strategies as st
+
+from repro.models.tokenize import (
+    code_tokens,
+    is_keyword,
+    split_identifier,
+    stem,
+    subtokens,
+)
+
+
+def test_split_snake_case():
+    assert split_identifier("num_events_total") == ["num", "events", "total"]
+
+
+def test_split_camel_case():
+    assert split_identifier("parseHTTPResponse") == ["parse", "http", "response"]
+
+
+def test_split_mixed():
+    assert split_identifier("getUser_byID2") == ["get", "user", "by", "id2"]
+
+
+def test_split_empty():
+    assert split_identifier("") == []
+    assert split_identifier("___") == []
+
+
+def test_subtokens_strips_punctuation():
+    assert subtokens("foo(bar, baz)") == ["foo", "bar", "baz"]
+
+
+def test_subtokens_stopwords():
+    toks = subtokens("the data is a value", drop_stopwords=True)
+    assert toks == []
+
+
+def test_subtokens_stemming():
+    toks = subtokens("anomalies detection detects", stem_words=True)
+    assert toks[0] == toks_from("anomaly")
+    # 'detection' and 'detects' share the stem 'detect'
+    assert toks[1] == toks[2]
+
+
+def toks_from(word):
+    return subtokens(word, stem_words=True)[0]
+
+
+def test_stem_short_words_untouched():
+    assert stem("ab") == "ab"
+    assert stem("sum") == "sum"
+
+
+def test_stem_common_suffixes():
+    assert stem("anomalies") == "anomaly"
+    assert stem("running") == "runn"
+    assert stem("computed") == "comput"
+
+
+def test_code_tokens_basic():
+    toks = code_tokens("x = foo(1, 'hi')")
+    assert "x" in toks and "foo" in toks
+    assert "<num>" in toks and "<str>" in toks
+    assert "hi" not in toks  # literal text collapsed
+
+
+def test_code_tokens_drops_comments():
+    toks = code_tokens("x = 1  # a comment\n")
+    assert "comment" not in toks
+
+
+def test_code_tokens_partial_snippet_fallback():
+    # Unbalanced parens defeat the strict tokenizer; regex fallback kicks in.
+    toks = code_tokens("def f(x:\n    return x +")
+    assert "def" in toks and "return" in toks
+
+
+def test_is_keyword():
+    assert is_keyword("if")
+    assert is_keyword("match")  # soft keyword
+    assert not is_keyword("foo")
+
+
+@given(st.text(alphabet=st.characters(categories=("Ll", "Lu", "Nd")), max_size=30))
+def test_split_identifier_lowercases(ident):
+    for part in split_identifier(ident):
+        assert part == part.lower()
+
+
+@given(st.text(max_size=200))
+def test_subtokens_never_crashes(text):
+    subtokens(text, drop_stopwords=True, stem_words=True)
+
+
+@given(st.text(max_size=200))
+def test_code_tokens_never_crashes(source):
+    code_tokens(source)

@@ -1,0 +1,98 @@
+"""Property-based tests for the Aroma pipeline's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aroma.features import FeatureConfig, extract_features, feature_set
+from repro.aroma.spt import ParseFailure, python_to_spt
+from repro.eval.dropper import drop_suffix
+
+IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in {"if", "in", "is", "or", "and", "not", "for", "def", "del", "as"}
+)
+
+
+def simple_function(fn, arg, helper, const):
+    return (
+        f"def {fn}({arg}):\n"
+        f"    if {arg} > {const}:\n"
+        f"        return {helper}({arg})\n"
+        f"    return {arg} + {const}\n"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(fn=IDENT, a=IDENT, b=IDENT, helper=IDENT, const=st.integers(0, 99))
+def test_local_rename_invariance(fn, a, b, helper, const):
+    """Renaming a local variable never changes the feature multiset."""
+    if len({fn, a, helper}) < 3 or len({fn, b, helper}) < 3:
+        return
+    f1 = extract_features(python_to_spt(simple_function(fn, a, helper, const)))
+    f2 = extract_features(python_to_spt(simple_function(fn, b, helper, const)))
+    assert f1 == f2
+
+
+@settings(max_examples=40, deadline=None)
+@given(fn=IDENT, arg=IDENT, h1=IDENT, h2=IDENT, const=st.integers(0, 99))
+def test_free_function_rename_changes_features(fn, arg, h1, h2, const):
+    """Renaming a *free* (global) call does change features."""
+    if len({fn, arg, h1}) < 3 or len({fn, arg, h2}) < 3 or h1 == h2:
+        return
+    f1 = feature_set(python_to_spt(simple_function(fn, arg, h1, const)))
+    f2 = feature_set(python_to_spt(simple_function(fn, arg, h2, const)))
+    assert f1 != f2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fn=IDENT,
+    arg=IDENT,
+    helper=IDENT,
+    const=st.integers(0, 99),
+    frac=st.sampled_from([0.25, 0.5, 0.75]),
+)
+def test_truncation_features_subset_like(fn, arg, helper, const, frac):
+    """A truncated snippet's features mostly come from the full snippet.
+
+    Repairs may introduce a handful of synthetic tokens (`pass` closures),
+    so we assert high containment rather than strict subset.
+    """
+    if len({fn, arg, helper}) < 3:
+        return
+    source = simple_function(fn, arg, helper, const)
+    full = feature_set(python_to_spt(source))
+    try:
+        partial = feature_set(python_to_spt(drop_suffix(source, frac)))
+    except ParseFailure:
+        return
+    if not partial:
+        return
+    containment = len(partial & full) / len(partial)
+    assert containment >= 0.5
+
+
+@settings(max_examples=30, deadline=None)
+@given(fn=IDENT, arg=IDENT, helper=IDENT, const=st.integers(0, 99))
+def test_feature_configs_partition_the_full_set(fn, arg, helper, const):
+    """Family-specific extractions are subsets of the full extraction."""
+    if len({fn, arg, helper}) < 3:
+        return
+    spt = python_to_spt(simple_function(fn, arg, helper, const))
+    full = feature_set(spt)
+    for config in (
+        FeatureConfig(parent=False),
+        FeatureConfig(sibling=False),
+        FeatureConfig(variable_usage=False),
+        FeatureConfig(token=False),
+    ):
+        assert feature_set(spt, config) <= full
+
+
+@settings(max_examples=30, deadline=None)
+@given(fn=IDENT, arg=IDENT, helper=IDENT, const=st.integers(0, 99))
+def test_self_similarity_is_maximal_overlap(fn, arg, helper, const):
+    """A snippet's overlap with itself equals its feature-set size, and
+    no other snippet generated here can exceed it."""
+    if len({fn, arg, helper}) < 3:
+        return
+    fs = feature_set(python_to_spt(simple_function(fn, arg, helper, const)))
+    assert len(fs & fs) == len(fs)

@@ -1,0 +1,164 @@
+"""Property-based tests: all mappings agree with the sequential semantics.
+
+The crucial invariant of the engine (and of dispel4py itself): the
+*observable results* of a workflow are mapping-independent — sequential,
+multiprocessing and dynamic enactment produce the same leaf outputs (as
+multisets; ordering may differ) and the same per-PE item counts.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.d4py import (
+    GenericPE,
+    IterativePE,
+    ProducerPE,
+    WorkflowGraph,
+    run_graph,
+)
+
+
+class Emit(ProducerPE):
+    """Deterministic producer: i -> base + i."""
+
+    def __init__(self, name=None, base=0):
+        super().__init__(name)
+        self.base = base
+        self._i = 0
+
+    def _process(self, inputs):
+        value = self.base + self._i
+        self._i += 1
+        return value
+
+
+class Affine(IterativePE):
+    def __init__(self, name=None, mul=1, add=0):
+        super().__init__(name)
+        self.mul, self.add = mul, add
+
+    def _process(self, x):
+        return x * self.mul + self.add
+
+
+class ModFilter(IterativePE):
+    def __init__(self, name=None, mod=2):
+        super().__init__(name)
+        self.mod = mod
+
+    def _process(self, x):
+        return x if x % self.mod == 0 else None
+
+
+class FanOut(IterativePE):
+    """Emits x and x+1000 — multiple writes per input."""
+
+    def _process(self, x):
+        self.write(self.OUTPUT_NAME, x)
+        self.write(self.OUTPUT_NAME, x + 1000)
+
+
+class KeyedSum(GenericPE):
+    """Stateful: emits (key, running_sum) for items grouped by key."""
+
+    def __init__(self, name=None, mod=3):
+        super().__init__(name)
+        self._add_input("input", grouping=[0])
+        self._add_output("output")
+        self.mod = mod
+        self.sums = {}
+
+    def _process(self, inputs):
+        key, value = inputs["input"]
+        self.sums[key] = self.sums.get(key, 0) + value
+        return {"output": (key, self.sums[key])}
+
+
+STAGES = {
+    "affine": lambda i: Affine(f"affine{i}", mul=2, add=1),
+    "filter": lambda i: ModFilter(f"filter{i}", mod=2),
+    "fanout": lambda i: FanOut(f"fanout{i}"),
+}
+
+
+def build_pipeline(stage_keys):
+    graph = WorkflowGraph()
+    nodes = [Emit("emit")]
+    for i, key in enumerate(stage_keys):
+        nodes.append(STAGES[key](i))
+    if len(nodes) == 1:
+        graph.add(nodes[0])
+    for up, down in zip(nodes, nodes[1:]):
+        graph.connect(up, "output", down, "input")
+    return graph, nodes[-1].name
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    stages=st.lists(st.sampled_from(sorted(STAGES)), max_size=3),
+    n=st.integers(1, 12),
+)
+def test_dynamic_matches_simple_on_random_pipelines(stages, n):
+    g1, leaf = build_pipeline(stages)
+    g2, _ = build_pipeline(stages)
+    simple = run_graph(g1, input=n, mapping="simple")
+    dynamic = run_graph(g2, input=n, mapping="dynamic", max_workers=3)
+    assert Counter(simple.output_for(leaf)) == Counter(dynamic.output_for(leaf))
+
+
+@pytest.mark.parametrize("stages", [[], ["affine"], ["fanout", "filter"], ["affine", "fanout"]])
+def test_multi_matches_simple_on_pipelines(stages):
+    g1, leaf = build_pipeline(stages)
+    g2, _ = build_pipeline(stages)
+    simple = run_graph(g1, input=15, mapping="simple")
+    multi = run_graph(g2, input=15, mapping="multi", num_processes=5)
+    assert Counter(simple.output_for(leaf)) == Counter(multi.output_for(leaf))
+
+
+@pytest.mark.parametrize("mapping,options", [
+    ("multi", {"num_processes": 7}),
+    ("dynamic", {"max_workers": 4, "instances_per_pe": 5}),
+])
+def test_keyed_state_invariant_across_mappings(mapping, options):
+    """Final per-key sums must equal the sequential ground truth even when
+    state is spread over many instances (group_by correctness)."""
+
+    class Pair(IterativePE):
+        def _process(self, x):
+            return (x % 3, x)
+
+    def build():
+        g = WorkflowGraph()
+        emit, pair, ksum = Emit("emit"), Pair("pair"), KeyedSum("ksum")
+        g.connect(emit, "output", pair, "input")
+        g.connect(pair, "output", ksum, "input")
+        return g
+
+    def finals(result):
+        best = {}
+        for key, total in result.output_for("ksum"):
+            best[key] = max(best.get(key, 0), total)
+        return best
+
+    expected = finals(run_graph(build(), input=30, mapping="simple"))
+    actual = finals(run_graph(build(), input=30, mapping=mapping, **options))
+    assert actual == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(0, 25), mod=st.integers(1, 5))
+def test_filter_count_invariant(n, mod):
+    """#outputs == #inputs passing the predicate, for any mapping inputs."""
+    g = WorkflowGraph()
+    emit = Emit("emit")
+    filt = ModFilter("filt", mod=mod)
+    g.connect(emit, "output", filt, "input")
+    result = run_graph(g, input=n, mapping="simple")
+    expected = sum(1 for i in range(n) if i % mod == 0)
+    assert len(result.output_for("filt")) == expected

@@ -1,0 +1,67 @@
+"""Tests for serialized AST parsing (repro.pyast).
+
+The lock exists because CPython 3.11's AST constructor recursion-depth
+accounting is not thread-safe: concurrent ``ast.parse`` calls from the
+server's handler threads sporadically raised ``SystemError: AST
+constructor recursion depth mismatch``.  The stress test here hammers
+the helper from many threads; with the lock it must never error.
+"""
+
+import ast
+import threading
+
+from repro import pyast
+
+DEEP_SOURCE = (
+    "def f(x):\n"
+    + "".join(f"    if x > {i}:\n" + "    " * 2 + f"x += {i}\n" for i in range(20))
+    + "    return x\n"
+)
+
+
+def test_parse_returns_ast():
+    tree = pyast.parse("x = 1")
+    assert isinstance(tree, ast.Module)
+
+
+def test_parse_syntax_error_propagates():
+    import pytest
+
+    with pytest.raises(SyntaxError):
+        pyast.parse("def f(:")
+
+
+def test_compile_source_executes():
+    code = pyast.compile_source("y = 2 + 3", "<test>", "exec")
+    namespace = {}
+    exec(code, namespace)
+    assert namespace["y"] == 5
+
+
+def test_compile_accepts_ast():
+    tree = pyast.parse("z = 7")
+    code = pyast.compile_source(tree, "<test>", "exec")
+    namespace = {}
+    exec(code, namespace)
+    assert namespace["z"] == 7
+
+
+def test_concurrent_parse_stress():
+    """Many threads parsing nested code concurrently must never raise
+    SystemError (the CPython bug the lock mitigates)."""
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(60):
+                pyast.parse(DEEP_SOURCE)
+                pyast.compile_source(DEEP_SOURCE, "<stress>", "exec")
+        except BaseException as exc:  # noqa: BLE001 - we want everything
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []

@@ -1,0 +1,189 @@
+"""Tests for the simulated Redis broker (repro.d4py.redisim)."""
+
+import threading
+import time
+
+from hypothesis import given, strategies as st
+
+from repro.d4py.redisim import RedisSim, default_broker
+
+
+def test_push_pop_fifo_semantics():
+    r = RedisSim()
+    r.rpush("q", 1, 2, 3)
+    assert r.brpop("q", timeout=0.1) == 3  # tail pop
+    assert r.lpop("q") == 1
+    assert r.rpop("q") == 2
+    assert r.rpop("q") is None
+
+
+def test_lpush_prepends():
+    r = RedisSim()
+    r.lpush("q", "a", "b")
+    assert r.lpop("q") == "b"
+    assert r.lpop("q") == "a"
+
+
+def test_llen():
+    r = RedisSim()
+    assert r.llen("q") == 0
+    r.rpush("q", 1, 2)
+    assert r.llen("q") == 2
+
+
+def test_brpop_times_out_on_empty():
+    r = RedisSim()
+    start = time.monotonic()
+    assert r.brpop("empty", timeout=0.05) is None
+    assert time.monotonic() - start >= 0.04
+
+
+def test_brpop_wakes_on_push():
+    r = RedisSim()
+    got = []
+
+    def consumer():
+        got.append(r.brpop("q", timeout=2.0))
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    time.sleep(0.02)
+    r.rpush("q", "item")
+    t.join(timeout=2.0)
+    assert got == ["item"]
+
+
+def test_hash_operations():
+    r = RedisSim()
+    r.hset("h", "f", 1)
+    assert r.hget("h", "f") == 1
+    assert r.hget("h", "missing") is None
+    assert r.hgetall("h") == {"f": 1}
+
+
+def test_hsetnx_only_sets_once():
+    r = RedisSim()
+    assert r.hsetnx("h", "f", "first") is True
+    assert r.hsetnx("h", "f", "second") is False
+    assert r.hget("h", "f") == "first"
+
+
+def test_incr_decr():
+    r = RedisSim()
+    assert r.incr("c") == 1
+    assert r.incr("c", 5) == 6
+    assert r.decr("c") == 5
+
+
+def test_get_set_delete():
+    r = RedisSim()
+    r.set("k", "v")
+    assert r.get("k") == "v"
+    assert r.delete("k") == 1
+    assert r.get("k") is None
+    assert r.delete("k") == 0
+
+
+def test_delete_spans_namespaces():
+    r = RedisSim()
+    r.set("x", 1)
+    r.rpush("y", 1)
+    r.hset("z", "f", 1)
+    assert r.delete("x", "y", "z") == 3
+
+
+def test_wait_for_zero_immediate():
+    r = RedisSim()
+    assert r.wait_for_zero("absent", timeout=0.1) is True
+
+
+def test_wait_for_zero_times_out():
+    r = RedisSim()
+    r.incr("busy")
+    assert r.wait_for_zero("busy", timeout=0.05) is False
+
+
+def test_wait_for_zero_wakes_on_decr():
+    r = RedisSim()
+    r.incr("busy")
+
+    def finisher():
+        time.sleep(0.02)
+        r.decr("busy")
+
+    t = threading.Thread(target=finisher)
+    t.start()
+    assert r.wait_for_zero("busy", timeout=2.0) is True
+    t.join()
+
+
+def test_flushall():
+    r = RedisSim()
+    r.set("k", 1)
+    r.rpush("q", 1)
+    r.flushall()
+    assert r.get("k") is None
+    assert r.llen("q") == 0
+
+
+def test_default_broker_is_singleton():
+    assert default_broker() is default_broker()
+
+
+def test_concurrent_incr_is_atomic():
+    r = RedisSim()
+
+    def bump():
+        for _ in range(1000):
+            r.incr("n")
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert r.get("n") == 8000
+
+
+def test_concurrent_producers_consumers_conserve_items():
+    r = RedisSim()
+    produced = 500
+    consumed = []
+    lock = threading.Lock()
+
+    def producer(base):
+        for i in range(100):
+            r.rpush("jobs", base + i)
+
+    def consumer():
+        while True:
+            item = r.brpop("jobs", timeout=0.2)
+            if item is None:
+                return
+            with lock:
+                consumed.append(item)
+
+    producers = [threading.Thread(target=producer, args=(i * 100,)) for i in range(5)]
+    consumers = [threading.Thread(target=consumer) for _ in range(4)]
+    for t in producers + consumers:
+        t.start()
+    for t in producers + consumers:
+        t.join()
+    assert sorted(consumed) == list(range(produced))
+
+
+@given(st.lists(st.integers(), max_size=50))
+def test_list_roundtrip_preserves_items(items):
+    r = RedisSim()
+    if items:
+        r.rpush("q", *items)
+    popped = [r.lpop("q") for _ in items]
+    assert popped == items
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), max_size=50))
+def test_incr_sums_deltas(deltas):
+    r = RedisSim()
+    for d in deltas:
+        r.incr("k", d)
+    assert int(r.get("k") or 0) == sum(deltas)

@@ -1,0 +1,197 @@
+"""Tests for the standalone search front-ends (repro.search)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aroma.spt import ParseFailure
+from repro.search import CodeSearch, LiteralSearch, SemanticSearch
+
+ITEMS = [
+    {"id": 1, "name": "IsPrime", "description": "Checks whether a number is prime."},
+    {"id": 2, "name": "WordCount", "description": "Counts words in text."},
+    {"id": 3, "name": "AnomalyDetector", "description": "Detects anomalies in streams."},
+]
+
+
+# -- literal ---------------------------------------------------------------
+
+
+def test_literal_matches_name():
+    ls = LiteralSearch()
+    hits = ls.search(ITEMS, "prime")
+    assert [h["id"] for h in hits] == [1]
+
+
+def test_literal_matches_description():
+    ls = LiteralSearch()
+    hits = ls.search(ITEMS, "words")
+    assert [h["id"] for h in hits] == [2]
+
+
+def test_literal_case_insensitive():
+    ls = LiteralSearch()
+    assert [h["id"] for h in ls.search(ITEMS, "ANOMAL")] == [3]
+
+
+def test_literal_no_match():
+    assert LiteralSearch().search(ITEMS, "zzz") == []
+
+
+def test_literal_custom_accessors():
+    ls = LiteralSearch(name_of=lambda t: t[0], description_of=lambda t: t[1])
+    hits = ls.search([("alpha", "first"), ("beta", "second")], "bet")
+    assert hits == [("beta", "second")]
+
+
+def test_literal_highlight():
+    ls = LiteralSearch()
+    assert ls.highlight("a Prime number", "prime") == "a **Prime** number"
+
+
+def test_literal_highlight_multiple():
+    ls = LiteralSearch()
+    assert ls.highlight("ab ab", "ab") == "**ab** **ab**"
+
+
+def test_literal_highlight_empty_term():
+    assert LiteralSearch().highlight("text", "") == "text"
+
+
+@given(
+    st.text(alphabet="abcdef XYZ", max_size=30),
+    st.text(alphabet="abcdef", min_size=1, max_size=5),
+)
+def test_literal_highlight_preserves_content(text, term):
+    marked = LiteralSearch().highlight(text, term, marker="|")
+    assert marked.replace("|", "") == text
+
+
+# -- semantic --------------------------------------------------------------------
+
+
+@pytest.fixture()
+def semantic():
+    s = SemanticSearch()
+    for item in ITEMS:
+        s.add(item["id"], item["description"])
+    return s
+
+
+def test_semantic_ranks_relevant_first(semantic):
+    results = semantic.search("find anomalies in a sensor stream")
+    assert results[0][0] == 3
+
+
+def test_semantic_len_contains(semantic):
+    assert len(semantic) == 3
+    assert 1 in semantic
+    assert 99 not in semantic
+
+
+def test_semantic_add_updates_in_place(semantic):
+    semantic.add(1, "totally different topic about databases")
+    assert len(semantic) == 3
+    results = semantic.search("database topics")
+    assert results[0][0] == 1
+
+
+def test_semantic_remove(semantic):
+    assert semantic.remove(2) is True
+    assert semantic.remove(2) is False
+    assert len(semantic) == 2
+    ids = [i for i, _ in semantic.search("anything", top_k=10)]
+    assert 2 not in ids
+
+
+def test_semantic_remove_keeps_row_mapping(semantic):
+    semantic.remove(1)
+    results = semantic.search("anomalies in streams")
+    assert results[0][0] == 3
+
+
+def test_semantic_empty():
+    assert SemanticSearch().search("query") == []
+
+
+def test_semantic_precomputed_vectors():
+    s = SemanticSearch()
+    vec = s.embedder.encode("counts words")[0].tolist()
+    s.add_precomputed("w", vec)
+    results = s.search("word counting")
+    assert results[0][0] == "w"
+
+
+def test_semantic_top_k(semantic):
+    assert len(semantic.search("anything", top_k=2)) == 2
+
+
+# -- code ---------------------------------------------------------------------------
+
+
+CODES = {
+    "prod": "class NumberProducer(ProducerPE):\n    def _process(self, i):\n        return random.randint(1, 1000)\n",
+    "prime": "class IsPrime(IterativePE):\n    def _process(self, n):\n        return n if all(n % i for i in range(2, n)) else None\n",
+}
+
+
+@pytest.fixture()
+def code_index():
+    cs = CodeSearch()
+    for k, v in CODES.items():
+        cs.add(k, v)
+    return cs
+
+
+def test_code_spt_search(code_index):
+    hits = code_index.search("random.randint(1, 1000)")
+    assert hits and hits[0][0] == "prod"
+    assert hits[0][1] >= 6.0
+
+
+def test_code_spt_threshold_filters(code_index):
+    assert code_index.search_spt("unrelated_identifier", threshold=6.0) == []
+
+
+def test_code_llm_search(code_index):
+    hits = code_index.search(CODES["prime"], embedding_type="llm")
+    assert hits[0][0] == "prime"
+    assert hits[0][1] == pytest.approx(1.0)
+
+
+def test_code_unknown_type(code_index):
+    with pytest.raises(ValueError):
+        code_index.search("x", embedding_type="bert")
+
+
+def test_code_remove(code_index):
+    assert code_index.remove("prod") is True
+    assert code_index.remove("prod") is False
+    assert code_index.search_spt("random.randint(1, 1000)", threshold=1.0) != [
+        ("prod", pytest.approx(12.0))
+    ]
+
+
+def test_code_unparseable_snippet_raises(code_index):
+    with pytest.raises(ParseFailure):
+        code_index.search_spt("£$%^&*")
+
+
+def test_code_precomputed_features():
+    cs = CodeSearch()
+    cs.add("x", "ignored source", features={"foo": 2, "bar": 1})
+    hits = cs.search_spt("foo\nbar", threshold=1.0)
+    assert hits and hits[0][0] == "x"
+
+
+def test_code_empty_llm():
+    assert CodeSearch().search_llm("x") == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from(list(CODES)))
+def test_code_self_retrieval(key):
+    cs = CodeSearch()
+    for k, v in CODES.items():
+        cs.add(k, v)
+    hits = cs.search_spt(CODES[key], threshold=1.0)
+    assert hits[0][0] == key
