@@ -1,0 +1,116 @@
+"""A9 — asynchronous job subsystem: sync run vs submit+poll throughput.
+
+The synchronous ``run`` action holds the caller for the whole enactment;
+the job subsystem trades that for a bounded queue and a worker pool, so
+N concurrent runs cost the caller only N quick submits.  This bench
+measures what the subsystem is for:
+
+* submit latency — how fast the caller gets its ``jobId`` back;
+* queue wait — how long jobs sit QUEUED before a worker picks them up;
+* completed jobs/second at pool sizes 1, 2 and 4 for the same batch.
+"""
+
+import time
+
+from repro.laminar.server.app import LaminarServer
+from repro.laminar.transport.inprocess import InProcessTransport
+
+WORK_WF = """
+import time
+
+class Worker(ProducerPE):
+    def _process(self, inputs):
+        time.sleep(0.02)
+        return 1
+
+graph = WorkflowGraph()
+graph.add(Worker("W"))
+"""
+
+N_JOBS = 12
+POOL_SIZES = (1, 2, 4)
+
+
+def _run_batch(workers: int) -> dict:
+    """Submit N_JOBS against a ``workers``-sized pool; measure the batch."""
+    server = LaminarServer(job_workers=workers, job_queue_capacity=N_JOBS * 2)
+    try:
+        server.handle(
+            {"action": "register_workflow", "code": WORK_WF, "name": "work"}
+        )
+        submit_latencies = []
+        job_ids = []
+        batch_start = time.perf_counter()
+        for _ in range(N_JOBS):
+            started = time.perf_counter()
+            body = server.handle({"action": "submit_job", "id": "work"})["body"]
+            submit_latencies.append(time.perf_counter() - started)
+            job_ids.append(body["jobId"])
+        for job_id in job_ids:
+            server.job_manager.wait(job_id, timeout=60)
+        elapsed = time.perf_counter() - batch_start
+        stats = server.handle({"action": "stats"})["body"]["jobs"]
+        assert stats["finished"] == {"SUCCEEDED": N_JOBS}
+        return {
+            "workers": workers,
+            "submit_ms": 1e3 * sum(submit_latencies) / len(submit_latencies),
+            "wait_ms": stats["mean_wait_ms"],
+            "run_ms": stats["mean_run_ms"],
+            "jobs_per_s": N_JOBS / elapsed,
+            "elapsed_s": elapsed,
+        }
+    finally:
+        server.close()
+
+
+def test_jobs_async_vs_sync_throughput(report, benchmark):
+    # Baseline: the same batch through the blocking ``run`` action (the
+    # transport drains the stream, so each request holds the caller).
+    server = LaminarServer()
+    transport = InProcessTransport(server)
+    try:
+        server.handle(
+            {"action": "register_workflow", "code": WORK_WF, "name": "work"}
+        )
+        sync_start = time.perf_counter()
+        for _ in range(N_JOBS):
+            response = transport.request({"action": "run", "id": "work", "input": 1})
+            assert response["body"]["summary"]["status"] == "success"
+        sync_elapsed = time.perf_counter() - sync_start
+    finally:
+        server.close()
+
+    results = [_run_batch(workers) for workers in POOL_SIZES]
+
+    rows = [
+        f"workload: {N_JOBS} jobs x ~20 ms enactment",
+        f"sync run loop: {sync_elapsed:6.2f} s total "
+        f"({N_JOBS / sync_elapsed:5.1f} jobs/s, caller blocked throughout)",
+    ]
+    for r in results:
+        rows.append(
+            f"async pool={r['workers']}: submit {r['submit_ms']:5.2f} ms  "
+            f"queue wait {r['wait_ms']:6.1f} ms  run {r['run_ms']:5.1f} ms  "
+            f"{r['jobs_per_s']:5.1f} jobs/s ({r['elapsed_s']:.2f} s total)"
+        )
+    speedup = results[-1]["jobs_per_s"] / results[0]["jobs_per_s"]
+    rows.append(f"pool 1 → 4 completed-jobs/s scaling: {speedup:.1f}x")
+    report("A9 — job subsystem: sync vs async submit+poll", rows)
+
+    # Submits return immediately: far faster than one synchronous run.
+    assert results[-1]["submit_ms"] / 1e3 < sync_elapsed / N_JOBS
+    # More workers drain the same batch faster.
+    assert results[-1]["elapsed_s"] < results[0]["elapsed_s"]
+
+    def submit_and_wait():
+        srv = LaminarServer(job_workers=2)
+        try:
+            srv.handle(
+                {"action": "register_workflow", "code": WORK_WF, "name": "work"}
+            )
+            body = srv.handle({"action": "submit_job", "id": "work"})["body"]
+            srv.job_manager.wait(body["jobId"], timeout=60)
+        finally:
+            srv.close()
+
+    benchmark.pedantic(submit_and_wait, rounds=3, iterations=1)

@@ -20,7 +20,7 @@ from repro.d4py.mappings.base import (
     normalize_inputs,
     partition_processes,
 )
-from repro.d4py.mappings.dynamic import run_dynamic
+from repro.d4py.mappings.dynamic import DrainTimeout, run_dynamic
 from repro.d4py.mappings.multi import run_multi
 from repro.d4py.mappings.simple import run_simple
 
@@ -37,13 +37,15 @@ def run_graph(
 
     ``options`` are forwarded to the mapping (``num_processes`` and
     ``verbose`` for ``multi``; ``min_workers`` / ``max_workers`` /
-    ``instances_per_pe`` / ``autoscale`` / ``broker`` for ``dynamic``).
+    ``instances_per_pe`` / ``autoscale`` / ``broker`` / ``drain_timeout``
+    for ``dynamic``).
     """
     if mapping == "simple":
         # Cross-mapping flags are accepted and ignored so callers (CLI,
         # execution engine) can pass one option set regardless of mapping.
         options.pop("verbose", None)
         options.pop("num_processes", None)
+        options.pop("drain_timeout", None)
         provenance = bool(options.pop("provenance", False))
         if options:
             raise TypeError(f"simple mapping got unexpected options {sorted(options)}")
@@ -57,9 +59,12 @@ def run_graph(
         # distribution semantics as multiprocessing (§II-A); with no MPI
         # runtime available offline, "mpi" enacts through the same
         # rank-partitioned process engine (DESIGN.md substitution note).
+        options.pop("drain_timeout", None)
         return run_multi(graph, input=input, **options)
     if mapping == "dynamic":
         options.pop("verbose", None)
+        if options.get("drain_timeout") is None:
+            options.pop("drain_timeout", None)
         processes = options.pop("num_processes", None)
         if processes is not None:
             options.setdefault("max_workers", int(processes))
@@ -69,6 +74,7 @@ def run_graph(
 
 __all__ = [
     "MAPPINGS",
+    "DrainTimeout",
     "RunResult",
     "normalize_inputs",
     "partition_processes",

@@ -34,8 +34,27 @@ _DONE = "done"
 _SCALE_UP_DEPTH = 4
 #: Seconds between autoscaler checks.
 _SCALE_INTERVAL = 0.02
-#: Overall drain deadline before the run is declared wedged (seconds).
+#: Default overall drain deadline before the run is declared wedged (seconds).
 _DRAIN_TIMEOUT = 120.0
+
+
+class DrainTimeout(RuntimeError):
+    """A dynamic enactment whose task queue never drained.
+
+    Carries the undrained queue key and the in-flight count at the moment
+    the deadline expired, so callers (notably the jobs subsystem) can
+    distinguish a wedged run (``TIMED_OUT``) from a failing one
+    (``FAILED``) instead of parsing an opaque message.
+    """
+
+    def __init__(self, queue_key: str, pending: int, timeout: float) -> None:
+        super().__init__(
+            f"dynamic mapping wedged: queue {queue_key!r} still has "
+            f"{pending} in-flight task(s) after {timeout:.1f}s"
+        )
+        self.queue_key = queue_key
+        self.pending = pending
+        self.timeout = timeout
 
 
 class _DynamicEngine:
@@ -49,6 +68,7 @@ class _DynamicEngine:
         min_workers: int,
         max_workers: int,
         autoscale: bool,
+        drain_timeout: float = _DRAIN_TIMEOUT,
     ) -> None:
         self.flat = graph.flatten()
         self.broker = broker
@@ -56,6 +76,7 @@ class _DynamicEngine:
         self.min_workers = min_workers
         self.max_workers = max_workers
         self.autoscale = autoscale
+        self.drain_timeout = drain_timeout
 
         self.leaves = leaf_ports(self.flat)
         self.pe_by_name = {pe.name: pe for pe in self.flat.pes}
@@ -204,8 +225,11 @@ class _DynamicEngine:
                 for i, inputs in enumerate(invocations):
                     self.push_task(root.name, i % n, None, dict(inputs))
 
-            if not self.broker.wait_for_zero(self.ns + _PENDING, timeout=_DRAIN_TIMEOUT):
-                raise RuntimeError("dynamic mapping wedged: task queue never drained")
+            if not self.broker.wait_for_zero(
+                self.ns + _PENDING, timeout=self.drain_timeout
+            ):
+                pending = int(self.broker.get(self.ns + _PENDING) or 0)
+                raise DrainTimeout(self.ns + _TASKS, pending, self.drain_timeout)
         finally:
             self.stop_event.set()
             self.broker.set(self.ns + _DONE, 1)
@@ -239,6 +263,7 @@ def run_dynamic(
     instances_per_pe: int = 4,
     autoscale: bool = True,
     broker: RedisSim | None = None,
+    drain_timeout: float = _DRAIN_TIMEOUT,
 ) -> RunResult:
     """Execute ``graph`` with dynamic workload allocation over a work queue.
 
@@ -259,6 +284,9 @@ def run_dynamic(
     broker:
         Supply a shared :class:`RedisSim` (e.g. the process-wide default) —
         a fresh private broker is used when omitted.
+    drain_timeout:
+        Seconds to wait for the in-flight counter to drain before the run
+        is declared wedged with a :class:`DrainTimeout`.
     """
     engine = _DynamicEngine(
         graph,
@@ -267,5 +295,6 @@ def run_dynamic(
         min_workers=min_workers,
         max_workers=max_workers,
         autoscale=autoscale,
+        drain_timeout=drain_timeout,
     )
     return engine.run(input)

@@ -11,6 +11,10 @@ Implements every documented command of the paper's ``help`` screen::
 
 Run options mirror Fig 5b: ``run <identifier> [-i input] [--multi]
 [--dynamic] [-n procs] [-v] [--rawinput]``.
+
+Beyond the paper's screen, the shell grows asynchronous job commands:
+``submit`` (queue a run and return immediately), ``status``, ``result``,
+``cancel`` and ``jobs``.
 """
 
 from __future__ import annotations
@@ -319,6 +323,125 @@ class LaminarCLI(cmd.Cmd):
             for log in summary.logs:
                 self._p(log)
 
+    # -- asynchronous jobs ----------------------------------------------------------------------
+
+    def do_submit(self, arg: str) -> None:
+        """submit <identifier> [options] — queue a workflow run asynchronously.
+
+        Options:
+          -i/--input <data>     input for the workflow
+          --rawinput            treat input as a raw string
+          --multi               parallel run with multiprocessing
+          --dynamic             parallel run with the dynamic mapping
+          -n <procs>            process count for --multi
+          --timeout <seconds>   per-job wall-clock limit
+          --retries <count>     retry budget for transient failures
+          --priority <int>      higher runs first
+          --wait                block until the job finishes
+        """
+        parser = argparse.ArgumentParser(prog="submit", add_help=False)
+        parser.add_argument("identifier")
+        parser.add_argument("-i", "--input", default="1")
+        parser.add_argument("--rawinput", action="store_true")
+        parser.add_argument("--multi", action="store_true")
+        parser.add_argument("--dynamic", action="store_true")
+        parser.add_argument("-n", type=int, default=4)
+        parser.add_argument("--timeout", type=float, default=None)
+        parser.add_argument("--retries", type=int, default=0)
+        parser.add_argument("--priority", type=int, default=0)
+        parser.add_argument("--wait", action="store_true")
+        try:
+            ns = parser.parse_args(shlex.split(arg))
+        except SystemExit:
+            self._p(
+                "usage: submit <identifier> [-i input] [--multi|--dynamic] "
+                "[--timeout S] [--retries N] [--priority P] [--wait]"
+            )
+            return
+
+        if ns.rawinput:
+            input_value = ns.input
+        else:
+            try:
+                input_value = ast.literal_eval(ns.input)
+            except (ValueError, SyntaxError):
+                input_value = ns.input
+
+        process = Process.SIMPLE
+        options: dict = {}
+        if ns.multi:
+            process = Process.MULTI
+            options["num_processes"] = ns.n
+        elif ns.dynamic:
+            process = Process.DYNAMIC
+
+        body = self.client.submit_Job(
+            ns.identifier,
+            input=input_value,
+            process=process,
+            timeout=ns.timeout,
+            max_retries=ns.retries,
+            priority=ns.priority,
+            **options,
+        )
+        self._p(f"job {body['jobId']} {body['state']} ({body['workflowName']})")
+        if ns.wait:
+            result = self.client.wait_For_Job(body["jobId"])
+            self._print_job_result(result)
+
+    def do_status(self, arg: str) -> None:
+        """status <job-id> — current state of a submitted job."""
+        ident = arg.strip()
+        if not ident:
+            self._p("usage: status <job-id>")
+            return
+        body = self.client.job_Status(int(ident))
+        line = f"job {body['jobId']} {body['state']} ({body['workflowName']})"
+        if body["attempts"]:
+            line += f" attempts={body['attempts']}"
+        if body.get("error"):
+            line += f" error={body['error'].splitlines()[-1]}"
+        self._p(line)
+
+    def do_result(self, arg: str) -> None:
+        """result <job-id> — outcome of a finished job (error if still live)."""
+        ident = arg.strip()
+        if not ident:
+            self._p("usage: result <job-id>")
+            return
+        self._print_job_result(self.client.job_Result(int(ident)))
+
+    def do_cancel(self, arg: str) -> None:
+        """cancel <job-id> — cancel a queued or running job."""
+        ident = arg.strip()
+        if not ident:
+            self._p("usage: cancel <job-id>")
+            return
+        body = self.client.cancel_Job(int(ident))
+        self._p(f"job {body['jobId']} {body['state']}")
+
+    def do_jobs(self, arg: str) -> None:
+        """jobs [state] — list submitted jobs, optionally by state."""
+        state = arg.strip() or None
+        rows = self.client.list_Jobs(state=state)
+        if not rows:
+            self._p("(no jobs)")
+            return
+        for job in rows:
+            self._p(
+                f"{job['jobId']:>4}  {job['state']:<9}  {job['workflowName']:<20}  "
+                f"attempts={job['attempts']}  wait={job['queueSeconds']:.3f}s  "
+                f"run={job['runSeconds']:.3f}s"
+            )
+
+    def _print_job_result(self, body: dict) -> None:
+        self._p(f"job {body['jobId']} {body['state']} after {body['attempts']} attempt(s)")
+        if body.get("error"):
+            self._p(f"error: {body['error'].splitlines()[-1]}")
+        outcome = body.get("result") or {}
+        for port, values in (outcome.get("outputs") or {}).items():
+            self._p(f"{port}: {values}")
+
     # -- operations -----------------------------------------------------------------------------
 
     def do_stats(self, arg: str) -> None:
@@ -330,6 +453,22 @@ class LaminarCLI(cmd.Cmd):
             self._p(
                 f"  {action:<28} {stats['requests']:>5} req  "
                 f"{stats['errors']:>3} err  {stats['mean_ms']:>8.2f} ms"
+            )
+        jobs = body.get("jobs")
+        if jobs:
+            queue = jobs.get("queue", {})
+            workers = jobs.get("workers", {})
+            self._p(
+                f"jobs: {jobs['finished'] or '{}'} finished, "
+                f"{jobs['retries']} retries, "
+                f"mean wait {jobs['mean_wait_ms']:.1f} ms, "
+                f"mean run {jobs['mean_run_ms']:.1f} ms"
+            )
+            self._p(
+                f"      queue {queue.get('depth', 0)}/{queue.get('capacity', 0)} "
+                f"(peak {queue.get('peak_depth', 0)}, "
+                f"rejected {queue.get('rejected', 0)}), "
+                f"workers {workers.get('busy', 0)}/{workers.get('size', 0)} busy"
             )
 
     def do_export(self, arg: str) -> None:

@@ -26,8 +26,11 @@ Function                  Paper status
 ========================  =======================================
 
 Beyond Table I, this client also exposes ``code_Completion`` (the §I
-code-completion capability), ``visualize_Workflow`` (graph renderings)
-and ``export_Registry`` / ``import_Registry`` (portable dumps).
+code-completion capability), ``visualize_Workflow`` (graph renderings),
+``export_Registry`` / ``import_Registry`` (portable dumps), and the
+asynchronous job verbs ``submit_Job`` / ``job_Status`` / ``job_Result``
+/ ``job_Logs`` / ``cancel_Job`` / ``list_Jobs`` / ``wait_For_Job`` for
+queued execution with retries, timeouts and cancellation.
 
 The client talks to a server over any transport; by default it embeds a
 server in-process (serverless dev mode), or connects over TCP with
@@ -39,6 +42,7 @@ notebook workflow of the paper's client examples).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
@@ -325,6 +329,74 @@ class LaminarClient:
         Listing 2.
         """
         return self.run(workflow, input=input, process=Process.DYNAMIC, **kwargs)
+
+    # -- asynchronous jobs -----------------------------------------------------
+
+    def submit_Job(
+        self,
+        workflow: int | str,
+        input: Any = 1,
+        process: Process = Process.SIMPLE,
+        timeout: float | None = None,
+        max_retries: int = 0,
+        priority: int = 0,
+        **options: Any,
+    ) -> dict:
+        """Submit a workflow for asynchronous execution; returns the job dict.
+
+        Unlike :meth:`run`, this returns immediately with a ``jobId`` —
+        poll with :meth:`job_Status` or block with :meth:`wait_For_Job`.
+        A full queue is reported as a :class:`ClientError` with status 429.
+        """
+        return self._call(
+            "submit_job",
+            id=workflow,
+            input=input,
+            mapping=process.mapping,
+            timeout=timeout,
+            maxRetries=max_retries,
+            priority=priority,
+            options=options or None,
+        )
+
+    def job_Status(self, job_id: int) -> dict:
+        """Current state of a submitted job (no result payload)."""
+        return self._call("job_status", jobId=job_id)
+
+    def job_Result(self, job_id: int) -> dict:
+        """Finished job with its execution outcome; 409 while still running."""
+        return self._call("job_result", jobId=job_id)
+
+    def job_Logs(self, job_id: int) -> dict:
+        """Output lines captured so far for a job (works mid-run)."""
+        return self._call("job_logs", jobId=job_id)
+
+    def cancel_Job(self, job_id: int) -> dict:
+        """Cancel a queued or running job; 409 once it is already terminal."""
+        return self._call("cancel_job", jobId=job_id)
+
+    def list_Jobs(self, state: str | None = None, limit: int = 50) -> list[dict]:
+        """Jobs newest-first, optionally filtered by state name."""
+        return self._call("list_jobs", state=state, limit=limit)
+
+    def wait_For_Job(
+        self, job_id: int, timeout: float = 60.0, interval: float = 0.05
+    ) -> dict:
+        """Poll a job until it reaches a terminal state; returns the result.
+
+        Raises :class:`TimeoutError` if the job is still live after
+        ``timeout`` seconds of polling.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job_Status(job_id)
+            if status["state"] in ("SUCCEEDED", "FAILED", "CANCELLED", "TIMED_OUT"):
+                return self.job_Result(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout:.1f}s"
+                )
+            time.sleep(interval)
 
     # -- execution internals ---------------------------------------------------
 

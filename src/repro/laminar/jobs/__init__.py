@@ -1,0 +1,48 @@
+"""Asynchronous job execution: queued workflow runs with lifecycle control.
+
+The synchronous ``run`` action occupies a connection for the whole
+enactment; this package decouples submission from enactment the way
+serverless DAG engines (Wukong; PaPy's worker pools) do:
+
+* :mod:`~repro.laminar.jobs.model` — the job record and its state machine
+  (``QUEUED → RUNNING → SUCCEEDED | FAILED | CANCELLED | TIMED_OUT``);
+* :mod:`~repro.laminar.jobs.queue` — a bounded priority queue with
+  admission control (submits beyond the bound are rejected — backpressure);
+* :mod:`~repro.laminar.jobs.store` — job persistence (in-memory, or
+  mirrored into the registry database's ``Job`` table);
+* :mod:`~repro.laminar.jobs.worker` — the thread worker pool driving the
+  execution engine, with per-job timeouts, bounded retries with
+  exponential backoff, and cooperative cancellation;
+* :mod:`~repro.laminar.jobs.manager` — :class:`JobManager`, the façade
+  the server's ``JobService`` (and tests) talk to.
+"""
+
+from repro.laminar.jobs.manager import JobManager
+from repro.laminar.jobs.model import (
+    TERMINAL_STATES,
+    InvalidTransition,
+    Job,
+    JobError,
+    JobSpec,
+    JobState,
+    UnknownJob,
+)
+from repro.laminar.jobs.queue import JobQueue, QueueFull
+from repro.laminar.jobs.store import DatabaseJobStore, InMemoryJobStore
+from repro.laminar.jobs.worker import WorkerPool
+
+__all__ = [
+    "DatabaseJobStore",
+    "InMemoryJobStore",
+    "InvalidTransition",
+    "Job",
+    "JobError",
+    "JobManager",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "QueueFull",
+    "TERMINAL_STATES",
+    "UnknownJob",
+    "WorkerPool",
+]

@@ -1,0 +1,188 @@
+"""The :class:`JobManager` façade: submit → poll → result.
+
+Ties the queue, store and worker pool together behind the small API the
+server's ``JobService`` (and the client verbs) use:
+
+* :meth:`~JobManager.submit` — admission-controlled enqueue;
+* :meth:`~JobManager.status` / :meth:`~JobManager.result` /
+  :meth:`~JobManager.logs` — polling;
+* :meth:`~JobManager.cancel` — cooperative cancellation of queued *or*
+  running jobs;
+* :meth:`~JobManager.list_jobs` / :meth:`~JobManager.stats` —
+  observability;
+* :meth:`~JobManager.join` / :meth:`~JobManager.shutdown` — lifecycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable
+
+from repro.laminar.execution.engine import ExecutionEngine
+from repro.laminar.jobs.model import (
+    InvalidTransition,
+    Job,
+    JobSpec,
+    JobState,
+)
+from repro.laminar.jobs.queue import JobQueue, QueueFull
+from repro.laminar.jobs.store import InMemoryJobStore
+from repro.laminar.jobs.worker import WorkerPool
+
+__all__ = ["JobManager"]
+
+
+class JobManager:
+    """Queued, supervised workflow execution over a worker pool."""
+
+    def __init__(
+        self,
+        engine: ExecutionEngine | None = None,
+        store=None,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        default_timeout: float | None = None,
+        on_terminal: Callable[[Job], None] | None = None,
+        start: bool = True,
+    ) -> None:
+        self.store = store if store is not None else InMemoryJobStore()
+        self.queue = JobQueue(capacity=queue_capacity)
+        self.default_timeout = default_timeout
+        self._user_on_terminal = on_terminal
+        self.pool = WorkerPool(
+            self.queue,
+            self.store,
+            engine=engine,
+            size=workers,
+            on_terminal=self._terminal_hook,
+        )
+        # Terminal-state accounting lives here so stats() survive store swaps.
+        self._terminal_counts: dict[str, int] = {}
+        self._wait_seconds = 0.0
+        self._run_seconds = 0.0
+        self._retries = 0
+        if start:
+            self.pool.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "JobManager":
+        """Start the worker pool (when constructed with ``start=False``)."""
+        self.pool.start()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; queued jobs stay QUEUED in the store."""
+        self.pool.shutdown(wait=wait)
+
+    def _terminal_hook(self, job: Job) -> None:
+        state = job.state.value
+        self._terminal_counts[state] = self._terminal_counts.get(state, 0) + 1
+        self._wait_seconds += job.queue_seconds
+        self._run_seconds += job.run_seconds
+        self._retries += job.retries
+        if self._user_on_terminal is not None:
+            self._user_on_terminal(job)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job; raises :class:`QueueFull` past the queue bound."""
+        if spec.timeout is None and self.default_timeout is not None:
+            spec = dataclasses.replace(spec, timeout=self.default_timeout)
+        if self.queue.depth >= self.queue.capacity:
+            self.queue.rejected += 1
+            raise QueueFull(self.queue.capacity)
+        job = self.store.create(spec)
+        try:
+            self.queue.put(job)
+        except QueueFull:
+            # Lost an admission race: roll the record back and reject.
+            self.store.discard(job)
+            raise
+        self.store.save(job)
+        return job
+
+    # -- polling -------------------------------------------------------------
+
+    def get(self, job_id: int) -> Job:
+        """The live job record; raises :class:`UnknownJob` when absent."""
+        return self.store.get(job_id)
+
+    def status(self, job_id: int) -> dict:
+        """Client-facing status dict for one job."""
+        return self.get(job_id).to_public()
+
+    def result(self, job_id: int) -> dict:
+        """Status plus the execution outcome (``result`` key).
+
+        Callers decide how to treat non-terminal jobs; the service layer
+        turns them into a 409 so clients poll ``status`` first.
+        """
+        return self.get(job_id).to_public(include_result=True)
+
+    def logs(self, job_id: int) -> list[str]:
+        """Output lines captured so far (streams fill this live)."""
+        return self.get(job_id).log_snapshot()
+
+    def wait(self, job_id: int, timeout: float = 60.0, interval: float = 0.02) -> Job:
+        """Block until the job is terminal; raises ``TimeoutError`` if not."""
+        deadline = time.monotonic() + timeout
+        job = self.get(job_id)
+        while not job.terminal:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.state.value} after {timeout}s"
+                )
+            time.sleep(interval)
+        return job
+
+    # -- cancellation --------------------------------------------------------
+
+    def cancel(self, job_id: int) -> Job:
+        """Request cancellation; raises :class:`InvalidTransition` if final.
+
+        The terminal transition lands immediately (QUEUED and RUNNING
+        both permit CANCELLED); the cancellation event additionally makes
+        the worker abandon a running enactment at its next poll tick.
+        """
+        job = self.get(job_id)
+        if job.terminal:
+            raise InvalidTransition(
+                f"job {job_id} already finished ({job.state.value})"
+            )
+        job.cancel_event.set()
+        if job.try_transition(JobState.CANCELLED):
+            job.error = "cancelled by request"
+            self.queue.discard(job.job_id)  # no-op when it was running
+            self.store.save(job)
+            self._terminal_hook(job)
+        return job
+
+    # -- observability -------------------------------------------------------
+
+    def list_jobs(
+        self, state: JobState | str | None = None, limit: int | None = 50
+    ) -> list[dict]:
+        """Newest-first job summaries, optionally filtered by state."""
+        return [job.to_public() for job in self.store.list(state=state, limit=limit)]
+
+    def stats(self) -> dict:
+        """Queue/worker/terminal accounting for the ``stats`` action."""
+        terminal_total = sum(self._terminal_counts.values())
+        return {
+            "queue": self.queue.stats(),
+            "workers": {"size": self.pool.size, "busy": self.pool.busy},
+            "states": self.store.counts(),
+            "completed": dict(sorted(self._terminal_counts.items())),
+            "retries": self._retries,
+            "mean_wait_ms": round(
+                1e3 * self._wait_seconds / terminal_total, 3
+            )
+            if terminal_total
+            else 0.0,
+            "mean_run_ms": round(1e3 * self._run_seconds / terminal_total, 3)
+            if terminal_total
+            else 0.0,
+        }

@@ -1,0 +1,241 @@
+"""Job records and the job state machine.
+
+A *job* is one asynchronous workflow run: the submit parameters frozen
+into a :class:`JobSpec`, plus the mutable lifecycle a :class:`Job` tracks
+through the state machine::
+
+    QUEUED ──► RUNNING ──► SUCCEEDED
+       │          │  ▲ ──► FAILED
+       │          │  │ ──► TIMED_OUT
+       ▼          ▼  │(retry)
+    CANCELLED ◄───┴──┘
+
+``RUNNING → QUEUED`` is the retry edge: a transient failure requeues the
+attempt (with backoff) until ``max_retries`` is exhausted.  All state
+mutation goes through :meth:`Job.transition` / :meth:`Job.try_transition`
+under the job's lock, so workers, the manager and cancellation requests
+can race safely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = [
+    "JobState",
+    "JobSpec",
+    "Job",
+    "JobError",
+    "InvalidTransition",
+    "UnknownJob",
+    "TERMINAL_STATES",
+    "is_transient_error",
+]
+
+
+class JobError(Exception):
+    """Base class for job-subsystem failures."""
+
+
+class InvalidTransition(JobError):
+    """A state change the state machine forbids (e.g. cancel a finished job)."""
+
+
+class UnknownJob(JobError):
+    """A job id that does not exist in the store."""
+
+
+class JobState(str, Enum):
+    """Lifecycle states of an asynchronous workflow run."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMED_OUT = "TIMED_OUT"
+
+
+#: States from which no further transition is possible.
+TERMINAL_STATES = frozenset(
+    {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED, JobState.TIMED_OUT}
+)
+
+#: Legal state-machine edges (RUNNING → QUEUED is the retry requeue).
+_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset(
+        {
+            JobState.SUCCEEDED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMED_OUT,
+            JobState.QUEUED,
+        }
+    ),
+    JobState.SUCCEEDED: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+    JobState.TIMED_OUT: frozenset(),
+}
+
+#: Exception names whose presence in an error marks the failure transient
+#: (worth retrying).  Deliberately narrow: logic errors must not retry.
+TRANSIENT_MARKERS: tuple[str, ...] = (
+    "ConnectionError",
+    "ConnectionResetError",
+    "BrokenPipeError",
+    "TransientError",
+    "TemporaryFailure",
+)
+
+
+def is_transient_error(error: str | None) -> bool:
+    """Whether an error text names a retryable (transient) failure."""
+    if not error:
+        return False
+    return any(marker in error for marker in TRANSIENT_MARKERS)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The immutable submit-time parameters of a job."""
+
+    workflow_code: str
+    workflow_name: str = "workflow"
+    workflow_id: int | None = None
+    entry_point: str | None = None
+    user_id: int | None = None
+    input: Any = 1
+    mapping: str = "simple"
+    options: dict = field(default_factory=dict)
+    priority: int = 0
+    timeout: float | None = None
+    max_retries: int = 0
+    retry_backoff: float = 0.05
+
+    def to_public(self) -> dict:
+        """JSON-able submit parameters (code omitted — it can be large)."""
+        return {
+            "workflowId": self.workflowId,
+            "workflowName": self.workflow_name,
+            "input": self.input,
+            "mapping": self.mapping,
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "maxRetries": self.max_retries,
+        }
+
+    @property
+    def workflowId(self) -> int | None:
+        """Registry id of the workflow this job runs (camelCase alias)."""
+        return self.workflow_id
+
+
+@dataclass
+class Job:
+    """One asynchronous workflow run and its mutable lifecycle."""
+
+    job_id: int
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    error: str | None = None
+    result: dict | None = None
+    logs: list[str] = field(default_factory=list)
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    queue_seconds: float = 0.0
+    run_seconds: float = 0.0
+    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _enqueued_mono: float = field(default_factory=time.monotonic, repr=False)
+    _started_mono: float | None = field(default=None, repr=False)
+
+    # -- state machine -------------------------------------------------------
+
+    def try_transition(self, new_state: JobState) -> bool:
+        """Attempt one state-machine edge; False when the edge is illegal.
+
+        Atomic under the job lock — the winner of a cancel-vs-start race
+        is whichever transition commits first.
+        """
+        with self._lock:
+            if new_state not in _TRANSITIONS[self.state]:
+                return False
+            now = time.monotonic()
+            if new_state is JobState.RUNNING:
+                self.started_at = time.time()
+                self._started_mono = now
+                self.queue_seconds += now - self._enqueued_mono
+            elif new_state is JobState.QUEUED:  # retry requeue
+                if self._started_mono is not None:
+                    self.run_seconds += now - self._started_mono
+                self._enqueued_mono = now
+            elif new_state in TERMINAL_STATES:
+                self.finished_at = time.time()
+                if self._started_mono is not None:
+                    self.run_seconds += now - self._started_mono
+                    self._started_mono = None
+            self.state = new_state
+            return True
+
+    def transition(self, new_state: JobState) -> None:
+        """One state-machine edge; raises :class:`InvalidTransition`."""
+        if not self.try_transition(new_state):
+            raise InvalidTransition(
+                f"job {self.job_id}: illegal transition {self.state.value} "
+                f"→ {new_state.value}"
+            )
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def retries(self) -> int:
+        """Retry count: attempts beyond the first."""
+        return max(0, self.attempts - 1)
+
+    def append_log(self, line: str) -> None:
+        """Record one output line (thread-safe)."""
+        with self._lock:
+            self.logs.append(line)
+
+    def log_snapshot(self) -> list[str]:
+        """Copy of the log lines captured so far."""
+        with self._lock:
+            return list(self.logs)
+
+    # -- presentation --------------------------------------------------------
+
+    def to_public(self, include_result: bool = False) -> dict:
+        """Client-facing dict (the ``job_status`` body)."""
+        with self._lock:
+            public = {
+                "jobId": self.job_id,
+                "state": self.state.value,
+                "workflowId": self.spec.workflow_id,
+                "workflowName": self.spec.workflow_name,
+                "mapping": self.spec.mapping,
+                "priority": self.spec.priority,
+                "timeout": self.spec.timeout,
+                "maxRetries": self.spec.max_retries,
+                "attempts": self.attempts,
+                "retries": max(0, self.attempts - 1),
+                "error": self.error,
+                "submittedAt": self.submitted_at,
+                "startedAt": self.started_at,
+                "finishedAt": self.finished_at,
+                "queueSeconds": round(self.queue_seconds, 6),
+                "runSeconds": round(self.run_seconds, 6),
+            }
+            if include_result:
+                public["result"] = self.result
+            return public

@@ -1,0 +1,118 @@
+"""A bounded, priority-ordered job queue with admission control.
+
+The queue is the backpressure point of the jobs subsystem: submissions
+beyond ``capacity`` raise :class:`QueueFull` immediately (the service
+layer maps this to an HTTP-429-style error) instead of letting work pile
+up unboundedly.  Ordering is highest ``priority`` first, FIFO within a
+priority.  Cancelled jobs are dropped lazily at ``get`` time so
+cancellation never has to scan the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+from repro.laminar.jobs.model import Job, JobError, JobState
+
+__all__ = ["JobQueue", "QueueFull"]
+
+
+class QueueFull(JobError):
+    """Admission control rejected a submit: the queue is at capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(
+            f"job queue is full ({capacity} queued); retry after a job finishes"
+        )
+        self.capacity = capacity
+
+
+class JobQueue:
+    """Bounded max-priority queue of :class:`Job` records."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._heap: list[tuple[int, int, Job]] = []
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._cancelled: set[int] = set()
+        # Accounting for the metrics snapshot.
+        self.submitted = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap) - len(self._cancelled)
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently queued (excluding lazily-dropped cancellations)."""
+        return len(self)
+
+    def put(self, job: Job) -> None:
+        """Enqueue one job; raises :class:`QueueFull` beyond capacity."""
+        with self._cond:
+            if len(self._heap) - len(self._cancelled) >= self.capacity:
+                self.rejected += 1
+                raise QueueFull(self.capacity)
+            heapq.heappush(self._heap, (-job.spec.priority, next(self._seq), job))
+            self.submitted += 1
+            self.peak_depth = max(
+                self.peak_depth, len(self._heap) - len(self._cancelled)
+            )
+            self._cond.notify()
+
+    def get(self, timeout: float | None = None) -> Job | None:
+        """Pop the highest-priority job, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout.  Jobs whose id was passed to
+        :meth:`discard` are skipped and dropped here.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.job_id in self._cancelled:
+                        self._cancelled.discard(job.job_id)
+                        continue
+                    return job
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+
+    def discard(self, job_id: int) -> bool:
+        """Lazily remove a queued job (cancellation); True if it was queued.
+
+        The entry stays in the heap but will be skipped by ``get`` —
+        O(queued cancellations) memory, O(1) time.
+        """
+        with self._cond:
+            for _, _, job in self._heap:
+                if job.job_id == job_id and job.job_id not in self._cancelled:
+                    if job.state is JobState.QUEUED or job.terminal:
+                        self._cancelled.add(job_id)
+                        return True
+                    return False
+            return False
+
+    def stats(self) -> dict:
+        """JSON-able queue accounting for the metrics snapshot."""
+        with self._cond:
+            return {
+                "depth": len(self._heap) - len(self._cancelled),
+                "capacity": self.capacity,
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "peak_depth": self.peak_depth,
+            }

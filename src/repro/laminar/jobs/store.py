@@ -1,0 +1,97 @@
+"""Job stores: where submitted jobs live and are looked up.
+
+The runtime source of truth is always the in-memory map — live jobs hold
+non-serialisable state (the cancellation event, locks) and workers mutate
+them in place.  :class:`DatabaseJobStore` additionally mirrors every job
+into the registry database's ``Job`` table (via the server's
+``JobRepository``), so submissions survive in the relational registry
+alongside ``Execution`` rows for audit and history queries.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.laminar.jobs.model import Job, JobSpec, JobState, UnknownJob
+
+__all__ = ["InMemoryJobStore", "DatabaseJobStore"]
+
+
+class InMemoryJobStore:
+    """Dictionary-backed job store (tests and embedded managers)."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[int, Job] = {}
+        self._lock = threading.Lock()
+        self._next_id = 1
+
+    def create(self, spec: JobSpec) -> Job:
+        """Allocate an id and record a new QUEUED job."""
+        with self._lock:
+            job = Job(job_id=self._next_id, spec=spec)
+            self._next_id += 1
+            self._jobs[job.job_id] = job
+        return job
+
+    def get(self, job_id: int) -> Job:
+        """Fetch a job by id; raises :class:`UnknownJob` when absent."""
+        with self._lock:
+            job = self._jobs.get(int(job_id))
+        if job is None:
+            raise UnknownJob(f"no job {job_id}")
+        return job
+
+    def discard(self, job: Job) -> None:
+        """Forget a job whose admission was rejected (never ran)."""
+        with self._lock:
+            self._jobs.pop(job.job_id, None)
+
+    def save(self, job: Job) -> None:
+        """Persist a lifecycle change (no-op: jobs mutate in place)."""
+
+    def list(
+        self, state: JobState | str | None = None, limit: int | None = None
+    ) -> list[Job]:
+        """Jobs newest-first, optionally filtered by state."""
+        wanted = JobState(state) if state is not None else None
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: -j.job_id)
+        if wanted is not None:
+            jobs = [job for job in jobs if job.state is wanted]
+        return jobs[:limit] if limit else jobs
+
+    def counts(self) -> dict[str, int]:
+        """Job counts per state (for the metrics snapshot)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        out: dict[str, int] = {}
+        for job in jobs:
+            out[job.state.value] = out.get(job.state.value, 0) + 1
+        return out
+
+
+class DatabaseJobStore(InMemoryJobStore):
+    """In-memory store mirrored into the registry's ``Job`` table.
+
+    ``repository`` is a ``JobRepository``
+    (:mod:`repro.laminar.server.dataaccess`); it owns the SQL.  Ids are
+    allocated by the database so job ids line up with the ``Job`` rows.
+    """
+
+    def __init__(self, repository) -> None:
+        super().__init__()
+        self.repository = repository
+
+    def create(self, spec: JobSpec) -> Job:
+        record = self.repository.create(spec)
+        job = Job(job_id=record.jobId, spec=spec)
+        with self._lock:
+            self._jobs[job.job_id] = job
+        return job
+
+    def discard(self, job: Job) -> None:
+        super().discard(job)
+        self.repository.delete(job.job_id)
+
+    def save(self, job: Job) -> None:
+        self.repository.update(job)

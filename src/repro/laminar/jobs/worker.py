@@ -1,0 +1,251 @@
+"""The thread worker pool that enacts queued jobs.
+
+Each worker pulls jobs off the shared :class:`~repro.laminar.jobs.queue.
+JobQueue` and drives them through the execution engine's streaming API.
+The stream is drained on a side thread so the worker itself can poll the
+job's cancellation event and wall-clock deadline at a fixed cadence —
+cancellation and timeout fire promptly even for workflows that never
+print a line.
+
+Failure handling per attempt:
+
+* transient errors (see :data:`~repro.laminar.jobs.model.
+  TRANSIENT_MARKERS`) are retried with exponential backoff while
+  ``max_retries`` allows, requeueing through the ``RUNNING → QUEUED``
+  edge of the state machine;
+* a deadline overrun, an engine inactivity ``TimeoutError`` or a dynamic
+  :class:`~repro.d4py.mappings.dynamic.DrainTimeout` lands the job in
+  ``TIMED_OUT`` (never ``FAILED`` — a wedged run is not a wrong run);
+* anything else is terminal ``FAILED`` with the engine's traceback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.laminar.execution.engine import ExecutionEngine
+from repro.laminar.jobs.model import (
+    Job,
+    JobState,
+    is_transient_error,
+)
+from repro.laminar.jobs.queue import JobQueue
+
+__all__ = ["WorkerPool"]
+
+#: Seconds between cancellation/deadline checks while a job streams.
+_POLL_INTERVAL = 0.02
+#: Engine inactivity timeout applied when the job declares none.
+_DEFAULT_INACTIVITY = 300.0
+
+#: Error-text markers classified as a timeout rather than a failure.
+_TIMEOUT_MARKERS = ("DrainTimeout", "TimeoutError")
+
+
+class WorkerPool:
+    """An elastic-enough pool of job-worker threads."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store,
+        engine: ExecutionEngine | None = None,
+        size: int = 2,
+        on_terminal: Callable[[Job], None] | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("worker pool size must be >= 1")
+        self.queue = queue
+        self.store = store
+        self.engine = engine or ExecutionEngine()
+        self.size = size
+        self.on_terminal = on_terminal
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return self
+        for i in range(self.size):
+            thread = threading.Thread(
+                target=self._loop, name=f"laminar-job-worker-{i}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def shutdown(self, wait: bool = True, timeout: float = 5.0) -> None:
+        """Stop pulling new jobs; optionally join the workers."""
+        self._stop.set()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+        self._threads.clear()
+
+    @property
+    def busy(self) -> int:
+        """Workers currently enacting a job."""
+        with self._busy_lock:
+            return self._busy
+
+    # -- the worker loop -----------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=0.05)
+            if job is None:
+                continue
+            with self._busy_lock:
+                self._busy += 1
+            try:
+                self._run_job(job)
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1
+
+    def _finish(self, job: Job, state: JobState, error: str | None = None) -> None:
+        if not job.try_transition(state):
+            return  # lost a race (e.g. concurrent cancel already landed)
+        if error is not None:
+            job.error = error
+        self.store.save(job)
+        if self.on_terminal is not None:
+            self.on_terminal(job)
+
+    def _run_job(self, job: Job) -> None:
+        """Drive one job to a terminal state, retrying transient failures."""
+        if job.cancel_event.is_set():
+            self._finish(job, JobState.CANCELLED, "cancelled while queued")
+            return
+        if not job.try_transition(JobState.RUNNING):
+            return  # cancelled in the instant between get() and here
+        self.store.save(job)
+        deadline = (
+            None
+            if job.spec.timeout is None
+            else time.monotonic() + job.spec.timeout
+        )
+
+        while True:
+            if self._stop.is_set():
+                self._finish(job, JobState.CANCELLED, "worker pool shut down")
+                return
+            job.attempts += 1
+            verdict, error = self._execute_once(job, deadline)
+            if verdict == "success":
+                self._finish(job, JobState.SUCCEEDED)
+                return
+            if verdict == "cancelled":
+                self._finish(job, JobState.CANCELLED, error or "cancelled mid-run")
+                return
+            if verdict == "timeout":
+                self._finish(
+                    job,
+                    JobState.TIMED_OUT,
+                    error or f"job exceeded its {job.spec.timeout}s timeout",
+                )
+                return
+            # verdict == "error": retry transient failures while allowed.
+            if (
+                is_transient_error(error)
+                and job.attempts <= job.spec.max_retries
+                and not job.cancel_event.is_set()
+            ):
+                backoff = job.spec.retry_backoff * (2 ** (job.attempts - 1))
+                if deadline is not None and time.monotonic() + backoff > deadline:
+                    self._finish(job, JobState.TIMED_OUT, error)
+                    return
+                job.append_log(
+                    f"[jobs] attempt {job.attempts} hit a transient failure; "
+                    f"retrying in {backoff:.3f}s"
+                )
+                # Requeue edge keeps the wait/run accounting honest, but the
+                # retry stays on this worker: backoff then run again.
+                job.transition(JobState.QUEUED)
+                self.store.save(job)
+                if job.cancel_event.wait(backoff):
+                    self._finish(job, JobState.CANCELLED, "cancelled during backoff")
+                    return
+                if not job.try_transition(JobState.RUNNING):
+                    return
+                self.store.save(job)
+                continue
+            self._finish(job, JobState.FAILED, error or "workflow failed")
+            return
+
+    # -- one attempt ---------------------------------------------------------
+
+    def _execute_once(
+        self, job: Job, deadline: float | None
+    ) -> tuple[str, str | None]:
+        """Run one attempt; returns ``(verdict, error)``.
+
+        Verdicts: ``success`` | ``error`` | ``timeout`` | ``cancelled``.
+        """
+        spec = job.spec
+        remaining = None if deadline is None else deadline - time.monotonic()
+        if remaining is not None and remaining <= 0:
+            return "timeout", None
+        inactivity = min(
+            _DEFAULT_INACTIVITY, remaining if remaining is not None else float("inf")
+        )
+        options = dict(spec.options)
+        if spec.mapping == "dynamic" and remaining is not None:
+            # Let a wedged dynamic run surface DrainTimeout inside the job
+            # window instead of the engine's much larger default.
+            options.setdefault("drain_timeout", max(remaining, 0.05))
+        stream, outcome = self.engine.execute_streaming(
+            spec.workflow_code,
+            input=spec.input,
+            mapping=spec.mapping,
+            graph_name=spec.entry_point or None,
+            inactivity_timeout=inactivity,
+            **options,
+        )
+
+        drained = threading.Event()
+        abandon = threading.Event()
+
+        def drain() -> None:
+            try:
+                for line in stream:
+                    if abandon.is_set():
+                        break
+                    job.append_log(line)
+            finally:
+                if abandon.is_set():
+                    stream.close()
+                drained.set()
+
+        drainer = threading.Thread(
+            target=drain, name=f"laminar-job-{job.job_id}-drain", daemon=True
+        )
+        drainer.start()
+
+        while not drained.wait(_POLL_INTERVAL):
+            if job.cancel_event.is_set():
+                abandon.set()
+                return "cancelled", None
+            if self._stop.is_set():
+                # Pool shutdown: abandon the enactment so workers join
+                # promptly instead of riding out arbitrarily long runs.
+                abandon.set()
+                return "cancelled", "worker pool shut down"
+            if deadline is not None and time.monotonic() > deadline:
+                abandon.set()
+                return "timeout", None
+
+        if outcome.status == "success":
+            job.result = outcome.to_public()
+            return "success", None
+        error = outcome.error or "workflow failed without a traceback"
+        if any(marker in error for marker in _TIMEOUT_MARKERS):
+            return "timeout", error
+        return "error", error

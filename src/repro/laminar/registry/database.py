@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import sqlite3
 import threading
-from typing import Any, Iterable
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator
 
 from repro.laminar.registry.schema import SCHEMA_STATEMENTS
 
@@ -56,6 +57,23 @@ class RegistryDatabase:
         """First row of a query, or ``None``."""
         rows = self.query(sql, params)
         return rows[0] if rows else None
+
+    @contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """Group several statements into one atomic commit.
+
+        Yields the raw connection under the database lock; statements run
+        through it are committed together on exit (rolled back on
+        exception).  Used by writers that must not interleave with other
+        threads — e.g. the job store's insert-then-read-back.
+        """
+        with self._lock:
+            try:
+                yield self._conn
+                self._conn.commit()
+            except Exception:
+                self._conn.rollback()
+                raise
 
     # -- introspection -------------------------------------------------------
 

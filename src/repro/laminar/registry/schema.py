@@ -13,6 +13,10 @@ Entities:
 * ``Execution`` — one row per workflow run: mapping, input spec, status,
   timing; linked to a workflow and a user.
 * ``Response`` — captured output of an execution (one-to-one-or-many).
+* ``Job`` — one row per *asynchronous* workflow run: the submit
+  parameters, the lifecycle state machine (QUEUED → RUNNING → SUCCEEDED
+  | FAILED | CANCELLED | TIMED_OUT), retry/timing accounting and the
+  captured result; linked to a workflow and a user.
 
 SQLite types: ``TEXT`` is a character large object (unbounded), exactly
 the CLOB move the paper made away from bounded ``String`` columns.
@@ -88,6 +92,30 @@ TABLES: dict[str, str] = {
         "    createdAt TEXT NOT NULL DEFAULT (datetime('now'))\n"
         ")"
     ),
+    "Job": (
+        "CREATE TABLE IF NOT EXISTS Job (\n"
+        "    jobId INTEGER PRIMARY KEY AUTOINCREMENT,\n"
+        "    workflowId INTEGER REFERENCES Workflow(workflowId)\n"
+        "        ON DELETE SET NULL,\n"
+        "    userId INTEGER REFERENCES User(userId),\n"
+        "    workflowName TEXT NOT NULL DEFAULT 'workflow',\n"
+        "    state TEXT NOT NULL DEFAULT 'QUEUED',\n"
+        "    mapping TEXT NOT NULL DEFAULT 'simple',\n"
+        "    inputSpec TEXT,\n"                       # CLOB (JSON)
+        "    priority INTEGER NOT NULL DEFAULT 0,\n"
+        "    timeoutSeconds REAL,\n"
+        "    maxRetries INTEGER NOT NULL DEFAULT 0,\n"
+        "    attempts INTEGER NOT NULL DEFAULT 0,\n"
+        "    error TEXT,\n"
+        "    result TEXT,\n"                          # CLOB (JSON outcome)
+        "    logLines TEXT,\n"                        # CLOB
+        "    queueSeconds REAL NOT NULL DEFAULT 0,\n"
+        "    runSeconds REAL NOT NULL DEFAULT 0,\n"
+        "    submittedAt TEXT NOT NULL DEFAULT (datetime('now')),\n"
+        "    startedAt TEXT,\n"
+        "    finishedAt TEXT\n"
+        ")"
+    ),
 }
 
 INDEXES: tuple[str, ...] = (
@@ -99,6 +127,9 @@ INDEXES: tuple[str, ...] = (
     "CREATE INDEX IF NOT EXISTS idx_exec_user ON Execution(userId)",
     "CREATE INDEX IF NOT EXISTS idx_resp_exec ON Response(executionId)",
     "CREATE INDEX IF NOT EXISTS idx_wfpe_pe ON WorkflowPE(peId)",
+    "CREATE INDEX IF NOT EXISTS idx_job_state ON Job(state)",
+    "CREATE INDEX IF NOT EXISTS idx_job_wf ON Job(workflowId)",
+    "CREATE INDEX IF NOT EXISTS idx_job_user ON Job(userId)",
 )
 
 SCHEMA_STATEMENTS: tuple[str, ...] = tuple(TABLES.values()) + INDEXES
@@ -137,6 +168,14 @@ def schema_summary() -> list[dict]:
             "description": (
                 "Captures results of workflow executions; linked to a "
                 "specific execution."
+            ),
+        },
+        {
+            "table": "Job",
+            "description": (
+                "Asynchronous workflow runs: queued submissions with "
+                "lifecycle state, retry and timing accounting; linked to "
+                "a workflow and user."
             ),
         },
     ]

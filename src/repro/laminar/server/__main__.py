@@ -31,12 +31,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--db", default=":memory:", help="registry database path (default in-memory)"
     )
+    parser.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="threads enacting asynchronous jobs (default 2)",
+    )
+    parser.add_argument(
+        "--job-queue",
+        type=int,
+        default=64,
+        help="bounded job queue capacity; beyond it submits get 429 (default 64)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="default per-job timeout in seconds (default none)",
+    )
     ns = parser.parse_args(argv)
 
-    server = LaminarServer(ns.db)
+    server = LaminarServer(
+        ns.db,
+        job_workers=ns.job_workers,
+        job_queue_capacity=ns.job_queue,
+        job_default_timeout=ns.job_timeout,
+    )
     transport = TcpServerTransport(server, host=ns.host, port=ns.port).start()
     host, port = transport.address
-    print(f"laminar server listening on {host}:{port} (registry: {ns.db})", flush=True)
+    print(
+        f"laminar server listening on {host}:{port} (registry: {ns.db}, "
+        f"{ns.job_workers} job workers, queue {ns.job_queue})",
+        flush=True,
+    )
 
     stop = threading.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):

@@ -16,10 +16,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.laminar.execution.engine import ExecutionEngine
+from repro.laminar.jobs import DatabaseJobStore, Job, JobManager
 from repro.laminar.registry.database import RegistryDatabase
 from repro.laminar.server.controllers import Router
 from repro.laminar.server.dataaccess import (
     ExecutionRepository,
+    JobRepository,
     PERepository,
     ResponseRepository,
     UserRepository,
@@ -28,6 +30,7 @@ from repro.laminar.server.dataaccess import (
 from repro.laminar.server.services import (
     AuthService,
     ExecutionService,
+    JobService,
     RegistryService,
     ServiceError,
 )
@@ -47,6 +50,10 @@ class ServerMetrics:
     requests: dict[str, int] = field(default_factory=dict)
     errors: dict[str, int] = field(default_factory=dict)
     seconds: dict[str, float] = field(default_factory=dict)
+    jobs_finished: dict[str, int] = field(default_factory=dict)
+    job_wait_seconds: float = 0.0
+    job_run_seconds: float = 0.0
+    job_retries: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, action: str, elapsed: float, ok: bool) -> None:
@@ -57,10 +64,20 @@ class ServerMetrics:
             if not ok:
                 self.errors[action] = self.errors.get(action, 0) + 1
 
+    def record_job(self, job: Job) -> None:
+        """Account one job reaching a terminal state."""
+        with self._lock:
+            state = job.state.value
+            self.jobs_finished[state] = self.jobs_finished.get(state, 0) + 1
+            self.job_wait_seconds += job.queue_seconds
+            self.job_run_seconds += job.run_seconds
+            self.job_retries += job.retries
+
     def snapshot(self) -> dict:
         """JSON-able metrics summary (the ``stats`` action body)."""
         with self._lock:
             total = sum(self.requests.values())
+            finished = sum(self.jobs_finished.values())
             return {
                 "uptime_seconds": round(time.monotonic() - self.started_at, 3),
                 "total_requests": total,
@@ -74,19 +91,38 @@ class ServerMetrics:
                     }
                     for action, count in sorted(self.requests.items())
                 },
+                "jobs": {
+                    "finished": dict(sorted(self.jobs_finished.items())),
+                    "retries": self.job_retries,
+                    "mean_wait_ms": round(
+                        1e3 * self.job_wait_seconds / finished, 3
+                    )
+                    if finished
+                    else 0.0,
+                    "mean_run_ms": round(1e3 * self.job_run_seconds / finished, 3)
+                    if finished
+                    else 0.0,
+                },
             }
 
 
 class LaminarServer:
     """A complete Laminar 2.0 server over one registry database."""
 
-    def __init__(self, db_path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        db_path: str = ":memory:",
+        job_workers: int = 2,
+        job_queue_capacity: int = 64,
+        job_default_timeout: float | None = None,
+    ) -> None:
         self.db = RegistryDatabase(db_path)
         self.users = UserRepository(self.db)
         self.pes = PERepository(self.db)
         self.workflows = WorkflowRepository(self.db)
         self.executions = ExecutionRepository(self.db)
         self.responses = ResponseRepository(self.db)
+        self.job_rows = JobRepository(self.db)
 
         self.auth = AuthService(self.users)
         self.registry = RegistryService(self.pes, self.workflows)
@@ -94,8 +130,17 @@ class LaminarServer:
         self.execution = ExecutionService(
             self.registry, self.executions, self.responses, self.engine
         )
-        self.router = Router(self.auth, self.registry, self.execution)
         self.metrics = ServerMetrics()
+        self.job_manager = JobManager(
+            engine=self.engine,
+            store=DatabaseJobStore(self.job_rows),
+            workers=job_workers,
+            queue_capacity=job_queue_capacity,
+            default_timeout=job_default_timeout,
+            on_terminal=self.metrics.record_job,
+        )
+        self.jobs = JobService(self.registry, self.job_manager)
+        self.router = Router(self.auth, self.registry, self.execution, self.jobs)
 
     def handle(self, payload: Any) -> dict:
         """Process one request payload into a ``{status, body}`` envelope."""
@@ -103,7 +148,11 @@ class LaminarServer:
             return {"status": 400, "body": {"error": "payload must be an object"}}
         action = str(payload.get("action"))
         if action == "stats":
-            return {"status": 200, "body": self.metrics.snapshot()}
+            body = self.metrics.snapshot()
+            # Live queue/worker gauges come from the manager; the counters
+            # above only see jobs that already finished.
+            body["jobs"].update(self.job_manager.stats())
+            return {"status": 200, "body": body}
         started = time.monotonic()
         try:
             body = self.router.dispatch(payload)
@@ -121,5 +170,6 @@ class LaminarServer:
         return response
 
     def close(self) -> None:
-        """Close the registry database."""
+        """Stop the job workers and close the registry database."""
+        self.job_manager.shutdown(wait=True)
         self.db.close()

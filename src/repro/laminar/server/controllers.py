@@ -15,6 +15,7 @@ from repro.laminar.registry.schema import schema_summary
 from repro.laminar.server.services import (
     AuthService,
     ExecutionService,
+    JobService,
     RegistryService,
     ServiceError,
 )
@@ -39,10 +40,12 @@ class Router:
         auth: AuthService,
         registry: RegistryService,
         execution: ExecutionService,
+        jobs: JobService | None = None,
     ) -> None:
         self.auth = auth
         self.registry = registry
         self.execution = execution
+        self.jobs = jobs
         self._handlers: dict[str, Callable[[Any, dict], Any]] = {
             "ping": self._ping,
             "schema": self._schema,
@@ -71,6 +74,17 @@ class Router:
             "export_registry": self._export_registry,
             "import_registry": self._import_registry,
         }
+        if jobs is not None:
+            self._handlers.update(
+                {
+                    "submit_job": self._submit_job,
+                    "job_status": self._job_status,
+                    "job_result": self._job_result,
+                    "job_logs": self._job_logs,
+                    "cancel_job": self._cancel_job,
+                    "list_jobs": self._list_jobs,
+                }
+            )
 
     def actions(self) -> list[str]:
         """Sorted names of every routable action."""
@@ -227,6 +241,42 @@ class Router:
             raise ServiceError(400, f"invalid registry dump: {exc}") from exc
         self.registry._mutated()  # imported content must invalidate caches
         return counts
+
+    # -- asynchronous jobs ----------------------------------------------------
+
+    def _submit_job(self, user, params):
+        (ident,) = _require(params, "id")
+        return self.jobs.submit(
+            user,
+            ident,
+            input=params.get("input", 1),
+            mapping=params.get("mapping", "simple"),
+            timeout=params.get("timeout"),
+            max_retries=int(params.get("maxRetries", 0)),
+            priority=int(params.get("priority", 0)),
+            options=params.get("options"),
+        )
+
+    def _job_status(self, user, params):
+        (job_id,) = _require(params, "jobId")
+        return self.jobs.status(job_id)
+
+    def _job_result(self, user, params):
+        (job_id,) = _require(params, "jobId")
+        return self.jobs.result(job_id)
+
+    def _job_logs(self, user, params):
+        (job_id,) = _require(params, "jobId")
+        return self.jobs.logs(job_id)
+
+    def _cancel_job(self, user, params):
+        (job_id,) = _require(params, "jobId")
+        return self.jobs.cancel(job_id)
+
+    def _list_jobs(self, user, params):
+        return self.jobs.list_jobs(
+            state=params.get("state"), limit=int(params.get("limit", 50))
+        )
 
     def _run(self, user, params):
         (ident,) = _require(params, "id")

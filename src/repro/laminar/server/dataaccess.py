@@ -7,9 +7,12 @@ keeping the service layer free of SQL — the layering the paper describes
 
 from __future__ import annotations
 
+import json
+
 from repro.laminar.registry.database import RegistryDatabase
 from repro.laminar.server.models import (
     ExecutionRecord,
+    JobRecord,
     PERecord,
     ResponseRecord,
     UserRecord,
@@ -22,6 +25,7 @@ __all__ = [
     "WorkflowRepository",
     "ExecutionRepository",
     "ResponseRepository",
+    "JobRepository",
 ]
 
 
@@ -275,6 +279,101 @@ class ExecutionRepository:
             (workflow_id,),
         )
         return [ExecutionRecord(**row) for row in rows]
+
+
+class JobRepository:
+    """SQL access for Job rows (asynchronous workflow runs).
+
+    The live :class:`~repro.laminar.jobs.model.Job` objects are the
+    runtime truth; this repository mirrors their lifecycle into the
+    registry so job history survives in the relational schema alongside
+    ``Execution`` rows.
+    """
+
+    def __init__(self, db: RegistryDatabase) -> None:
+        self.db = db
+
+    def create(self, spec) -> JobRecord:
+        """Insert one QUEUED row from a ``JobSpec``; returns the record.
+
+        Runs inside one transaction so the insert and read-back cannot
+        interleave with concurrent worker updates.
+        """
+        with self.db.transaction() as conn:
+            cursor = conn.execute(
+                "INSERT INTO Job (workflowId, userId, workflowName, mapping, "
+                "inputSpec, priority, timeoutSeconds, maxRetries) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    spec.workflow_id,
+                    spec.user_id,
+                    spec.workflow_name,
+                    spec.mapping,
+                    json.dumps(spec.input, default=str),
+                    spec.priority,
+                    spec.timeout,
+                    spec.max_retries,
+                ),
+            )
+            row = conn.execute(
+                "SELECT * FROM Job WHERE jobId = ?", (cursor.lastrowid,)
+            ).fetchone()
+        return JobRecord(**dict(row))
+
+    def get(self, job_id: int) -> JobRecord | None:
+        """Fetch by primary key, or ``None``."""
+        row = self.db.query_one("SELECT * FROM Job WHERE jobId = ?", (job_id,))
+        return JobRecord(**row) if row else None
+
+    def update(self, job) -> None:
+        """Mirror a live ``Job``'s current lifecycle into its row."""
+        self.db.execute(
+            "UPDATE Job SET state = ?, attempts = ?, error = ?, result = ?, "
+            "logLines = ?, queueSeconds = ?, runSeconds = ?, "
+            "startedAt = CASE WHEN ? IS NULL THEN startedAt "
+            "ELSE datetime(?, 'unixepoch') END, "
+            "finishedAt = CASE WHEN ? IS NULL THEN finishedAt "
+            "ELSE datetime(?, 'unixepoch') END "
+            "WHERE jobId = ?",
+            (
+                job.state.value,
+                job.attempts,
+                job.error,
+                json.dumps(job.result) if job.result is not None else None,
+                "\n".join(job.log_snapshot()),
+                round(job.queue_seconds, 6),
+                round(job.run_seconds, 6),
+                job.started_at,
+                job.started_at,
+                job.finished_at,
+                job.finished_at,
+                job.job_id,
+            ),
+        )
+
+    def delete(self, job_id: int) -> bool:
+        """Delete by id (rejected admissions); returns whether it existed."""
+        existed = self.get(job_id) is not None
+        self.db.execute("DELETE FROM Job WHERE jobId = ?", (job_id,))
+        return existed
+
+    def list(self, state: str | None = None, limit: int = 50) -> list[JobRecord]:
+        """Newest-first rows, optionally filtered by lifecycle state."""
+        if state is not None:
+            rows = self.db.query(
+                "SELECT * FROM Job WHERE state = ? ORDER BY jobId DESC LIMIT ?",
+                (state, limit),
+            )
+        else:
+            rows = self.db.query(
+                "SELECT * FROM Job ORDER BY jobId DESC LIMIT ?", (limit,)
+            )
+        return [JobRecord(**row) for row in rows]
+
+    def counts_by_state(self) -> dict[str, int]:
+        """``{state: row count}`` over the whole table."""
+        rows = self.db.query("SELECT state, COUNT(*) AS n FROM Job GROUP BY state")
+        return {row["state"]: row["n"] for row in rows}
 
 
 class ResponseRepository:

@@ -16,6 +16,7 @@ __all__ = [
     "WorkflowRecord",
     "ExecutionRecord",
     "ResponseRecord",
+    "JobRecord",
 ]
 
 
@@ -112,6 +113,40 @@ class ExecutionRecord:
     def to_public(self) -> dict:
         """Client-facing dict (embeddings and secrets omitted)."""
         return asdict(self)
+
+
+@dataclass
+class JobRecord:
+    """One Job row: an asynchronous workflow run's persisted lifecycle."""
+    jobId: int
+    workflowId: int | None = None
+    userId: int | None = None
+    workflowName: str = "workflow"
+    state: str = "QUEUED"
+    mapping: str = "simple"
+    inputSpec: str = ""
+    priority: int = 0
+    timeoutSeconds: float | None = None
+    maxRetries: int = 0
+    attempts: int = 0
+    error: str | None = None
+    result: str | None = None  # JSON outcome
+    logLines: str = ""
+    queueSeconds: float = 0.0
+    runSeconds: float = 0.0
+    submittedAt: str = ""
+    startedAt: str | None = None
+    finishedAt: str | None = None
+
+    def outcome(self) -> dict:
+        """Parsed execution outcome ({} when the job has not finished)."""
+        return json.loads(self.result) if self.result else {}
+
+    def to_public(self) -> dict:
+        """Client-facing dict (the persisted-row view of a job)."""
+        public = asdict(self)
+        public["result"] = self.outcome()
+        return public
 
 
 @dataclass

@@ -12,6 +12,8 @@ This is where the paper's feature set lives:
 * :class:`ExecutionService` — workflow runs through the execution
   engine with Execution/Response bookkeeping and the §IV-F resource
   handshake.
+* :class:`JobService` — asynchronous workflow runs: submission into the
+  bounded job queue (429 on backpressure), polling, cancellation.
 """
 
 from __future__ import annotations
@@ -27,7 +29,16 @@ import numpy as np
 
 from repro.aroma.features import extract_features
 from repro.aroma.spt import ParseFailure, python_to_spt
+from repro.d4py.mappings import MAPPINGS
 from repro.laminar.execution.engine import ExecutionEngine
+from repro.laminar.jobs import (
+    InvalidTransition,
+    JobManager,
+    JobSpec,
+    JobState,
+    QueueFull,
+    UnknownJob,
+)
 from repro.laminar.execution.resources import ResourceManifestEntry, file_digest
 from repro.laminar.server.dataaccess import (
     ExecutionRepository,
@@ -44,7 +55,13 @@ from repro.models.reacc import ReACCRetriever
 from repro.search.code import CodeSearch
 from repro.search.semantic import SemanticSearch
 
-__all__ = ["AuthService", "RegistryService", "ExecutionService", "ServiceError"]
+__all__ = [
+    "AuthService",
+    "RegistryService",
+    "ExecutionService",
+    "JobService",
+    "ServiceError",
+]
 
 #: Base classes that mark a class definition as a Processing Element.
 _PE_BASES = {"GenericPE", "IterativePE", "ProducerPE", "ConsumerPE", "CompositePE"}
@@ -602,3 +619,97 @@ class ExecutionService:
                 **outcome.to_public(),
             },
         )
+
+
+class JobService:
+    """Asynchronous workflow runs over the jobs subsystem.
+
+    Thin HTTP-ish shim over :class:`~repro.laminar.jobs.manager.
+    JobManager`: resolves the workflow, freezes the submit parameters
+    into a :class:`~repro.laminar.jobs.model.JobSpec` and maps
+    job-subsystem failures to :class:`ServiceError` statuses (429 queue
+    full, 404 unknown job, 409 illegal lifecycle operations).
+    """
+
+    def __init__(self, registry: RegistryService, manager: JobManager) -> None:
+        self.registry = registry
+        self.manager = manager
+
+    def submit(
+        self,
+        user: UserRecord,
+        ident: int | str,
+        input: Any = 1,
+        mapping: str = "simple",
+        timeout: float | None = None,
+        max_retries: int = 0,
+        priority: int = 0,
+        options: dict | None = None,
+    ) -> dict:
+        """Queue a run of a registered workflow; returns the QUEUED job."""
+        if mapping not in MAPPINGS:
+            raise ServiceError(400, f"unknown mapping {mapping!r}")
+        workflow = self.registry.get_workflow(ident)
+        spec = JobSpec(
+            workflow_code=workflow.workflowCode,
+            workflow_name=workflow.workflowName,
+            workflow_id=workflow.workflowId,
+            entry_point=workflow.entryPoint or None,
+            user_id=user.userId,
+            input=input,
+            mapping=mapping,
+            options=dict(options or {}),
+            priority=int(priority),
+            timeout=float(timeout) if timeout is not None else None,
+            max_retries=int(max_retries),
+        )
+        try:
+            job = self.manager.submit(spec)
+        except QueueFull as exc:
+            raise ServiceError(429, str(exc)) from exc
+        return job.to_public()
+
+    def _job(self, job_id: int):
+        try:
+            return self.manager.get(int(job_id))
+        except (UnknownJob, ValueError) as exc:
+            raise ServiceError(404, f"no job {job_id!r}") from exc
+
+    def status(self, job_id: int) -> dict:
+        """Current lifecycle state of one job."""
+        return self._job(job_id).to_public()
+
+    def result(self, job_id: int) -> dict:
+        """Terminal state plus outcome; 409 while the job is still live."""
+        job = self._job(job_id)
+        if not job.terminal:
+            raise ServiceError(
+                409, f"job {job.job_id} not finished (state {job.state.value})"
+            )
+        return job.to_public(include_result=True)
+
+    def logs(self, job_id: int) -> dict:
+        """Output lines captured so far (usable mid-run)."""
+        job = self._job(job_id)
+        return {
+            "jobId": job.job_id,
+            "state": job.state.value,
+            "lines": job.log_snapshot(),
+        }
+
+    def cancel(self, job_id: int) -> dict:
+        """Cooperatively cancel a queued or running job (409 when final)."""
+        self._job(job_id)
+        try:
+            return self.manager.cancel(int(job_id)).to_public()
+        except InvalidTransition as exc:
+            raise ServiceError(409, str(exc)) from exc
+
+    def list_jobs(self, state: str | None = None, limit: int = 50) -> list[dict]:
+        """Newest-first job summaries, optionally filtered by state."""
+        if state is not None:
+            try:
+                state = JobState(str(state).upper())
+            except ValueError as exc:
+                raise ServiceError(400, f"unknown job state {state!r}") from exc
+        return self.manager.list_jobs(state=state, limit=int(limit))

@@ -138,3 +138,39 @@ def test_dynamic_autoscaler_retires_idle_workers():
     # After the drain loop the pool target returns to the floor.
     assert engine.target_workers <= engine.peak_workers
     assert len(result.output_for("slow")) == 200
+
+
+def test_dynamic_drain_timeout_raises_structured_error():
+    import time as _t
+
+    from repro.d4py import IterativePE
+    from repro.d4py.mappings.dynamic import DrainTimeout
+
+    class Stall(IterativePE):
+        def _process(self, value):
+            _t.sleep(2.0)  # far longer than the configured drain budget
+            return value
+
+    graph = WorkflowGraph()
+    graph.connect(RangeProducer("P"), "output", Stall("S"), "input")
+    with pytest.raises(DrainTimeout) as excinfo:
+        run_graph(graph, input=2, mapping="dynamic", drain_timeout=0.2)
+    err = excinfo.value
+    assert err.timeout == 0.2
+    assert err.pending >= 1
+    assert err.queue_key.endswith("tasks")  # names the undrained queue
+    assert "wedged" in str(err)
+
+
+def test_dynamic_drain_timeout_generous_budget_succeeds():
+    graph = WorkflowGraph()
+    graph.connect(RangeProducer("P"), "output", Double("D"), "input")
+    result = run_graph(graph, input=3, mapping="dynamic", drain_timeout=30.0)
+    assert result.outputs[("D", "output")] == [0, 2, 4]
+
+
+def test_simple_mapping_ignores_drain_timeout():
+    graph = WorkflowGraph()
+    graph.connect(RangeProducer("P"), "output", Double("D"), "input")
+    result = run_graph(graph, input=2, mapping="simple", drain_timeout=0.1)
+    assert result.outputs[("D", "output")] == [0, 2]

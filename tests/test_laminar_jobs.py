@@ -1,0 +1,487 @@
+"""Tests for the asynchronous job subsystem (repro.laminar.jobs).
+
+Covers the full lifecycle — happy path, retry-then-succeed, timeout,
+mid-run cancellation, queue-full rejection — at three levels: the
+JobManager directly, the assembled server's actions, and end-to-end over
+the TCP transport via the client/CLI verbs.  Includes the acceptance
+scenario: 20 concurrently submitted jobs against a 4-worker pool all
+reaching terminal states.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.laminar.client.cli import LaminarCLI
+from repro.laminar.client.client import ClientError, LaminarClient
+from repro.laminar.execution.engine import ExecutionEngine
+from repro.laminar.jobs import (
+    InvalidTransition,
+    Job,
+    JobManager,
+    JobQueue,
+    JobSpec,
+    JobState,
+    QueueFull,
+    TERMINAL_STATES,
+    UnknownJob,
+)
+from repro.laminar.jobs.model import is_transient_error
+from repro.laminar.server.app import LaminarServer
+from repro.laminar.transport.tcp import TcpServerTransport
+
+# -- workflow sources ---------------------------------------------------------
+
+QUICK_WF = """
+class Producer(ProducerPE):
+    def _process(self, inputs):
+        return 10
+class AddOne(IterativePE):
+    def _process(self, value):
+        print("adding to", value)
+        return value + 1
+graph = WorkflowGraph()
+graph.connect(Producer("P"), "output", AddOne("A"), "input")
+"""
+
+SLEEPER_WF = """
+import time
+class Sleeper(ProducerPE):
+    def _process(self, inputs):
+        time.sleep(5.0)
+        return 1
+graph = WorkflowGraph()
+graph.add(Sleeper("S"))
+"""
+
+BOOM_WF = """
+class Boom(ProducerPE):
+    def _process(self, inputs):
+        raise ValueError("logic error: never retry this")
+graph = WorkflowGraph()
+graph.add(Boom("B"))
+"""
+
+
+def flaky_wf(flag_path: str, failures: int = 1) -> str:
+    """A workflow that raises ConnectionError its first ``failures`` runs.
+
+    Attempt counting persists across retries through a file, since every
+    attempt executes in a fresh namespace.
+    """
+    return f"""
+import os
+class Flaky(ProducerPE):
+    def _process(self, inputs):
+        path = {flag_path!r}
+        seen = int(open(path).read()) if os.path.exists(path) else 0
+        if seen < {failures}:
+            open(path, "w").write(str(seen + 1))
+            raise ConnectionError("transient broker hiccup")
+        return 42
+graph = WorkflowGraph()
+graph.add(Flaky("F"))
+"""
+
+
+@pytest.fixture
+def manager():
+    mgr = JobManager(engine=ExecutionEngine(), workers=2, queue_capacity=8)
+    yield mgr
+    mgr.shutdown(wait=True)
+
+
+def submit(mgr: JobManager, code: str, **kwargs) -> Job:
+    return mgr.submit(JobSpec(workflow_code=code, **kwargs))
+
+
+# -- state machine ------------------------------------------------------------
+
+def test_state_machine_legal_edges():
+    job = Job(job_id=1, spec=JobSpec(workflow_code=""))
+    assert job.state is JobState.QUEUED
+    assert job.try_transition(JobState.RUNNING)
+    assert job.try_transition(JobState.QUEUED)  # retry requeue
+    assert job.try_transition(JobState.RUNNING)
+    assert job.try_transition(JobState.SUCCEEDED)
+    assert job.terminal
+
+
+def test_state_machine_rejects_illegal_edges():
+    job = Job(job_id=1, spec=JobSpec(workflow_code=""))
+    assert not job.try_transition(JobState.SUCCEEDED)  # QUEUED can't finish
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.TIMED_OUT)
+    for state in JobState:  # terminal states are absorbing
+        assert not job.try_transition(state)
+    with pytest.raises(InvalidTransition):
+        job.transition(JobState.RUNNING)
+
+
+def test_transient_error_classification():
+    assert is_transient_error("ConnectionError: broker reset")
+    assert is_transient_error("x\nBrokenPipeError\n")
+    assert not is_transient_error("ValueError: bad input")
+    assert not is_transient_error(None)
+    assert not is_transient_error("")
+
+
+# -- queue --------------------------------------------------------------------
+
+def test_queue_orders_by_priority_then_fifo():
+    q = JobQueue(capacity=8)
+    jobs = {
+        name: Job(job_id=i, spec=JobSpec(workflow_code="", priority=prio))
+        for i, (name, prio) in enumerate(
+            [("low", 0), ("high", 5), ("mid", 1), ("high2", 5)]
+        )
+    }
+    for job in jobs.values():
+        q.put(job)
+    order = [q.get(timeout=0.1).job_id for _ in range(4)]
+    # Both priority-5 jobs first (submission order preserved between them).
+    assert order == [jobs["high"].job_id, jobs["high2"].job_id,
+                     jobs["mid"].job_id, jobs["low"].job_id]
+
+
+def test_queue_rejects_when_full():
+    q = JobQueue(capacity=2)
+    q.put(Job(job_id=1, spec=JobSpec(workflow_code="")))
+    q.put(Job(job_id=2, spec=JobSpec(workflow_code="")))
+    with pytest.raises(QueueFull):
+        q.put(Job(job_id=3, spec=JobSpec(workflow_code="")))
+    assert q.stats()["rejected"] == 1
+
+
+def test_queue_discard_skips_cancelled_jobs():
+    q = JobQueue(capacity=4)
+    first = Job(job_id=1, spec=JobSpec(workflow_code=""))
+    second = Job(job_id=2, spec=JobSpec(workflow_code=""))
+    q.put(first)
+    q.put(second)
+    q.discard(first.job_id)
+    assert q.get(timeout=0.1) is second
+    assert q.get(timeout=0.05) is None
+
+
+# -- manager lifecycle --------------------------------------------------------
+
+def test_job_happy_path(manager):
+    job = submit(manager, QUICK_WF, workflow_name="quick")
+    done = manager.wait(job.job_id, timeout=30)
+    assert done.state is JobState.SUCCEEDED
+    assert done.attempts == 1
+    assert done.result["outputs"] == {"A.output": [11]}
+    assert "adding to 10" in done.logs
+    assert done.error is None
+    public = done.to_public(include_result=True)
+    assert public["state"] == "SUCCEEDED"
+    assert public["result"]["status"] == "success"
+
+
+def test_job_retry_then_succeed(manager, tmp_path):
+    code = flaky_wf(str(tmp_path / "flag"), failures=1)
+    job = submit(manager, code, max_retries=2, retry_backoff=0.01)
+    done = manager.wait(job.job_id, timeout=30)
+    assert done.state is JobState.SUCCEEDED
+    assert done.attempts == 2  # one transient failure, one success
+    assert done.retries == 1
+    assert done.result["outputs"] == {"F.output": [42]}
+
+
+def test_job_retry_budget_exhausted(manager, tmp_path):
+    code = flaky_wf(str(tmp_path / "flag"), failures=10)
+    job = submit(manager, code, max_retries=2, retry_backoff=0.01)
+    done = manager.wait(job.job_id, timeout=30)
+    assert done.state is JobState.FAILED
+    assert done.attempts == 3  # initial + 2 retries
+    assert "ConnectionError" in done.error
+
+
+def test_job_non_transient_error_never_retries(manager):
+    job = submit(manager, BOOM_WF, max_retries=5)
+    done = manager.wait(job.job_id, timeout=30)
+    assert done.state is JobState.FAILED
+    assert done.attempts == 1
+    assert "ValueError" in done.error
+
+
+def test_job_timeout_lands_timed_out(manager):
+    job = submit(manager, SLEEPER_WF, timeout=0.3)
+    started = time.monotonic()
+    done = manager.wait(job.job_id, timeout=30)
+    assert done.state is JobState.TIMED_OUT
+    assert time.monotonic() - started < 4.0  # well before the 5s sleep ends
+    assert "exceeded its 0.3s timeout" in done.error
+
+
+def test_job_cancel_while_running(manager):
+    job = submit(manager, SLEEPER_WF)
+    deadline = time.monotonic() + 10
+    while job.state is JobState.QUEUED and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert job.state is JobState.RUNNING
+    manager.cancel(job.job_id)
+    done = manager.wait(job.job_id, timeout=30)
+    assert done.state is JobState.CANCELLED
+    with pytest.raises(InvalidTransition):
+        manager.cancel(job.job_id)  # already terminal
+
+
+def test_job_cancel_while_queued():
+    # No workers: the job can never be picked up.
+    manager = JobManager(engine=ExecutionEngine(), workers=1, start=False)
+    try:
+        job = submit(manager, QUICK_WF)
+        assert job.state is JobState.QUEUED
+        manager.cancel(job.job_id)
+        assert job.state is JobState.CANCELLED
+        assert manager.queue.depth == 0 or manager.queue.get(0.05) is None
+    finally:
+        manager.shutdown(wait=True)
+
+
+def test_queue_full_rejection_and_backpressure():
+    manager = JobManager(engine=ExecutionEngine(), workers=1, queue_capacity=2)
+    try:
+        blocker = submit(manager, SLEEPER_WF)  # occupies the only worker
+        deadline = time.monotonic() + 10
+        while blocker.state is JobState.QUEUED and time.monotonic() < deadline:
+            time.sleep(0.01)
+        submit(manager, QUICK_WF)
+        submit(manager, QUICK_WF)
+        with pytest.raises(QueueFull) as excinfo:
+            submit(manager, QUICK_WF)
+        assert "retry after" in str(excinfo.value)
+        assert manager.queue.stats()["rejected"] >= 1
+        # Backpressure clears once the queue drains: cancel the blocker.
+        manager.cancel(blocker.job_id)
+        for queued in manager.list_jobs(state=JobState.QUEUED):
+            manager.wait(queued["jobId"], timeout=30)
+        accepted = submit(manager, QUICK_WF)
+        assert manager.wait(accepted.job_id, timeout=30).state is JobState.SUCCEEDED
+    finally:
+        manager.shutdown(wait=True)
+
+
+def test_unknown_job_raises(manager):
+    with pytest.raises(UnknownJob):
+        manager.status(999)
+
+
+def test_default_timeout_applies(manager):
+    manager.default_timeout = 0.25
+    job = submit(manager, SLEEPER_WF)
+    assert job.spec.timeout == 0.25
+    assert manager.wait(job.job_id, timeout=30).state is JobState.TIMED_OUT
+
+
+# -- acceptance: 20 concurrent jobs on a 4-worker pool ------------------------
+
+def test_twenty_concurrent_jobs_reach_terminal_states(tmp_path):
+    manager = JobManager(engine=ExecutionEngine(), workers=4, queue_capacity=32)
+    try:
+        specs = []
+        for i in range(13):
+            specs.append(("ok", JobSpec(workflow_code=QUICK_WF)))
+        for i in range(3):
+            flag = str(tmp_path / f"flaky-{i}")
+            specs.append(
+                (
+                    "flaky",
+                    JobSpec(
+                        workflow_code=flaky_wf(flag, failures=1),
+                        max_retries=2,
+                        retry_backoff=0.01,
+                    ),
+                )
+            )
+        for i in range(2):
+            specs.append(("slow", JobSpec(workflow_code=SLEEPER_WF, timeout=0.4)))
+        for i in range(2):
+            specs.append(("victim", JobSpec(workflow_code=SLEEPER_WF)))
+        assert len(specs) == 20
+
+        jobs: dict[int, tuple[str, Job]] = {}
+        lock = threading.Lock()
+
+        def worker(kind: str, spec: JobSpec) -> None:
+            job = manager.submit(spec)
+            with lock:
+                jobs[job.job_id] = (kind, job)
+
+        threads = [
+            threading.Thread(target=worker, args=item) for item in specs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(jobs) == 20
+
+        for job_id, (kind, job) in jobs.items():
+            if kind == "victim":
+                manager.cancel(job_id)
+        for job_id in jobs:
+            manager.wait(job_id, timeout=60)
+
+        by_kind: dict[str, list[Job]] = {}
+        for kind, job in jobs.values():
+            by_kind.setdefault(kind, []).append(job)
+
+        assert all(j.state in TERMINAL_STATES for _, j in jobs.values())
+        assert all(j.state is JobState.SUCCEEDED for j in by_kind["ok"])
+        for job in by_kind["flaky"]:
+            assert job.state is JobState.SUCCEEDED
+            assert job.attempts == 2
+        assert all(j.state is JobState.TIMED_OUT for j in by_kind["slow"])
+        assert all(j.state is JobState.CANCELLED for j in by_kind["victim"])
+
+        stats = manager.stats()
+        assert stats["workers"]["size"] == 4
+        assert sum(stats["completed"].values()) == 20
+        assert stats["retries"] == 3
+        assert stats["queue"]["depth"] == 0
+    finally:
+        manager.shutdown(wait=True)
+
+
+# -- server actions -----------------------------------------------------------
+
+def test_server_job_actions_and_persistence():
+    server = LaminarServer()
+    try:
+        server.handle(
+            {"action": "register_workflow", "code": QUICK_WF, "name": "quick"}
+        )
+        resp = server.handle({"action": "submit_job", "id": "quick"})
+        assert resp["status"] == 200
+        job_id = resp["body"]["jobId"]
+
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status = server.handle({"action": "job_status", "jobId": job_id})
+            if status["body"]["state"] in TERMINAL_STATES:
+                break
+            time.sleep(0.02)
+        result = server.handle({"action": "job_result", "jobId": job_id})
+        assert result["body"]["state"] == "SUCCEEDED"
+        assert result["body"]["result"]["outputs"] == {"A.output": [11]}
+
+        logs = server.handle({"action": "job_logs", "jobId": job_id})
+        assert logs["body"]["lines"] == ["adding to 10"]
+
+        # The lifecycle is persisted in the registry database.
+        row = server.job_rows.get(job_id)
+        assert row.state == "SUCCEEDED"
+        assert row.attempts == 1
+        assert row.outcome()["outputs"] == {"A.output": [11]}
+        assert "adding to 10" in row.logLines
+
+        stats = server.handle({"action": "stats"})["body"]["jobs"]
+        assert stats["finished"] == {"SUCCEEDED": 1}
+
+        assert server.handle({"action": "job_status", "jobId": 999})["status"] == 404
+        assert (
+            server.handle({"action": "submit_job", "id": "missing"})["status"] == 404
+        )
+    finally:
+        server.close()
+
+
+def test_server_queue_full_maps_to_429():
+    server = LaminarServer(job_workers=1, job_queue_capacity=1)
+    try:
+        server.handle(
+            {"action": "register_workflow", "code": SLEEPER_WF, "name": "sleepy"}
+        )
+        first = server.handle({"action": "submit_job", "id": "sleepy"})["body"]
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            state = server.handle(
+                {"action": "job_status", "jobId": first["jobId"]}
+            )["body"]["state"]
+            if state == "RUNNING":
+                break
+            time.sleep(0.01)
+        server.handle({"action": "submit_job", "id": "sleepy"})  # fills the queue
+        rejected = server.handle({"action": "submit_job", "id": "sleepy"})
+        assert rejected["status"] == 429
+        assert "retry after" in rejected["body"]["error"]
+    finally:
+        server.close()
+
+
+def test_server_result_conflict_while_running_and_cancel():
+    server = LaminarServer()
+    try:
+        server.handle(
+            {"action": "register_workflow", "code": SLEEPER_WF, "name": "sleepy"}
+        )
+        job_id = server.handle({"action": "submit_job", "id": "sleepy"})["body"][
+            "jobId"
+        ]
+        conflict = server.handle({"action": "job_result", "jobId": job_id})
+        assert conflict["status"] == 409
+        cancelled = server.handle({"action": "cancel_job", "jobId": job_id})
+        assert cancelled["body"]["state"] == "CANCELLED"
+        assert server.handle({"action": "cancel_job", "jobId": job_id})["status"] == 409
+        listing = server.handle({"action": "list_jobs", "state": "cancelled"})
+        assert [job["jobId"] for job in listing["body"]] == [job_id]
+        assert server.handle({"action": "list_jobs", "state": "nope"})["status"] == 400
+    finally:
+        server.close()
+
+
+# -- end-to-end over TCP via client and CLI verbs -----------------------------
+
+def test_jobs_end_to_end_over_tcp(tmp_path):
+    server = LaminarServer(job_workers=2, job_queue_capacity=8)
+    transport = TcpServerTransport(server).start()
+    host, port = transport.address
+    client = LaminarClient.connect(host, port)
+    try:
+        client.register_Workflow(QUICK_WF, name="quick")
+        client.register_Workflow(
+            flaky_wf(str(tmp_path / "flag"), failures=1), name="flaky"
+        )
+
+        job = client.submit_Job("quick")
+        assert job["state"] in ("QUEUED", "RUNNING")
+        result = client.wait_For_Job(job["jobId"], timeout=30)
+        assert result["state"] == "SUCCEEDED"
+        assert result["result"]["outputs"] == {"A.output": [11]}
+        assert client.job_Logs(job["jobId"])["lines"] == ["adding to 10"]
+
+        retried = client.submit_Job("flaky", max_retries=2)
+        result = client.wait_For_Job(retried["jobId"], timeout=30)
+        assert result["state"] == "SUCCEEDED"
+        assert result["attempts"] == 2
+
+        with pytest.raises(ClientError) as excinfo:
+            client.job_Status(12345)
+        assert excinfo.value.status == 404
+
+        states = {j["jobId"]: j["state"] for j in client.list_Jobs()}
+        assert states == {job["jobId"]: "SUCCEEDED", retried["jobId"]: "SUCCEEDED"}
+
+        out = io.StringIO()
+        cli = LaminarCLI(client, stdout=out)
+        cli.onecmd("submit quick --wait")
+        cli.onecmd(f"status {job['jobId']}")
+        cli.onecmd("jobs")
+        cli.onecmd(f"result {job['jobId']}")
+        cli.onecmd("cancel 12345")
+        text = out.getvalue()
+        assert "SUCCEEDED" in text
+        assert "A.output: [11]" in text
+        assert f"job {job['jobId']} SUCCEEDED" in text
+        assert "error: [404]" in text
+    finally:
+        client.close()
+        transport.stop()
+        server.close()

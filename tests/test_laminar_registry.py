@@ -54,8 +54,17 @@ def test_clob_columns_present(db):
 
 
 def test_schema_summary_matches_table2():
+    # Table II's five entities, plus the Job table the async-run subsystem
+    # adds on top of the paper's schema.
     tables = {row["table"] for row in schema_summary()}
-    assert tables == {"User", "Workflow", "ProcessingElement", "Execution", "Response"}
+    assert tables == {
+        "User",
+        "Workflow",
+        "ProcessingElement",
+        "Execution",
+        "Response",
+        "Job",
+    }
 
 
 def test_user_roundtrip(repos):

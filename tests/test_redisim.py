@@ -187,3 +187,84 @@ def test_incr_sums_deltas(deltas):
     for d in deltas:
         r.incr("k", d)
     assert int(r.get("k") or 0) == sum(deltas)
+
+
+def test_blocked_brpop_consumers_with_interleaved_lpush():
+    """Consumers parked in brpop on one key; interleaved lpush wakes them.
+
+    Every pushed value must be delivered exactly once (no loss, no
+    double-delivery) even though all consumers block on the same key
+    while producers interleave their pushes.
+    """
+    r = RedisSim()
+    n_consumers, per_producer, n_producers = 8, 40, 4
+    total = per_producer * n_producers
+    consumed: list = []
+    lock = threading.Lock()
+    started = threading.Barrier(n_consumers + n_producers + 1)
+
+    def consumer():
+        started.wait()
+        while True:
+            item = r.brpop("k", timeout=1.0)
+            if item == "stop":
+                r.lpush("k", "stop")  # pass the poison pill along
+                return
+            assert item is not None, "brpop timed out with items still due"
+            with lock:
+                consumed.append(item)
+
+    def producer(base):
+        started.wait()
+        for i in range(per_producer):
+            r.lpush("k", base + i)
+            if i % 7 == 0:
+                time.sleep(0.001)  # force interleaving across producers
+
+    consumers = [threading.Thread(target=consumer) for _ in range(n_consumers)]
+    producers = [
+        threading.Thread(target=producer, args=(j * per_producer,))
+        for j in range(n_producers)
+    ]
+    for t in consumers + producers:
+        t.start()
+    started.wait()  # all threads racing from the same instant
+    for t in producers:
+        t.join()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        with lock:
+            if len(consumed) == total:
+                break
+        time.sleep(0.005)
+    r.lpush("k", "stop")
+    for t in consumers:
+        t.join(timeout=5.0)
+    assert len(consumed) == total, "lost or stuck deliveries"
+    assert sorted(consumed) == list(range(total)), "double or phantom delivery"
+
+
+def test_blocked_brpop_timeouts_fire_under_contention():
+    """With fewer items than blocked consumers, the rest time out cleanly."""
+    r = RedisSim()
+    results: list = []
+    lock = threading.Lock()
+
+    def consumer():
+        item = r.brpop("scarce", timeout=0.15)
+        with lock:
+            results.append(item)
+
+    threads = [threading.Thread(target=consumer) for _ in range(6)]
+    for t in threads:
+        t.start()
+    time.sleep(0.03)  # let every consumer block first
+    r.lpush("scarce", "a", "b")
+    start = time.monotonic()
+    for t in threads:
+        t.join(timeout=5.0)
+    elapsed = time.monotonic() - start
+    winners = [x for x in results if x is not None]
+    assert sorted(winners) == ["a", "b"]  # each item delivered exactly once
+    assert results.count(None) == 4  # the rest timed out
+    assert elapsed < 2.0  # timeouts fired promptly, nobody wedged
