@@ -58,12 +58,15 @@ def _run_batch(workers: int) -> dict:
             "run_ms": stats["mean_run_ms"],
             "jobs_per_s": N_JOBS / elapsed,
             "elapsed_s": elapsed,
+            # Full observability snapshot (requests, jobs, mapping runs) —
+            # dumped when the bench runs under ``--profile``.
+            "snapshot": server.obs_registry.snapshot(),
         }
     finally:
         server.close()
 
 
-def test_jobs_async_vs_sync_throughput(report, benchmark):
+def test_jobs_async_vs_sync_throughput(report, benchmark, profile_dump):
     # Baseline: the same batch through the blocking ``run`` action (the
     # transport drains the stream, so each request holds the caller).
     server = LaminarServer()
@@ -96,6 +99,10 @@ def test_jobs_async_vs_sync_throughput(report, benchmark):
     speedup = results[-1]["jobs_per_s"] / results[0]["jobs_per_s"]
     rows.append(f"pool 1 → 4 completed-jobs/s scaling: {speedup:.1f}x")
     report("A9 — job subsystem: sync vs async submit+poll", rows)
+    if profile_dump:
+        profile_dump(
+            f"A9 pool={results[-1]['workers']}", results[-1]["snapshot"]
+        )
 
     # Submits return immediately: far faster than one synchronous run.
     assert results[-1]["submit_ms"] / 1e3 < sync_elapsed / N_JOBS

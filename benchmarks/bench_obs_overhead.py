@@ -1,0 +1,104 @@
+"""A10 — observability overhead: instrumented vs disabled simple mapping.
+
+The acceptance bar for the ``repro.obs`` subsystem is that the
+always-on instrumentation (per-run metric recording — O(instances), not
+O(items)) costs under 5% wall time on a simple-mapping enactment.
+Tracing is opt-in (``trace=True``) and therefore excluded: the measured
+configuration is what every ordinary run pays.
+
+Methodology: interleave instrumented and ``repro.obs.disabled()`` runs
+of the same workflow so clock drift and cache effects hit both arms
+equally, then compare medians.  The result is committed to
+``BENCH_obs_overhead.json`` at the repo root.
+"""
+
+import json
+import random
+import statistics
+import time
+from pathlib import Path
+
+from repro.d4py import IterativePE, ProducerPE, WorkflowGraph
+from repro.d4py.mappings import run_graph
+from repro.obs import MetricsRegistry, disabled
+
+
+class _RandomProducer(ProducerPE):
+    def __init__(self, name=None, seed=7):
+        super().__init__(name)
+        self._rng = random.Random(seed)
+
+    def _process(self, inputs):
+        return self._rng.randint(1, 1000)
+
+
+class _IsPrime(IterativePE):
+    def _process(self, num):
+        if num > 1 and all(num % i != 0 for i in range(2, int(num**0.5) + 1)):
+            return num
+        return None
+
+
+def _isprime_graph() -> WorkflowGraph:
+    graph = WorkflowGraph()
+    producer = _RandomProducer("NumberProducer")
+    graph.connect(producer, "output", _IsPrime("IsPrime"), "input")
+    return graph
+
+
+#: Items per enactment — large enough that one run takes several ms, so
+#: the per-run recording cost is resolved well below the 5% bar.
+ITEMS = 400
+ROUNDS = 21
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+
+def _time_run(**options) -> float:
+    graph = _isprime_graph()
+    started = time.perf_counter()
+    run_graph(graph, input=ITEMS, mapping="simple", **options)
+    return time.perf_counter() - started
+
+
+def test_obs_overhead_simple_mapping(report):
+    # Warm both paths before measuring.
+    _time_run(registry=MetricsRegistry())
+    with disabled():
+        _time_run()
+
+    instrumented, baseline = [], []
+    for _ in range(ROUNDS):
+        instrumented.append(_time_run(registry=MetricsRegistry()))
+        with disabled():
+            baseline.append(_time_run())
+
+    base = statistics.median(baseline)
+    inst = statistics.median(instrumented)
+    overhead_pct = 1e2 * (inst - base) / base
+
+    payload = {
+        "benchmark": "obs_overhead_simple_mapping",
+        "workflow": "isprime_wf",
+        "items_per_run": ITEMS,
+        "rounds": ROUNDS,
+        "baseline_median_ms": round(1e3 * base, 4),
+        "instrumented_median_ms": round(1e3 * inst, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "threshold_pct": 5.0,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report(
+        "A10 — observability overhead (simple mapping)",
+        [
+            f"workload: isprime_wf x {ITEMS} items, median of {ROUNDS} rounds",
+            f"disabled:     {1e3 * base:8.3f} ms/run",
+            f"instrumented: {1e3 * inst:8.3f} ms/run",
+            f"overhead:     {overhead_pct:+7.2f}%  (bar: < 5%)",
+            f"result committed to {RESULT_PATH.name}",
+        ],
+    )
+    assert overhead_pct < 5.0, (
+        f"instrumentation overhead {overhead_pct:.2f}% exceeds the 5% bar"
+    )

@@ -13,6 +13,39 @@ import pytest
 from repro.datasets import generate_corpus
 
 
+def pytest_addoption(parser):
+    """``--profile`` makes profiling-aware benches dump a metrics snapshot."""
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="dump the observability registry (Prometheus text) after "
+        "benches that collect one",
+    )
+
+
+@pytest.fixture()
+def profile_dump(request, capsys):
+    """Callable dumping a registry snapshot when ``--profile`` was given.
+
+    Returns ``None`` without the flag so benches can guard with
+    ``if profile_dump:`` and skip snapshot collection entirely.
+    """
+    if not request.config.getoption("--profile"):
+        return None
+
+    def _dump(title: str, snapshot: dict) -> None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.merge(snapshot)
+        with capsys.disabled():
+            print(f"\n─── {title} (metrics profile) " + "─" * 20)
+            print(registry.render_text().rstrip())
+
+    return _dump
+
+
 @pytest.fixture()
 def report(capsys):
     """Print experiment rows uncaptured, prefixed for greppability."""

@@ -38,7 +38,10 @@ def run_graph(
     ``options`` are forwarded to the mapping (``num_processes`` and
     ``verbose`` for ``multi``; ``min_workers`` / ``max_workers`` /
     ``instances_per_pe`` / ``autoscale`` / ``broker`` / ``drain_timeout``
-    for ``dynamic``).
+    for ``dynamic``).  ``trace`` / ``tracer`` / ``registry`` are accepted
+    by every mapping: with ``trace=True`` the result carries a span tree
+    on ``result.trace``, and per-instance metrics are recorded into
+    ``registry`` (or the process default).
     """
     if mapping == "simple":
         # Cross-mapping flags are accepted and ignored so callers (CLI,
@@ -47,9 +50,19 @@ def run_graph(
         options.pop("num_processes", None)
         options.pop("drain_timeout", None)
         provenance = bool(options.pop("provenance", False))
+        trace = bool(options.pop("trace", False))
+        tracer = options.pop("tracer", None)
+        registry = options.pop("registry", None)
         if options:
             raise TypeError(f"simple mapping got unexpected options {sorted(options)}")
-        return run_simple(graph, input=input, provenance=provenance)
+        return run_simple(
+            graph,
+            input=input,
+            provenance=provenance,
+            trace=trace,
+            tracer=tracer,
+            registry=registry,
+        )
     if options.get("provenance"):
         raise ValueError(
             "provenance capture is only supported by the simple mapping"

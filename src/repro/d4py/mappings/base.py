@@ -38,6 +38,15 @@ class RunResult:
         ``{instance_label: seconds}`` of cumulative processing time per
         PE instance — the engine-level monitoring used to find the
         workflow's bottleneck PE.
+
+        The contract is identical across every mapping: keys are
+        *instance labels* ``<PEName><instance_index>`` (the simple
+        mapping always uses index ``0``; multi/dynamic number instances
+        from 0), values are cumulative wall-clock **seconds** spent in
+        ``process()`` for that instance, and every instance that appears
+        in ``iterations`` also appears in ``timings`` (``0.0`` when it
+        never processed an item).  The same labels key the per-instance
+        metrics in :mod:`repro.obs`.
     partition:
         The process partition used (empty for the sequential mapping).
     """
@@ -50,6 +59,9 @@ class RunResult:
     #: Data-lineage trace when the run was started with provenance=True
     #: (simple mapping only); see :mod:`repro.d4py.provenance`.
     provenance: "object | None" = None
+    #: The :class:`repro.obs.Tracer` holding this run's span tree when the
+    #: run was started with trace=True (all mappings); ``None`` otherwise.
+    trace: "object | None" = None
 
     def output_for(self, pe_name: str, port: str = "output") -> list:
         """All items emitted on one leaf port (empty list if none)."""

@@ -69,7 +69,12 @@ class _DynamicEngine:
         max_workers: int,
         autoscale: bool,
         drain_timeout: float = _DRAIN_TIMEOUT,
+        trace: bool = False,
+        tracer=None,
+        registry=None,
     ) -> None:
+        from repro.obs import runtime as obs_runtime
+
         self.flat = graph.flatten()
         self.broker = broker
         self.instances_per_pe = instances_per_pe
@@ -77,6 +82,36 @@ class _DynamicEngine:
         self.max_workers = max_workers
         self.autoscale = autoscale
         self.drain_timeout = drain_timeout
+
+        # Observability: metrics always record (into the explicit registry
+        # or the process default unless disabled); spans only when traced.
+        self.registry = obs_runtime.active_registry(registry)
+        self.tracer = None
+        self.span_root = None
+        self.instance_spans: dict[tuple[str, int], object] = {}
+        self.queue_wait: dict[tuple[str, int], float] = {}
+        self._wait_histogram = None
+        if trace:
+            from repro.obs.trace import Tracer
+
+            self.tracer = tracer or Tracer()
+            self.span_root = self.tracer.span("run:dynamic", mapping="dynamic")
+        if self.registry is not None:
+            self._wait_histogram = self.registry.histogram(
+                "laminar_dynamic_queue_wait_seconds",
+                "Time dynamic-mapping tasks spend queued before a worker "
+                "claims them.",
+                ("pe",),
+            )
+            self.registry.gauge(
+                "laminar_dynamic_queue_depth",
+                "Tasks currently queued on the dynamic mapping's broker.",
+            ).set_function(lambda: self.broker.llen(self.ns + _TASKS))
+            self.registry.gauge(
+                "laminar_dynamic_workers",
+                "Live worker threads of the most recent dynamic enactment.",
+            ).set_function(lambda: len(self.workers))
+            self.broker.bind_metrics(self.registry)
 
         self.leaves = leaf_ports(self.flat)
         self.pe_by_name = {pe.name: pe for pe in self.flat.pes}
@@ -120,6 +155,15 @@ class _DynamicEngine:
                 pe.preprocess()
                 entry = (pe, threading.Lock())
                 self.instances[key] = entry
+                if self.tracer is not None:
+                    # Worker threads do not inherit the run's context, so
+                    # the instance span is parented explicitly to the root.
+                    self.instance_spans[key] = self.tracer.span(
+                        f"pe:{pe_name}{idx}",
+                        parent=self.span_root,
+                        pe=pe_name,
+                        instance=idx,
+                    )
             return entry
 
     def _log(self, message: str) -> None:
@@ -148,12 +192,24 @@ class _DynamicEngine:
     def push_task(
         self, pe_name: str, instance_idx: int, input_name: str | None, payload: Any
     ) -> None:
-        """Enqueue one task and bump the in-flight counter."""
+        """Enqueue one task and bump the in-flight counter.
+
+        The enqueue timestamp travels with the task so the consuming
+        worker can measure queue wait; it is appended here (not taken as
+        a parameter) so external callers such as
+        :class:`repro.d4py.realtime.StreamSession` stay unchanged.
+        """
         self.broker.incr(self.ns + _PENDING)
-        self.broker.rpush(self.ns + _TASKS, (pe_name, instance_idx, input_name, payload))
+        self.broker.rpush(
+            self.ns + _TASKS,
+            (pe_name, instance_idx, input_name, payload, time.perf_counter()),
+        )
 
     def _run_task(self, task: tuple) -> None:
-        pe_name, instance_idx, input_name, payload = task
+        pe_name, instance_idx, input_name, payload, enqueued = task
+        waited = time.perf_counter() - enqueued
+        if self._wait_histogram is not None:
+            self._wait_histogram.labels(pe_name).observe(waited)
         pe, lock = self.instance(pe_name, instance_idx)
         started = time.perf_counter()
         with lock:
@@ -165,6 +221,8 @@ class _DynamicEngine:
         with self.result_lock:
             label = f"{pe_name}{instance_idx}"
             self.result.timings[label] = self.result.timings.get(label, 0.0) + elapsed
+            key = (pe_name, instance_idx)
+            self.queue_wait[key] = self.queue_wait.get(key, 0.0) + waited
         self.broker.incr(f"{self.ns}iter:{pe_name}{instance_idx}")
 
     def _worker_loop(self) -> None:
@@ -212,12 +270,26 @@ class _DynamicEngine:
 
     def run(self, input_spec: Any) -> RunResult:
         """Enact the workflow: seed tasks, drain the queue, collect results."""
+        from repro.obs import runtime as obs_runtime
+
+        wall_started = time.perf_counter()
+        setup_span = None
+        if self.tracer is not None:
+            setup_span = self.tracer.span(
+                "setup",
+                parent=self.span_root,
+                min_workers=self.min_workers,
+                max_workers=self.max_workers,
+                autoscale=self.autoscale,
+            )
         for _ in range(self.min_workers):
             self._spawn_worker()
         scaler = None
         if self.autoscale:
             scaler = threading.Thread(target=self._autoscaler_loop, daemon=True)
             scaler.start()
+        if setup_span is not None:
+            setup_span.end()
 
         try:
             for root, invocations in normalize_inputs(self.flat, input_spec).items():
@@ -246,6 +318,35 @@ class _DynamicEngine:
             count = self.broker.get(f"{self.ns}iter:{pe_name}{idx}") or 0
             self.result.iterations[f"{pe_name}{idx}"] = int(count)
 
+        # Normalise the timings contract: every reporting instance has a key.
+        for label in self.result.iterations:
+            self.result.timings.setdefault(label, 0.0)
+
+        status = "error" if self.errors else "success"
+        if self.tracer is not None:
+            for (pe_name, idx), span in sorted(self.instance_spans.items()):
+                span.set(
+                    iterations=self.result.iterations.get(f"{pe_name}{idx}", 0),
+                    busy_seconds=round(
+                        self.result.timings.get(f"{pe_name}{idx}", 0.0), 6
+                    ),
+                    queue_wait_seconds=round(
+                        self.queue_wait.get((pe_name, idx), 0.0), 6
+                    ),
+                ).end()
+            self.span_root.set(peak_workers=self.peak_workers).end(
+                "error" if self.errors else "ok"
+            )
+            self.result.trace = self.tracer
+        obs_runtime.record_mapping_run(
+            "dynamic",
+            self.result.iterations,
+            self.result.timings,
+            time.perf_counter() - wall_started,
+            status=status,
+            registry=self.registry,
+        )
+
         if self.errors:
             raise RuntimeError("dynamic worker failures: " + "; ".join(self.errors))
         self.result.logs.append(
@@ -264,6 +365,9 @@ def run_dynamic(
     autoscale: bool = True,
     broker: RedisSim | None = None,
     drain_timeout: float = _DRAIN_TIMEOUT,
+    trace: bool = False,
+    tracer=None,
+    registry=None,
 ) -> RunResult:
     """Execute ``graph`` with dynamic workload allocation over a work queue.
 
@@ -287,6 +391,13 @@ def run_dynamic(
     drain_timeout:
         Seconds to wait for the in-flight counter to drain before the run
         is declared wedged with a :class:`DrainTimeout`.
+    trace:
+        Capture a span tree on ``result.trace`` — per-instance spans are
+        parented to the ``run:dynamic`` root explicitly, since worker
+        threads do not inherit the enactment's span context.
+    tracer, registry:
+        Optional :class:`repro.obs.Tracer` / metrics registry sinks (a
+        fresh tracer / the process-default registry when omitted).
     """
     engine = _DynamicEngine(
         graph,
@@ -296,5 +407,8 @@ def run_dynamic(
         max_workers=max_workers,
         autoscale=autoscale,
         drain_timeout=drain_timeout,
+        trace=trace,
+        tracer=tracer,
+        registry=registry,
     )
     return engine.run(input)

@@ -74,6 +74,7 @@ def _worker(
     collector: mp.Queue,
     leaves: set[tuple[str, str]],
     verbose: bool,
+    traced: bool = False,
 ) -> None:
     """Run one PE instance on one rank until its input streams drain."""
     import sys
@@ -103,6 +104,8 @@ def _worker(
 
     import time as _time
 
+    span_started = _time.time()
+    span_perf = _time.perf_counter()
     try:
         for inputs in invocations:
             started = _time.perf_counter()
@@ -137,6 +140,19 @@ def _worker(
             )
         collector.put(("iter", f"{pe.name}{instance}", iterations, rank))
         collector.put(("time", f"{pe.name}{instance}", busy))
+        if traced:
+            # The parent adopts this interval as the instance's span: the
+            # child cannot share the parent's Tracer across the fork.
+            collector.put(
+                (
+                    "span",
+                    f"{pe.name}{instance}",
+                    span_started,
+                    _time.perf_counter() - span_perf,
+                    iterations,
+                    rank,
+                )
+            )
         sys.stdout.flush()  # drain any unterminated print output
         collector.put(("done", rank))
 
@@ -146,6 +162,9 @@ def run_multi(
     input: Any = 1,
     num_processes: int = 4,
     verbose: bool = False,
+    trace: bool = False,
+    tracer=None,
+    registry=None,
 ) -> RunResult:
     """Execute ``graph`` with static multiprocessing workload distribution.
 
@@ -160,7 +179,25 @@ def run_multi(
     verbose:
         Emit per-instance "Processed N iterations" log lines, as the paper's
         CLI ``-v`` flag does (Fig 5b).
+    trace:
+        Capture a span tree on ``result.trace`` — workers time their own
+        instance intervals and report them through the collector, so the
+        tree is assembled parent-side despite the fork.
+    tracer, registry:
+        Optional :class:`repro.obs.Tracer` / metrics registry sinks (a
+        fresh tracer / the process-default registry when omitted).
     """
+    import time as _time
+
+    wall_started = _time.perf_counter()
+    span_root = setup_span = None
+    if trace:
+        from repro.obs.trace import Tracer
+
+        tracer = tracer or Tracer()
+        span_root = tracer.span("run:multi", mapping="multi")
+        setup_span = tracer.span("setup", parent=span_root)
+
     flat = graph.flatten()
     partition = partition_processes(flat, num_processes)
     total_ranks = max(r.stop for r in partition.values())
@@ -208,12 +245,18 @@ def run_multi(
                     collector,
                     leaves,
                     verbose,
+                    trace,
                 ),
                 daemon=True,
             )
             proc.start()
             workers.append(proc)
 
+    if setup_span is not None:
+        setup_span.set(
+            num_processes=num_processes,
+            partition={k: repr(v) for k, v in partition.items()},
+        ).end()
     result = RunResult(partition=dict(partition))
     if verbose:
         result.logs.append(f"Partition: {partition}")
@@ -238,6 +281,17 @@ def run_multi(
                 result.iterations[label] = count
             elif kind == "time":
                 result.timings[msg[1]] = msg[2]
+            elif kind == "span":
+                _, label, started_at, duration, iterations, rank = msg
+                if span_root is not None:
+                    tracer.record(
+                        f"pe:{label}",
+                        started_at,
+                        duration,
+                        parent=span_root,
+                        iterations=iterations,
+                        rank=rank,
+                    )
             elif kind == "error":
                 # The erroring rank still sends its own "done" afterwards.
                 errors.append(f"rank {msg[1]}: {msg[2]}")
@@ -253,6 +307,24 @@ def run_multi(
             q.close()
             q.join_thread()
 
+    # Normalise the timings contract: every reporting instance has a key.
+    for label in result.iterations:
+        result.timings.setdefault(label, 0.0)
+
+    if span_root is not None:
+        span_root.end("error" if errors else "ok")
+        result.trace = tracer
+
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.record_mapping_run(
+        "multi",
+        result.iterations,
+        result.timings,
+        _time.perf_counter() - wall_started,
+        status="error" if errors else "success",
+        registry=registry,
+    )
     if errors:
         raise RuntimeError("worker failures: " + "; ".join(errors))
     return result

@@ -18,7 +18,12 @@ from repro.d4py.workflow import WorkflowGraph
 
 
 def run_simple(
-    graph: WorkflowGraph, input: Any = 1, provenance: bool = False
+    graph: WorkflowGraph,
+    input: Any = 1,
+    provenance: bool = False,
+    trace: bool = False,
+    tracer=None,
+    registry=None,
 ) -> RunResult:
     """Execute ``graph`` sequentially in the calling process.
 
@@ -32,7 +37,30 @@ def run_simple(
     provenance:
         Capture full data lineage (see :mod:`repro.d4py.provenance`);
         the trace arrives on ``result.provenance``.
+    trace:
+        Capture a span tree (``run:simple`` → ``setup`` + one span per
+        PE instance with per-invocation children); arrives on
+        ``result.trace`` as a :class:`repro.obs.Tracer`.
+    tracer:
+        Record spans into an existing :class:`repro.obs.Tracer` (a
+        server's sink) instead of a fresh one; implies nothing unless
+        ``trace`` is set.
+    registry:
+        Record per-instance metrics into this
+        :class:`repro.obs.MetricsRegistry` instead of the process
+        default.
     """
+    from repro.obs import runtime as obs_runtime
+
+    wall_started = time.perf_counter()
+    span_root = span_instances = None
+    if trace:
+        from repro.obs.trace import Tracer
+
+        tracer = tracer or Tracer()
+        span_root = tracer.span("run:simple", mapping="simple")
+        span_instances = {}
+
     flat = graph.flatten()
     result = RunResult()
     leaves = leaf_ports(flat)
@@ -42,12 +70,12 @@ def run_simple(
     iteration_counts: dict[str, int] = {pe.name: 0 for pe in flat.pes}
     processing_time: dict[str, float] = {pe.name: 0.0 for pe in flat.pes}
 
-    trace = None
+    prov_trace = None
     if provenance:
         from repro.d4py.provenance import ProvenanceTrace
 
-        trace = ProvenanceTrace()
-        result.provenance = trace
+        prov_trace = ProvenanceTrace()
+        result.provenance = prov_trace
     # Mutable holder for the invocation currently executing (set by the
     # main loop, read by emitters).
     current: dict[str, Any] = {"invocation": None, "produced": []}
@@ -55,8 +83,8 @@ def run_simple(
     def make_emitter(pe: GenericPE):
         def emit(output: str, data: Any) -> None:
             item_id: int | None = None
-            if trace is not None:
-                item_id = trace.record_item(
+            if prov_trace is not None:
+                item_id = prov_trace.record_item(
                     pe.name, output, current["invocation"], data
                 )
                 current["produced"].append(item_id)
@@ -68,12 +96,20 @@ def run_simple(
 
         return emit
 
+    setup_span = tracer.span("setup", parent=span_root) if span_root else None
     for pe in flat.pes:
         pe.rank = 0
         pe._set_emitter(make_emitter(pe))
         pe._set_logger(result.logs.append)
         pe.preprocess()
+        if span_instances is not None:
+            span_instances[pe.name] = tracer.span(
+                f"pe:{pe.name}0", parent=span_root, pe=pe.name, instance=0
+            )
+    if setup_span is not None:
+        setup_span.end()
 
+    status = "success"
     try:
         for root, invocations in normalize_inputs(flat, input).items():
             for inputs in invocations:
@@ -81,31 +117,58 @@ def run_simple(
 
         while queue:
             pe, inputs, consumed = queue.popleft()
-            if trace is not None:
-                current["invocation"] = trace.new_invocation_id()
+            if prov_trace is not None:
+                current["invocation"] = prov_trace.new_invocation_id()
                 current["produced"] = []
+            wall = time.time() if span_instances is not None else 0.0
             started = time.perf_counter()
             pe.process(inputs)
             elapsed = time.perf_counter() - started
             processing_time[pe.name] += elapsed
             iteration_counts[pe.name] += 1
-            if trace is not None:
-                trace.record_invocation(
+            if span_instances is not None:
+                tracer.record(
+                    f"invoke:{pe.name}0",
+                    wall,
+                    elapsed,
+                    parent=span_instances[pe.name],
+                )
+            if prov_trace is not None:
+                prov_trace.record_invocation(
                     current["invocation"],
                     pe.name,
                     consumed,
                     tuple(current["produced"]),
                     elapsed,
                 )
+    except BaseException:
+        status = "error"
+        raise
     finally:
         for pe in flat.pes:
             pe.postprocess()
             pe._set_emitter(None)  # type: ignore[arg-type]
-
-    result.iterations = {
-        f"{name}0": count for name, count in iteration_counts.items()
-    }
-    result.timings = {
-        f"{name}0": seconds for name, seconds in processing_time.items()
-    }
+        if span_instances is not None:
+            for name, span in span_instances.items():
+                span.set(
+                    iterations=iteration_counts[name],
+                    busy_seconds=round(processing_time[name], 6),
+                ).end()
+        if span_root is not None:
+            span_root.end(status="ok" if status == "success" else "error")
+            result.trace = tracer
+        result.iterations = {
+            f"{name}0": count for name, count in iteration_counts.items()
+        }
+        result.timings = {
+            f"{name}0": seconds for name, seconds in processing_time.items()
+        }
+        obs_runtime.record_mapping_run(
+            "simple",
+            result.iterations,
+            result.timings,
+            time.perf_counter() - wall_started,
+            status=status,
+            registry=registry,
+        )
     return result

@@ -28,6 +28,16 @@ class RedisSim:
         self._lists: dict[str, deque] = defaultdict(deque)
         self._hashes: dict[str, dict] = defaultdict(dict)
         self._kv: dict[str, Any] = {}
+        # Consumers currently parked inside brpop()/wait_for_zero() —
+        # exposed as a gauge via bind_metrics() so dashboards can tell a
+        # starved pool (many blocked consumers) from a saturated one.
+        self._blocked = 0
+
+    @property
+    def blocked_consumers(self) -> int:
+        """How many threads are currently blocked in ``brpop``/``wait_for_zero``."""
+        with self._lock:
+            return self._blocked
 
     # -- lists ---------------------------------------------------------------
 
@@ -68,12 +78,20 @@ class RedisSim:
                 if lst:
                     return lst.pop()
                 if deadline is None:
-                    self._lock.wait()
+                    self._blocked += 1
+                    try:
+                        self._lock.wait()
+                    finally:
+                        self._blocked -= 1
                 else:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         return None
-                    self._lock.wait(remaining)
+                    self._blocked += 1
+                    try:
+                        self._lock.wait(remaining)
+                    finally:
+                        self._blocked -= 1
 
     def llen(self, key: str) -> int:
         """Current length of list ``key`` (0 when absent)."""
@@ -151,13 +169,17 @@ class RedisSim:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while int(self._kv.get(key, 0)) > 0:
-                if deadline is None:
-                    self._lock.wait()
-                else:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        return False
-                    self._lock.wait(remaining)
+                self._blocked += 1
+                try:
+                    if deadline is None:
+                        self._lock.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                        self._lock.wait(remaining)
+                finally:
+                    self._blocked -= 1
             return True
 
     def flushall(self) -> None:
@@ -167,6 +189,35 @@ class RedisSim:
             self._hashes.clear()
             self._kv.clear()
             self._lock.notify_all()
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time broker statistics (keys, queued items, consumers)."""
+        with self._lock:
+            return {
+                "lists": len(self._lists),
+                "queued_items": sum(len(lst) for lst in self._lists.values()),
+                "hashes": len(self._hashes),
+                "keys": len(self._kv),
+                "blocked_consumers": self._blocked,
+            }
+
+    def bind_metrics(self, registry) -> None:
+        """Register live callback gauges for this broker on ``registry``.
+
+        The gauges read broker state at scrape time, so binding costs
+        nothing on the hot path.  Re-binding (e.g. one broker shared by
+        several enactments) just overwrites the callbacks — idempotent.
+        """
+        registry.gauge(
+            "laminar_broker_queued_items",
+            "Items across every list of the simulated Redis broker.",
+        ).set_function(lambda: self.stats()["queued_items"])
+        registry.gauge(
+            "laminar_broker_blocked_consumers",
+            "Consumers blocked in brpop/wait_for_zero on the broker.",
+        ).set_function(lambda: self.blocked_consumers)
 
 
 _default_broker: RedisSim | None = None

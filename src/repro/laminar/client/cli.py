@@ -12,9 +12,11 @@ Implements every documented command of the paper's ``help`` screen::
 Run options mirror Fig 5b: ``run <identifier> [-i input] [--multi]
 [--dynamic] [-n procs] [-v] [--rawinput]``.
 
-Beyond the paper's screen, the shell grows asynchronous job commands:
+Beyond the paper's screen, the shell grows asynchronous job commands —
 ``submit`` (queue a run and return immediately), ``status``, ``result``,
-``cancel`` and ``jobs``.
+``cancel`` and ``jobs`` — plus observability: ``stats`` (summary or
+``--prom`` Prometheus exposition) and ``trace`` (span trees or a
+``--chrome`` trace file), and ``run --trace`` to capture one run's tree.
 """
 
 from __future__ import annotations
@@ -278,6 +280,7 @@ class LaminarCLI(cmd.Cmd):
           --dynamic             parallel run with the dynamic mapping
           -n <procs>            process count for --multi
           -v/--verbose          verbose output
+          --trace               capture and print the run's span tree
         """
         parser = argparse.ArgumentParser(prog="run", add_help=False)
         parser.add_argument("identifier")
@@ -287,10 +290,11 @@ class LaminarCLI(cmd.Cmd):
         parser.add_argument("--dynamic", action="store_true")
         parser.add_argument("-n", type=int, default=4)
         parser.add_argument("-v", "--verbose", action="store_true")
+        parser.add_argument("--trace", action="store_true")
         try:
             ns = parser.parse_args(shlex.split(arg))
         except SystemExit:
-            self._p("usage: run <identifier> [-i input] [--multi|--dynamic] [-n N] [-v]")
+            self._p("usage: run <identifier> [-i input] [--multi|--dynamic] [-n N] [-v] [--trace]")
             return
 
         if ns.rawinput:
@@ -308,6 +312,8 @@ class LaminarCLI(cmd.Cmd):
             options["num_processes"] = ns.n
         elif ns.dynamic:
             process = Process.DYNAMIC
+        if ns.trace:
+            options["trace"] = True
 
         summary = self.client.run(
             ns.identifier,
@@ -319,9 +325,13 @@ class LaminarCLI(cmd.Cmd):
         )
         if not summary.ok:
             self._p(f"run failed: {summary.error}")
-        elif ns.verbose:
+            return
+        if ns.verbose:
             for log in summary.logs:
                 self._p(log)
+        if ns.trace and summary.trace:
+            for root in summary.trace:
+                self._print_span(root)
 
     # -- asynchronous jobs ----------------------------------------------------------------------
 
@@ -444,8 +454,56 @@ class LaminarCLI(cmd.Cmd):
 
     # -- operations -----------------------------------------------------------------------------
 
+    def _print_span(self, node: dict, depth: int = 0) -> None:
+        duration = node.get("duration") or 0.0
+        self._p(
+            f"{'  ' * depth}{node['name']}  {1e3 * duration:.2f} ms  "
+            f"[{node.get('status', 'ok')}]"
+        )
+        for child in node.get("children", []):
+            self._print_span(child, depth + 1)
+
+    def do_trace(self, arg: str) -> None:
+        """trace [--chrome <file.json>] [--clear] — server-side span trees.
+
+        With no options, prints the nested span trees the server has
+        collected (traced runs and finished jobs).  ``--chrome`` writes
+        the Chrome trace-format document instead (open it in
+        ``about:tracing`` or Perfetto); ``--clear`` drops the server's
+        spans after reading.
+        """
+        parts = shlex.split(arg)
+        clear = "--clear" in parts
+        if clear:
+            parts.remove("--clear")
+        if parts and parts[0] == "--chrome":
+            out = parts[1] if len(parts) > 1 else "trace.json"
+            body = self.client.get_Trace(format="chrome", clear=clear)
+            import json as _json
+
+            with open(out, "w") as fh:
+                _json.dump(body["trace"], fh)
+            self._p(
+                f"wrote {len(body['trace']['traceEvents'])} events to {out}"
+            )
+            return
+        body = self.client.get_Trace(clear=clear)
+        trees = body.get("trace") or []
+        if not trees:
+            self._p("(no spans recorded — run or submit with trace)")
+            return
+        for root in trees:
+            self._print_span(root)
+
     def do_stats(self, arg: str) -> None:
-        """stats — server request metrics (per-action counts and latency)."""
+        """stats [--prom] — server metrics.
+
+        Default: the per-action summary.  ``--prom`` prints the raw
+        Prometheus text exposition of the server's whole registry.
+        """
+        if arg.strip() == "--prom":
+            self._p(self.client.get_Metrics()["text"].rstrip())
+            return
         body = self.client._call("stats")
         self._p(f"uptime: {body['uptime_seconds']}s, "
                 f"requests: {body['total_requests']}")

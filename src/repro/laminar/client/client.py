@@ -78,6 +78,8 @@ class RunSummary:
     timings: dict[str, float] = field(default_factory=dict)
     execution_id: int | None = None
     error: str | None = None
+    #: Nested span trees when the run was requested with ``trace=True``.
+    trace: list | None = None
 
     @property
     def ok(self) -> bool:
@@ -379,6 +381,33 @@ class LaminarClient:
         """Jobs newest-first, optionally filtered by state name."""
         return self._call("list_jobs", state=state, limit=limit)
 
+    # -- observability ---------------------------------------------------------
+
+    def get_Metrics(self, format: str = "text") -> dict:
+        """The server's metrics registry.
+
+        ``format="text"`` (default) returns ``{content_type, text}`` with
+        the Prometheus exposition; ``format="json"`` returns
+        ``{metrics: <registry snapshot>}``.
+        """
+        return self._call("get_metrics", format=format)
+
+    def get_Trace(
+        self,
+        format: str = "tree",
+        trace_id: str | None = None,
+        clear: bool = False,
+    ) -> dict:
+        """Span data from the server's tracer sink.
+
+        ``format``: ``tree`` (nested span trees), ``spans`` (flat list)
+        or ``chrome`` (Chrome ``about:tracing`` document).  ``clear``
+        drops the server's collected spans after this read.
+        """
+        return self._call(
+            "get_trace", format=format, trace_id=trace_id, clear=clear
+        )
+
     def wait_For_Job(
         self, job_id: int, timeout: float = 60.0, interval: float = 0.05
     ) -> dict:
@@ -420,6 +449,7 @@ class LaminarClient:
             logs=list(result.logs),
             iterations=dict(result.iterations),
             timings=dict(result.timings),
+            trace=result.trace.tree() if result.trace is not None else None,
         )
 
     def _prepare_resources(
@@ -487,4 +517,5 @@ class LaminarClient:
             timings=summary_payload.get("timings", {}),
             execution_id=summary_payload.get("executionId"),
             error=summary_payload.get("error"),
+            trace=summary_payload.get("trace"),
         )

@@ -68,10 +68,13 @@ class ExecutionOutcome:
     iterations: dict[str, int] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
     partition: dict[str, str] = field(default_factory=dict)
+    #: Nested span trees of the run (see :meth:`repro.obs.Tracer.tree`)
+    #: when the run was requested with ``trace=True``; ``None`` otherwise.
+    trace: list | None = None
 
     def to_public(self) -> dict:
         """JSON-able form sent to clients in the END frame."""
-        return {
+        public = {
             "status": self.status,
             "error": self.error,
             "outputs": self.outputs,
@@ -80,6 +83,9 @@ class ExecutionOutcome:
             "timings": self.timings,
             "partition": self.partition,
         }
+        if self.trace is not None:
+            public["trace"] = self.trace
+        return public
 
 
 def _json_safe(value: Any):
@@ -95,8 +101,18 @@ def _json_safe(value: Any):
 class ExecutionEngine:
     """Executes registered workflow source code serverlessly."""
 
-    def __init__(self, resource_cache: ResourceCache | None = None) -> None:
+    def __init__(
+        self,
+        resource_cache: ResourceCache | None = None,
+        registry=None,
+        tracer=None,
+    ) -> None:
+        """``registry``/``tracer`` are the observability sinks every run
+        records into — a server passes its own; standalone engines fall
+        back to the process defaults (see :mod:`repro.obs.runtime`)."""
         self.cache = resource_cache or ResourceCache()
+        self.registry = registry
+        self.tracer = tracer
 
     # -- graph discovery ------------------------------------------------------
 
@@ -166,6 +182,7 @@ class ExecutionEngine:
 
             exec(compile_source(source, namespace["__name__"], "exec"), namespace)
             graph = self._find_graph(namespace, graph_name)
+            options.setdefault("registry", self.registry)
             result = run_graph(
                 graph, input=input, mapping=mapping, verbose=verbose, **options
             )
@@ -177,6 +194,12 @@ class ExecutionEngine:
             outcome.iterations = dict(result.iterations)
             outcome.timings = {k: round(v, 6) for k, v in result.timings.items()}
             outcome.partition = {k: repr(v) for k, v in result.partition.items()}
+            if result.trace is not None:
+                outcome.trace = result.trace.tree()
+                if self.tracer is not None and result.trace is not self.tracer:
+                    # Fold the run's spans into the server's sink so
+                    # ``get_trace`` serves them later.
+                    self.tracer.adopt(result.trace)
             if verbose:
                 for line in result.logs:
                     print(line)

@@ -45,23 +45,51 @@ class JobManager:
         default_timeout: float | None = None,
         on_terminal: Callable[[Job], None] | None = None,
         start: bool = True,
+        registry=None,
+        tracer=None,
     ) -> None:
+        """``registry``/``tracer`` are optional observability sinks: live
+        queue/worker gauges, per-state duration histograms and a retry
+        counter land in ``registry``; job lifecycle span trees
+        (queued → attempts → terminal) land in ``tracer``."""
         self.store = store if store is not None else InMemoryJobStore()
         self.queue = JobQueue(capacity=queue_capacity)
         self.default_timeout = default_timeout
         self._user_on_terminal = on_terminal
+        self.registry = registry
         self.pool = WorkerPool(
             self.queue,
             self.store,
             engine=engine,
             size=workers,
             on_terminal=self._terminal_hook,
+            registry=registry,
+            tracer=tracer,
         )
         # Terminal-state accounting lives here so stats() survive store swaps.
         self._terminal_counts: dict[str, int] = {}
         self._wait_seconds = 0.0
         self._run_seconds = 0.0
         self._retries = 0
+        self._state_seconds = None
+        if registry is not None:
+            registry.gauge(
+                "laminar_jobs_queue_depth",
+                "Jobs currently waiting in the job queue.",
+            ).set_function(lambda: self.queue.depth)
+            registry.gauge(
+                "laminar_jobs_workers_busy",
+                "Job workers currently enacting a job.",
+            ).set_function(lambda: self.pool.busy)
+            registry.gauge(
+                "laminar_jobs_queue_rejected",
+                "Submissions rejected by queue admission control so far.",
+            ).set_function(lambda: self.queue.rejected)
+            self._state_seconds = registry.histogram(
+                "laminar_job_state_seconds",
+                "Seconds finished jobs spent per lifecycle state.",
+                ("state",),
+            )
         if start:
             self.pool.start()
 
@@ -82,6 +110,9 @@ class JobManager:
         self._wait_seconds += job.queue_seconds
         self._run_seconds += job.run_seconds
         self._retries += job.retries
+        if self._state_seconds is not None:
+            self._state_seconds.labels("queued").observe(job.queue_seconds)
+            self._state_seconds.labels("running").observe(job.run_seconds)
         if self._user_on_terminal is not None:
             self._user_on_terminal(job)
 

@@ -32,6 +32,7 @@ from repro.laminar.jobs.model import (
     is_transient_error,
 )
 from repro.laminar.jobs.queue import JobQueue
+from repro.obs.events import format_event
 
 __all__ = ["WorkerPool"]
 
@@ -54,6 +55,8 @@ class WorkerPool:
         engine: ExecutionEngine | None = None,
         size: int = 2,
         on_terminal: Callable[[Job], None] | None = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         if size < 1:
             raise ValueError("worker pool size must be >= 1")
@@ -62,6 +65,15 @@ class WorkerPool:
         self.engine = engine or ExecutionEngine()
         self.size = size
         self.on_terminal = on_terminal
+        self.tracer = tracer
+        self._retried = (
+            registry.counter(
+                "laminar_jobs_retried_total",
+                "Transient-failure retries performed by job workers.",
+            )
+            if registry is not None
+            else None
+        )
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._busy = 0
@@ -110,14 +122,67 @@ class WorkerPool:
                 with self._busy_lock:
                     self._busy -= 1
 
-    def _finish(self, job: Job, state: JobState, error: str | None = None) -> None:
+    def _finish(
+        self,
+        job: Job,
+        state: JobState,
+        error: str | None = None,
+        attempt_spans: tuple = (),
+    ) -> None:
         if not job.try_transition(state):
             return  # lost a race (e.g. concurrent cancel already landed)
         if error is not None:
             job.error = error
         self.store.save(job)
+        if self.tracer is not None:
+            self._record_job_trace(job, attempt_spans)
         if self.on_terminal is not None:
             self.on_terminal(job)
+
+    def _record_job_trace(self, job: Job, attempt_spans: tuple) -> None:
+        """Emit the job's lifecycle span tree: queued → attempts → done.
+
+        Recorded retroactively at the terminal transition, from the
+        wall-clock intervals the job record already tracks — no span
+        bookkeeping on the hot path while the job runs.
+        """
+        finished = job.finished_at or time.time()
+        root = self.tracer.record(
+            f"job:{job.job_id}",
+            job.submitted_at,
+            max(0.0, finished - job.submitted_at),
+            status="ok" if job.state is JobState.SUCCEEDED else "error",
+            job_id=job.job_id,
+            state=job.state.value,
+            workflow=job.spec.workflow_name,
+            mapping=job.spec.mapping,
+            attempts=job.attempts,
+        )
+        self.tracer.record(
+            "queued",
+            job.submitted_at,
+            job.queue_seconds,
+            parent=root,
+            job_id=job.job_id,
+        )
+        if job.started_at is not None:
+            self.tracer.record(
+                "running",
+                job.started_at,
+                job.run_seconds,
+                parent=root,
+                job_id=job.job_id,
+            )
+        for attempt, started, duration, verdict in attempt_spans:
+            self.tracer.record(
+                f"attempt:{attempt}",
+                started,
+                duration,
+                parent=root,
+                status="ok" if verdict == "success" else verdict,
+                job_id=job.job_id,
+                attempt=attempt,
+            )
 
     def _run_job(self, job: Job) -> None:
         """Drive one job to a terminal state, retrying transient failures."""
@@ -133,23 +198,46 @@ class WorkerPool:
             else time.monotonic() + job.spec.timeout
         )
 
+        attempt_spans: list[tuple] = []
         while True:
             if self._stop.is_set():
-                self._finish(job, JobState.CANCELLED, "worker pool shut down")
+                self._finish(
+                    job,
+                    JobState.CANCELLED,
+                    "worker pool shut down",
+                    attempt_spans=tuple(attempt_spans),
+                )
                 return
             job.attempts += 1
+            attempt_started = time.time()
+            attempt_perf = time.perf_counter()
             verdict, error = self._execute_once(job, deadline)
+            attempt_spans.append(
+                (
+                    job.attempts,
+                    attempt_started,
+                    time.perf_counter() - attempt_perf,
+                    verdict,
+                )
+            )
+            spans = tuple(attempt_spans)
             if verdict == "success":
-                self._finish(job, JobState.SUCCEEDED)
+                self._finish(job, JobState.SUCCEEDED, attempt_spans=spans)
                 return
             if verdict == "cancelled":
-                self._finish(job, JobState.CANCELLED, error or "cancelled mid-run")
+                self._finish(
+                    job,
+                    JobState.CANCELLED,
+                    error or "cancelled mid-run",
+                    attempt_spans=spans,
+                )
                 return
             if verdict == "timeout":
                 self._finish(
                     job,
                     JobState.TIMED_OUT,
                     error or f"job exceeded its {job.spec.timeout}s timeout",
+                    attempt_spans=spans,
                 )
                 return
             # verdict == "error": retry transient failures while allowed.
@@ -160,24 +248,44 @@ class WorkerPool:
             ):
                 backoff = job.spec.retry_backoff * (2 ** (job.attempts - 1))
                 if deadline is not None and time.monotonic() + backoff > deadline:
-                    self._finish(job, JobState.TIMED_OUT, error)
+                    self._finish(job, JobState.TIMED_OUT, error, attempt_spans=spans)
                     return
+                # Structured so every retry record carries the job id and
+                # attempt number (log aggregation can group on them).
                 job.append_log(
-                    f"[jobs] attempt {job.attempts} hit a transient failure; "
-                    f"retrying in {backoff:.3f}s"
+                    format_event(
+                        "retry",
+                        job_id=job.job_id,
+                        attempt=job.attempts,
+                        max_retries=job.spec.max_retries,
+                        backoff=round(backoff, 6),
+                        error=error.strip().splitlines()[-1] if error else "",
+                    )
                 )
+                if self._retried is not None:
+                    self._retried.inc()
                 # Requeue edge keeps the wait/run accounting honest, but the
                 # retry stays on this worker: backoff then run again.
                 job.transition(JobState.QUEUED)
                 self.store.save(job)
                 if job.cancel_event.wait(backoff):
-                    self._finish(job, JobState.CANCELLED, "cancelled during backoff")
+                    self._finish(
+                        job,
+                        JobState.CANCELLED,
+                        "cancelled during backoff",
+                        attempt_spans=spans,
+                    )
                     return
                 if not job.try_transition(JobState.RUNNING):
                     return
                 self.store.save(job)
                 continue
-            self._finish(job, JobState.FAILED, error or "workflow failed")
+            self._finish(
+                job,
+                JobState.FAILED,
+                error or "workflow failed",
+                attempt_spans=spans,
+            )
             return
 
     # -- one attempt ---------------------------------------------------------

@@ -9,10 +9,8 @@ transport decides how to frame them.
 
 from __future__ import annotations
 
-import threading
 import time
 import traceback
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.laminar.execution.engine import ExecutionEngine
@@ -34,76 +32,108 @@ from repro.laminar.server.services import (
     RegistryService,
     ServiceError,
 )
+from repro.obs import MetricsRegistry, Tracer
 
 __all__ = ["LaminarServer", "ServerMetrics"]
 
 
-@dataclass
 class ServerMetrics:
-    """Per-action request accounting (counts, errors, cumulative latency).
+    """Per-action request accounting backed by a :class:`MetricsRegistry`.
 
-    The resource-management observability of §IV-F at the server level:
-    ``snapshot()`` is what the ``stats`` action returns.
+    The resource-management observability of §IV-F at the server level.
+    Every sample lives in the registry (``laminar_server_*`` /
+    ``laminar_job_*`` families, served raw by ``get_metrics``);
+    :meth:`snapshot` derives the legacy JSON summary the ``stats`` action
+    has always returned, so existing clients see an unchanged shape.
     """
 
-    started_at: float = field(default_factory=time.monotonic)
-    requests: dict[str, int] = field(default_factory=dict)
-    errors: dict[str, int] = field(default_factory=dict)
-    seconds: dict[str, float] = field(default_factory=dict)
-    jobs_finished: dict[str, int] = field(default_factory=dict)
-    job_wait_seconds: float = 0.0
-    job_run_seconds: float = 0.0
-    job_retries: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.started_at = time.monotonic()
+        self._requests = self.registry.counter(
+            "laminar_server_requests_total",
+            "Requests handled by the server, by action.",
+            ("action",),
+        )
+        self._errors = self.registry.counter(
+            "laminar_server_request_errors_total",
+            "Requests answered with status >= 400, by action.",
+            ("action",),
+        )
+        self._latency = self.registry.histogram(
+            "laminar_server_request_seconds",
+            "Request handling latency, by action.",
+            ("action",),
+        )
+        self._jobs_finished = self.registry.counter(
+            "laminar_jobs_finished_total",
+            "Jobs that reached a terminal state, by state.",
+            ("state",),
+        )
+        self._job_retries = self.registry.counter(
+            "laminar_job_retries_total",
+            "Retry attempts accumulated by finished jobs.",
+        )
+        self._job_wait = self.registry.histogram(
+            "laminar_job_wait_seconds",
+            "Queue wait (submit to first run) of finished jobs.",
+        )
+        self._job_run = self.registry.histogram(
+            "laminar_job_run_seconds",
+            "Cumulative running time of finished jobs.",
+        )
+        self.registry.gauge(
+            "laminar_server_uptime_seconds",
+            "Seconds since this server was constructed.",
+        ).set_function(lambda: time.monotonic() - self.started_at)
 
     def record(self, action: str, elapsed: float, ok: bool) -> None:
         """Account one handled request."""
-        with self._lock:
-            self.requests[action] = self.requests.get(action, 0) + 1
-            self.seconds[action] = self.seconds.get(action, 0.0) + elapsed
-            if not ok:
-                self.errors[action] = self.errors.get(action, 0) + 1
+        self._requests.labels(action).inc()
+        self._latency.labels(action).observe(elapsed)
+        if not ok:
+            self._errors.labels(action).inc()
 
     def record_job(self, job: Job) -> None:
         """Account one job reaching a terminal state."""
-        with self._lock:
-            state = job.state.value
-            self.jobs_finished[state] = self.jobs_finished.get(state, 0) + 1
-            self.job_wait_seconds += job.queue_seconds
-            self.job_run_seconds += job.run_seconds
-            self.job_retries += job.retries
+        self._jobs_finished.labels(job.state.value).inc()
+        self._job_wait.observe(job.queue_seconds)
+        self._job_run.observe(job.run_seconds)
+        if job.retries:
+            self._job_retries.inc(job.retries)
 
     def snapshot(self) -> dict:
         """JSON-able metrics summary (the ``stats`` action body)."""
-        with self._lock:
-            total = sum(self.requests.values())
-            finished = sum(self.jobs_finished.values())
-            return {
-                "uptime_seconds": round(time.monotonic() - self.started_at, 3),
-                "total_requests": total,
-                "by_action": {
-                    action: {
-                        "requests": count,
-                        "errors": self.errors.get(action, 0),
-                        "mean_ms": round(
-                            1e3 * self.seconds.get(action, 0.0) / count, 3
-                        ),
-                    }
-                    for action, count in sorted(self.requests.items())
-                },
-                "jobs": {
-                    "finished": dict(sorted(self.jobs_finished.items())),
-                    "retries": self.job_retries,
-                    "mean_wait_ms": round(
-                        1e3 * self.job_wait_seconds / finished, 3
-                    )
-                    if finished
-                    else 0.0,
-                    "mean_run_ms": round(1e3 * self.job_run_seconds / finished, 3)
-                    if finished
-                    else 0.0,
-                },
+        by_action = {}
+        for (action,), counter in self._requests.collect():
+            count = int(counter.value)
+            latency = self._latency.labels(action)
+            by_action[action] = {
+                "requests": count,
+                "errors": int(self._errors.labels(action).value),
+                "mean_ms": round(1e3 * latency.sum / count, 3) if count else 0.0,
             }
+        finished_by_state = {
+            state: int(counter.value)
+            for (state,), counter in self._jobs_finished.collect()
+        }
+        finished = sum(finished_by_state.values())
+        wait, run = self._job_wait.labels(), self._job_run.labels()
+        return {
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "total_requests": sum(a["requests"] for a in by_action.values()),
+            "by_action": by_action,
+            "jobs": {
+                "finished": finished_by_state,
+                "retries": int(self._job_retries.value),
+                "mean_wait_ms": round(1e3 * wait.sum / finished, 3)
+                if finished
+                else 0.0,
+                "mean_run_ms": round(1e3 * run.sum / finished, 3)
+                if finished
+                else 0.0,
+            },
+        }
 
 
 class LaminarServer:
@@ -126,11 +156,17 @@ class LaminarServer:
 
         self.auth = AuthService(self.users)
         self.registry = RegistryService(self.pes, self.workflows)
-        self.engine = ExecutionEngine()
+        # Per-server observability sinks: a private registry/tracer so
+        # several servers in one process (tests!) never mix metrics.
+        self.obs_registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.engine = ExecutionEngine(
+            registry=self.obs_registry, tracer=self.tracer
+        )
         self.execution = ExecutionService(
             self.registry, self.executions, self.responses, self.engine
         )
-        self.metrics = ServerMetrics()
+        self.metrics = ServerMetrics(registry=self.obs_registry)
         self.job_manager = JobManager(
             engine=self.engine,
             store=DatabaseJobStore(self.job_rows),
@@ -138,6 +174,8 @@ class LaminarServer:
             queue_capacity=job_queue_capacity,
             default_timeout=job_default_timeout,
             on_terminal=self.metrics.record_job,
+            registry=self.obs_registry,
+            tracer=self.tracer,
         )
         self.jobs = JobService(self.registry, self.job_manager)
         self.router = Router(self.auth, self.registry, self.execution, self.jobs)
@@ -152,6 +190,32 @@ class LaminarServer:
             # Live queue/worker gauges come from the manager; the counters
             # above only see jobs that already finished.
             body["jobs"].update(self.job_manager.stats())
+            return {"status": 200, "body": body}
+        if action == "get_metrics":
+            # Raw exposition of the server's whole registry — requests,
+            # jobs, mapping runs, broker gauges — in Prometheus text
+            # format (default) or as the JSON snapshot dump.
+            if str(payload.get("format", "text")) == "json":
+                return {"status": 200, "body": {"metrics": self.obs_registry.snapshot()}}
+            return {
+                "status": 200,
+                "body": {
+                    "content_type": "text/plain; version=0.0.4",
+                    "text": self.obs_registry.render_text(),
+                },
+            }
+        if action == "get_trace":
+            trace_id = payload.get("trace_id")
+            fmt = str(payload.get("format", "tree"))
+            if fmt == "chrome":
+                body = {"trace": self.tracer.to_chrome(trace_id)}
+            elif fmt == "spans":
+                body = {"spans": self.tracer.export(trace_id)}
+            else:
+                body = {"trace": self.tracer.tree(trace_id)}
+            body["dropped_spans"] = self.tracer.dropped
+            if payload.get("clear"):
+                self.tracer.clear()
             return {"status": 200, "body": body}
         started = time.monotonic()
         try:

@@ -1,0 +1,70 @@
+"""``repro.obs`` — the dependency-free observability subsystem.
+
+Metrics (:mod:`~repro.obs.metrics`), tracing (:mod:`~repro.obs.trace`),
+Prometheus exposition (:mod:`~repro.obs.expo`), structured log events
+(:mod:`~repro.obs.events`) and process-wide defaults
+(:mod:`~repro.obs.runtime`).  This is the measurement substrate every
+layer records into: the mappings, the execution engine, the simulated
+Redis broker, the jobs subsystem and the server.
+
+Quick start::
+
+    from repro.obs import MetricsRegistry, Tracer
+
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "Requests.", ("action",))
+    requests.labels("run").inc()
+    print(registry.render_text())           # Prometheus exposition
+
+    tracer = Tracer()
+    with tracer.span("run:simple") as root:
+        with tracer.span("setup"):
+            ...
+    tracer.tree()                            # nested span trees
+    tracer.to_chrome()                       # load in about:tracing
+"""
+
+from repro.obs.events import format_event, parse_event
+from repro.obs.expo import parse_text, render_text
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    active_registry,
+    default_registry,
+    default_tracer,
+    disabled,
+    enabled,
+    record_mapping_run,
+    set_default_registry,
+    split_instance_label,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "render_text",
+    "parse_text",
+    "format_event",
+    "parse_event",
+    "default_registry",
+    "default_tracer",
+    "set_default_registry",
+    "active_registry",
+    "enabled",
+    "disabled",
+    "record_mapping_run",
+    "split_instance_label",
+]

@@ -1,0 +1,75 @@
+"""Structured log events: one line, machine-parseable key=value fields.
+
+The jobs worker (and anything else emitting lifecycle log lines) routes
+through :func:`format_event` so every record carries its identifying
+fields — notably ``job_id`` and ``attempt``, which the free-text retry
+messages used to drop.  The shape is::
+
+    [jobs] event=retry job_id=3 attempt=2 backoff=0.050
+
+:func:`parse_event` inverts it for tests and log tooling.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = ["format_event", "parse_event"]
+
+_BARE_RE = re.compile(r"^[A-Za-z0-9_.:+\-]+$")
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, bool):
+        text = "true" if value else "false"
+    elif value is None:
+        text = "null"
+    else:
+        text = str(value)
+    if _BARE_RE.match(text):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+def format_event(event: str, component: str = "jobs", **fields: Any) -> str:
+    """One structured log line: ``[component] event=... k=v ...``.
+
+    Field order is insertion order, so callers control the layout;
+    values with spaces or quotes are quoted and escaped.
+    """
+    parts = [f"event={_fmt_value(event)}"]
+    parts.extend(f"{key}={_fmt_value(value)}" for key, value in fields.items())
+    return f"[{component}] " + " ".join(parts)
+
+
+_EVENT_RE = re.compile(r"^\[(?P<component>[^\]]+)\]\s+(?P<fields>.*)$")
+_FIELD_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)=("(?:[^"\\]|\\.)*"|[^\s]+)')
+
+
+def parse_event(line: str) -> dict | None:
+    """Parse a :func:`format_event` line back into a dict (or ``None``).
+
+    Returns ``{"component": ..., "event": ..., **fields}`` with every
+    value as a string; non-event lines yield ``None``.
+    """
+    match = _EVENT_RE.match(line)
+    if match is None:
+        return None
+    out: dict[str, str] = {"component": match.group("component")}
+    for field in _FIELD_RE.finditer(match.group("fields")):
+        value = field.group(2)
+        if value.startswith('"') and value.endswith('"'):
+            value = (
+                value[1:-1]
+                .replace("\\n", "\n")
+                .replace('\\"', '"')
+                .replace("\\\\", "\\")
+            )
+        out[field.group(1)] = value
+    if "event" not in out:
+        return None
+    return out

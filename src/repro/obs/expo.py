@@ -1,0 +1,147 @@
+"""Prometheus text exposition: render a registry, parse it back.
+
+:func:`render_text` produces the `text-based exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+``# HELP`` / ``# TYPE`` headers followed by samples, histograms expanded
+into cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+
+:func:`parse_text` is the inverse for the subset this renderer emits; it
+exists so tests (and the acceptance criterion) can verify the output
+*parses* as exposition format rather than eyeballing it, and so the CLI
+can pretty-print a remote server's metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_text", "parse_text"]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _labels(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_text(registry: "MetricsRegistry") -> str:
+    """Render every family of ``registry`` as Prometheus exposition text."""
+    lines: list[str] = []
+    for family in registry.families():
+        help_text = family.help.replace("\\", r"\\").replace("\n", r"\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.collect():
+            if family.kind in ("counter", "gauge"):
+                labels = _labels(family.labelnames, values)
+                lines.append(f"{family.name}{labels} {_fmt(child.value)}")
+                continue
+            # Histogram: cumulative buckets, then sum and count.
+            counts = child.bucket_counts()
+            cumulative = 0
+            for bound, count in zip(
+                list(child.bounds) + [math.inf], counts
+            ):
+                cumulative += count
+                labels = _labels(
+                    family.labelnames, values, extra=f'le="{_fmt(bound)}"'
+                )
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+            labels = _labels(family.labelnames, values)
+            lines.append(f"{family.name}_sum{labels} {_fmt(child.sum)}")
+            lines.append(f"{family.name}_count{labels} {child.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_text(text: str) -> dict:
+    """Parse exposition text into ``{name: {type, help, samples}}``.
+
+    Each sample is ``(labels_dict, value)``.  Raises ``ValueError`` on a
+    malformed line, making this the format validator the tests use.
+    """
+    families: dict[str, dict] = {}
+
+    def family(name: str) -> dict:
+        return families.setdefault(
+            name, {"type": None, "help": "", "samples": []}
+        )
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            family(name)["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            family(name)["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        labels_text = match.group("labels") or ""
+        labels = {}
+        consumed = 0
+        for pair in _LABEL_PAIR_RE.finditer(labels_text):
+            labels[pair.group(1)] = (
+                pair.group(2)
+                .replace(r"\n", "\n")
+                .replace(r"\"", '"')
+                .replace(r"\\", "\\")
+            )
+            consumed = pair.end()
+        if labels_text[consumed:].strip(", "):
+            raise ValueError(
+                f"line {lineno}: malformed labels {labels_text!r}"
+            )
+        base = match.group("name")
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = base[: -len(suffix)] if base.endswith(suffix) else None
+            if stripped and families.get(stripped, {}).get("type") == "histogram":
+                base = stripped
+                break
+        family(base)["samples"].append(
+            (match.group("name"), labels, _parse_value(match.group("value")))
+        )
+    return families

@@ -1,0 +1,459 @@
+"""Thread-safe, process-aware metrics primitives.
+
+The measurement substrate for the paper's evaluation (§IV): every
+subsystem records into a :class:`MetricsRegistry` holding three metric
+kinds —
+
+* :class:`Counter` — monotonically increasing totals (requests, tasks,
+  retries);
+* :class:`Gauge` — instantaneous values (queue depth, busy workers),
+  either set explicitly or read live through a callback;
+* :class:`Histogram` — fixed-bucket latency/size distributions with
+  streaming quantile estimates interpolated from the buckets.
+
+Metrics are *families* identified by a name; a family with label names
+hands out labelled children via :meth:`MetricFamily.labels` (the
+Prometheus client idiom).  All mutation is lock-guarded per child, so
+concurrent workers — the dynamic mapping's threads, the job pool — can
+record without coordination.
+
+Process-awareness: forked workers (the ``multi`` mapping) cannot share a
+parent's registry, so :meth:`MetricsRegistry.snapshot` produces a
+JSON-able dump and :meth:`MetricsRegistry.merge` folds such a dump back
+into a live registry — counters and histograms add, gauges last-write.
+
+No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Prometheus' default latency buckets (seconds); +Inf is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        with self._lock:
+            return self._value
+
+    # -- merge support -------------------------------------------------------
+
+    def _dump(self) -> float:
+        return self.value
+
+    def _absorb(self, dumped: float) -> None:
+        self.inc(float(dumped))
+
+
+class Gauge:
+    """An instantaneous value: settable, or backed by a live callback."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value`` (clears any callback)."""
+        with self._lock:
+            self._fn = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Make the gauge read live through ``fn`` at collection time."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        """The current value (calls the callback when one is bound)."""
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            return float(fn())
+        except Exception:
+            return 0.0
+
+    def _dump(self) -> float:
+        return self.value
+
+    def _absorb(self, dumped: float) -> None:
+        self.set(float(dumped))
+
+
+class Histogram:
+    """A fixed-bucket distribution with streaming quantile estimates.
+
+    ``buckets`` are the finite upper bounds; an implicit +Inf bucket
+    catches everything beyond the last bound.  :meth:`quantile` is the
+    streaming estimate: linear interpolation inside the bucket holding
+    the requested rank — exact to within one bucket's width, constant
+    memory no matter how many observations arrive.
+    """
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        # One count per finite bound plus the +Inf bucket (non-cumulative).
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        # Linear scan beats bisect for the short bucket lists used here.
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the elapsed wall time of its block."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list[int]:
+        """Non-cumulative counts, one per finite bound plus +Inf."""
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Streaming quantile estimate by in-bucket linear interpolation.
+
+        Returns 0.0 with no observations.  For ranks landing in the +Inf
+        bucket the last finite bound is returned (the estimate cannot
+        exceed what the buckets resolve).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for i, count in enumerate(counts):
+            prev_cumulative = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                if i >= len(self.bounds):  # +Inf bucket
+                    return self.bounds[-1]
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i]
+                if count == 0:
+                    return upper
+                fraction = (rank - prev_cumulative) / count
+                return lower + fraction * (upper - lower)
+        return self.bounds[-1]
+
+    def _dump(self) -> dict:
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    def _absorb(self, dumped: dict) -> None:
+        if tuple(dumped["bounds"]) != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        with self._lock:
+            for i, c in enumerate(dumped["counts"]):
+                self._counts[i] += int(c)
+            self._sum += float(dumped["sum"])
+            self._count += int(dumped["count"])
+
+
+class _HistogramTimer:
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric plus its labelled children.
+
+    With no label names the family has exactly one child (labelless);
+    otherwise children are created on first :meth:`labels` call.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if kind not in _METRIC_TYPES:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = _check_name(name)
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+        if not self.labelnames:
+            self._children[()] = self._new_child()
+
+    def _new_child(self) -> Counter | Gauge | Histogram:
+        if self.kind == "histogram":
+            return Histogram(self.buckets)
+        return _METRIC_TYPES[self.kind]()
+
+    def labels(self, *values: Any, **kw: Any):
+        """The child for one label-value combination (created on demand)."""
+        if kw:
+            if values:
+                raise ValueError("pass label values positionally or by name")
+            values = tuple(str(kw[name]) for name in self.labelnames)
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label value(s), "
+                f"got {len(values)}"
+            )
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._new_child()
+                self._children[values] = child
+            return child
+
+    def remove(self, *values: Any) -> bool:
+        """Drop one labelled child (bounds cardinality for per-run labels)."""
+        key = tuple(str(v) for v in values)
+        with self._lock:
+            return self._children.pop(key, None) is not None
+
+    def collect(self) -> list[tuple[tuple[str, ...], Counter | Gauge | Histogram]]:
+        """Stable-ordered ``(label_values, child)`` pairs."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    # Unlabelled convenience passthroughs -------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self.labels().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+
+class MetricsRegistry:
+    """All metric families of one process (or one server)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- family constructors -------------------------------------------------
+
+    def _get_or_create(
+        self, name: str, kind: str, help: str, labelnames: Iterable[str], **kw: Any
+    ) -> MetricFamily:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.labelnames}"
+                    )
+                return family
+            family = MetricFamily(name, kind, help=help, labelnames=labelnames, **kw)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        """Get or create a counter family."""
+        return self._get_or_create(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        """Get or create a gauge family."""
+        return self._get_or_create(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        """Get or create a histogram family."""
+        return self._get_or_create(
+            name, "histogram", help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> MetricFamily | None:
+        """Look up a family by name (``None`` when absent)."""
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> list[MetricFamily]:
+        """All families, sorted by name."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- exposition ----------------------------------------------------------
+
+    def render_text(self) -> str:
+        """Prometheus text exposition of every family (see `repro.obs.expo`)."""
+        from repro.obs.expo import render_text
+
+        return render_text(self)
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every family, suitable for :meth:`merge`.
+
+        Shape: ``{name: {type, help, labelnames, samples}}`` where each
+        sample key is the JSON-encoded label-value list.
+        """
+        out: dict[str, dict] = {}
+        for family in self.families():
+            samples = {
+                json.dumps(list(values)): child._dump()
+                for values, child in family.collect()
+            }
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            }
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dump (e.g. from a forked worker) in.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value.  Families absent here are created from the dump.
+        """
+        for name, family_dump in snapshot.items():
+            family = self._get_or_create(
+                name,
+                family_dump["type"],
+                family_dump.get("help", ""),
+                tuple(family_dump.get("labelnames", ())),
+                **(
+                    {"buckets": self._merge_bounds(family_dump)}
+                    if family_dump["type"] == "histogram"
+                    else {}
+                ),
+            )
+            for key, dumped in family_dump.get("samples", {}).items():
+                child = family.labels(*json.loads(key))
+                child._absorb(dumped)
+
+    @staticmethod
+    def _merge_bounds(family_dump: dict) -> tuple[float, ...]:
+        for dumped in family_dump.get("samples", {}).values():
+            return tuple(dumped["bounds"])
+        return DEFAULT_BUCKETS

@@ -1,0 +1,274 @@
+"""Workflow tracing: spans, span trees and Chrome-trace export.
+
+A :class:`Span` is one named, timed operation; a :class:`Tracer` collects
+finished spans into a bounded ring.  One workflow enactment yields a span
+*tree*: a root ``run:<mapping>`` span with children for mapping setup,
+each PE instance's processing, queue waits and — for asynchronous jobs —
+the lifecycle phases (queued → attempts → terminal).
+
+Context propagation uses :mod:`contextvars`, so nested ``with
+tracer.span(...)`` blocks parent automatically on one thread.  Worker
+threads and forked processes do not inherit the context; they parent
+explicitly (``tracer.span(name, parent=span)``) or adopt externally
+timed intervals through :meth:`Tracer.record` — exactly what the multi
+mapping's collector protocol does.
+
+Exports: :meth:`Tracer.export` (JSON-able span dicts),
+:meth:`Tracer.tree` (nested trees) and :meth:`Tracer.to_chrome` (the
+Chrome ``about:tracing`` / Perfetto event format).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import threading
+import time
+import uuid
+from typing import Any, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "laminar_current_span", default=None
+)
+
+#: Span ids are unique across every tracer in the process, so one tracer
+#: can adopt another's finished spans (see :meth:`Tracer.adopt`) without
+#: id collisions corrupting :meth:`Tracer.tree`.
+_span_ids = itertools.count(1)
+
+
+class Span:
+    """One named, timed operation inside a trace."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "trace_id",
+        "start", "duration", "attrs", "status", "_tracer", "_perf", "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        trace_id: str,
+        parent_id: int | None,
+        attrs: dict | None = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self.status = "ok"
+        self.start = time.time()
+        self.duration: float | None = None
+        self._perf = time.perf_counter()
+        self._token: contextvars.Token | None = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (merged into ``attrs``)."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, status: str | None = None) -> "Span":
+        """Finish the span; idempotent after the first call."""
+        if self.duration is None:
+            self.duration = time.perf_counter() - self._perf
+            if status is not None:
+                self.status = status
+            self._tracer._finish(self)
+        return self
+
+    # -- context-manager protocol --------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        self.end(status="error" if exc_type is not None else None)
+
+    def to_dict(self) -> dict:
+        """JSON-able form of the span."""
+        return {
+            "name": self.name,
+            "spanId": self.span_id,
+            "parentId": self.parent_id,
+            "traceId": self.trace_id,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects spans into a bounded ring of finished spans.
+
+    One tracer can hold many traces (every parentless span starts a new
+    ``trace_id``); a server keeps a single tracer as the sink for all
+    runs and jobs.  Thread-safe throughout; spawns no threads of its own.
+    """
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self.dropped = 0
+
+    # -- span creation -------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        parent: "Span | None" = None,
+        **attrs: Any,
+    ) -> Span:
+        """Start a span.
+
+        ``parent`` overrides context propagation (worker threads); when
+        omitted the current context span (if any) is the parent, and a
+        parentless span opens a fresh trace.  Use as a context manager
+        for automatic ending and context propagation, or call
+        :meth:`Span.end` manually.
+        """
+        if parent is None:
+            parent = _current_span.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = uuid.uuid4().hex[:16], None
+        return Span(
+            self, name, next(_span_ids), trace_id, parent_id, attrs=attrs
+        )
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent: "Span | None" = None,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> Span:
+        """Adopt an externally timed interval as a finished span.
+
+        Used for intervals measured elsewhere — forked multi-mapping
+        workers report ``(start, duration)`` through the collector queue
+        and the parent records them here.
+        """
+        span = self.span(name, parent=parent, **attrs)
+        span.start = start
+        span.duration = float(duration)
+        span.status = status
+        self._finish(span)
+        return span
+
+    @staticmethod
+    def current() -> Span | None:
+        """The context-propagated current span of this thread, if any."""
+        return _current_span.get()
+
+    # -- collection ----------------------------------------------------------
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if len(self._finished) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._finished.append(span)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Finished spans, optionally restricted to one trace."""
+        with self._lock:
+            spans = list(self._finished)
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        return spans
+
+    def clear(self) -> None:
+        """Drop every finished span (the ``get_trace`` reset)."""
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
+
+    def adopt(self, other: "Tracer") -> int:
+        """Copy another tracer's finished spans into this ring.
+
+        A server keeps one sink tracer; per-run tracers are adopted into
+        it after each traced enactment.  Safe because span ids are unique
+        process-wide.  Returns how many spans were copied.
+        """
+        count = 0
+        for span in other.spans():
+            self._finish(span)
+            count += 1
+        return count
+
+    # -- exports -------------------------------------------------------------
+
+    def export(self, trace_id: str | None = None) -> list[dict]:
+        """Finished spans as JSON-able dicts, in finish order."""
+        return [span.to_dict() for span in self.spans(trace_id)]
+
+    def tree(self, trace_id: str | None = None) -> list[dict]:
+        """Nested span trees (one per trace root), children in start order."""
+        spans = self.spans(trace_id)
+        nodes = {span.span_id: {**span.to_dict(), "children": []} for span in spans}
+        roots = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id) if span.parent_id else None
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        for node in nodes.values():
+            node["children"].sort(key=lambda child: child["start"])
+        roots.sort(key=lambda root: root["start"])
+        return roots
+
+    def to_chrome(self, trace_id: str | None = None) -> dict:
+        """Chrome trace format (load in ``about:tracing`` or Perfetto).
+
+        Complete ("X") events with microsecond timestamps; the trace id
+        maps to the pid lane so concurrent runs separate visually.
+        """
+        lanes: dict[str, int] = {}
+        events = []
+        for span in self.spans(trace_id):
+            pid = lanes.setdefault(span.trace_id, len(lanes) + 1)
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": (span.duration or 0.0) * 1e6,
+                    "pid": pid,
+                    "tid": span.parent_id or span.span_id,
+                    "args": dict(span.attrs),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_json(self, trace_id: str | None = None) -> str:
+        """The :meth:`export` list serialised to a JSON string."""
+        return json.dumps(self.export(trace_id), default=repr)
+
+    # -- iteration -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())

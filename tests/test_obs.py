@@ -1,0 +1,301 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the ISSUE 3 acceptance checks: histogram bucket/quantile
+correctness under concurrent updates, span parent/child nesting across
+the dynamic mapping's worker threads, metrics surviving a job retry,
+``render_text`` output parsing as Prometheus exposition, and
+``run_graph(..., trace=True)`` yielding at least one span per PE
+instance.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.d4py.mappings import run_graph
+from repro.laminar.execution.engine import ExecutionEngine
+from repro.laminar.jobs import JobManager, JobSpec, JobState
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    disabled,
+    format_event,
+    parse_event,
+    parse_text,
+    render_text,
+)
+from repro.obs.runtime import split_instance_label
+
+from .helpers import isprime_graph
+
+
+def _flatten(nodes: list[dict]) -> list[dict]:
+    out = []
+    for node in nodes:
+        out.append(node)
+        out.extend(_flatten(node["children"]))
+    return out
+
+
+# -- metrics primitives -------------------------------------------------------
+
+def test_counter_rejects_negative_and_gauge_callback():
+    registry = MetricsRegistry()
+    counter = registry.counter("laminar_test_total", "doc")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+    gauge = registry.gauge("laminar_test_gauge", "doc")
+    gauge.set_function(lambda: 12.5)
+    assert gauge.value == 12.5
+    broken = registry.gauge("laminar_test_broken", "doc")
+    broken.set_function(lambda: 1 / 0)
+    assert broken.value == 0.0  # callback errors degrade, never raise
+
+
+def test_histogram_buckets_and_quantiles_under_concurrency():
+    """16 threads hammer one labelled histogram; totals must be exact."""
+    registry = MetricsRegistry()
+    family = registry.histogram(
+        "laminar_test_seconds", "doc", ("worker",), buckets=(0.1, 0.5, 1.0, 5.0)
+    )
+    hist = family.labels("w")
+    per_thread = [0.05, 0.3, 0.7, 2.0, 9.0]  # one observation per bucket + +Inf
+    threads_n = 16
+    barrier = threading.Barrier(threads_n)
+
+    def worker():
+        barrier.wait()
+        for _ in range(50):
+            for value in per_thread:
+                hist.observe(value)
+
+    threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    total = threads_n * 50 * len(per_thread)
+    assert hist.count == total
+    assert hist.sum == pytest.approx(threads_n * 50 * sum(per_thread))
+    # Each observed value lands in exactly one bin (bucket_counts is
+    # non-cumulative), including the +Inf overflow bin.
+    per_bin = threads_n * 50
+    assert hist.bucket_counts() == [per_bin] * 5
+    # Quantiles interpolate within the owning bucket's bounds.
+    assert 0.0 <= hist.quantile(0.1) <= 0.1
+    assert 0.5 <= hist.quantile(0.5) <= 1.0
+    assert hist.quantile(0.99) == 5.0  # +Inf bucket clamps to last bound
+    assert hist.quantile(0.0) == 0.0
+
+
+def test_counters_are_exact_under_concurrency():
+    registry = MetricsRegistry()
+    counter = registry.counter("laminar_test_hits_total", "doc", ("route",))
+    child = counter.labels("a")
+
+    def worker():
+        for _ in range(10_000):
+            child.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert child.value == 80_000
+
+
+# -- exposition ---------------------------------------------------------------
+
+def test_render_text_parses_as_prometheus_exposition():
+    registry = MetricsRegistry()
+    registry.counter("laminar_runs_total", "Runs.", ("mapping", "status")).labels(
+        "simple", "success"
+    ).inc(3)
+    registry.gauge("laminar_queue_depth", "Depth.").set(7)
+    registry.histogram("laminar_wait_seconds", "Waits.", buckets=(0.1, 1.0)).observe(
+        0.25
+    )
+    text = render_text(registry)
+    parsed = parse_text(text)  # raises ValueError on malformed exposition
+    assert parsed["laminar_runs_total"]["type"] == "counter"
+    samples = {
+        (name, tuple(sorted(labels.items()))): value
+        for name, labels, value in parsed["laminar_runs_total"]["samples"]
+    }
+    key = ("laminar_runs_total", (("mapping", "simple"), ("status", "success")))
+    assert samples[key] == 3.0
+    gauge_samples = parsed["laminar_queue_depth"]["samples"]
+    assert gauge_samples == [("laminar_queue_depth", {}, 7.0)]
+    assert parsed["laminar_wait_seconds"]["type"] == "histogram"
+    hist = {
+        (name, labels.get("le")): value
+        for name, labels, value in parsed["laminar_wait_seconds"]["samples"]
+    }
+    assert hist[("laminar_wait_seconds_bucket", "+Inf")] == 1.0
+    assert hist[("laminar_wait_seconds_count", None)] == 1.0
+    assert hist[("laminar_wait_seconds_sum", None)] == pytest.approx(0.25)
+
+
+def test_snapshot_merge_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("laminar_runs_total", "Runs.", ("mapping",)).labels("multi").inc(2)
+    registry.histogram("laminar_wait_seconds", "Waits.").observe(0.2)
+    snap = json.loads(json.dumps(registry.snapshot()))  # must be JSON-able
+    other = MetricsRegistry()
+    other.counter("laminar_runs_total", "Runs.", ("mapping",)).labels("multi").inc(1)
+    other.merge(snap)
+    assert other.get("laminar_runs_total").labels("multi").value == 3
+    assert other.get("laminar_wait_seconds").labels().count == 1
+
+
+# -- tracing through the mappings ---------------------------------------------
+
+def test_simple_trace_has_span_per_pe_instance():
+    registry = MetricsRegistry()
+    result = run_graph(
+        isprime_graph(), input=20, mapping="simple", trace=True, registry=registry
+    )
+    assert result.trace is not None
+    roots = result.trace.tree()
+    assert len(roots) == 1 and roots[0]["name"] == "run:simple"
+    spans = _flatten(roots)
+    pe_spans = {s["name"] for s in spans if s["name"].startswith("pe:")}
+    # Acceptance: at least one span per PE instance of the run.
+    assert pe_spans == {"pe:" + label for label in result.iterations}
+    # Per-invocation child spans nest under their instance span.
+    by_id = {s["spanId"]: s for s in spans}
+    invokes = [s for s in spans if s["name"].startswith("invoke:")]
+    assert invokes, "simple mapping should record per-invocation spans"
+    for span in invokes:
+        assert by_id[span["parentId"]]["name"].startswith("pe:")
+    # Metrics landed in the explicit registry.
+    runs = registry.get("laminar_runs_total")
+    assert runs.labels("simple", "success").value == 1
+
+
+def test_dynamic_trace_nests_across_worker_threads():
+    """Instance spans created in worker threads still parent to the root."""
+    result = run_graph(
+        isprime_graph(),
+        input=30,
+        mapping="dynamic",
+        trace=True,
+        max_workers=3,
+        instances_per_pe=2,
+    )
+    roots = result.trace.tree()
+    assert len(roots) == 1 and roots[0]["name"] == "run:dynamic"
+    root_id = roots[0]["spanId"]
+    pe_spans = [
+        s for s in _flatten(roots) if s["name"].startswith("pe:")
+    ]
+    assert {s["name"] for s in pe_spans} == {
+        "pe:" + label for label in result.iterations
+    }
+    for span in pe_spans:
+        assert span["parentId"] == root_id
+        assert span["attrs"]["iterations"] == result.iterations[span["name"][3:]]
+        assert span["attrs"]["queue_wait_seconds"] >= 0.0
+    # Timings were normalised: every instance label has a float entry.
+    assert set(result.timings) == set(result.iterations)
+
+
+def test_multi_trace_spans_cross_process_boundary():
+    result = run_graph(
+        isprime_graph(), input=12, mapping="multi", num_processes=2, trace=True
+    )
+    roots = result.trace.tree()
+    assert len(roots) == 1 and roots[0]["name"] == "run:multi"
+    names = {s["name"] for s in _flatten(roots)}
+    for label in result.iterations:
+        assert "pe:" + label in names
+
+
+def test_disabled_context_suppresses_default_recording():
+    with disabled():
+        result = run_graph(isprime_graph(), input=10, mapping="simple")
+    assert result.trace is None
+
+
+# -- metrics through a job retry ----------------------------------------------
+
+def test_metrics_and_trace_survive_job_retry(tmp_path):
+    flag = tmp_path / "attempts"
+    code = f"""
+import os
+class Flaky(ProducerPE):
+    def _process(self, inputs):
+        path = {str(flag)!r}
+        seen = 0
+        if os.path.exists(path):
+            with open(path) as fh:
+                seen = int(fh.read())
+        if seen < 1:
+            with open(path, "w") as fh:
+                fh.write(str(seen + 1))
+            raise ConnectionError("transient broker hiccup")
+        return 42
+graph = WorkflowGraph()
+graph.add(Flaky("F"))
+"""
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    manager = JobManager(
+        engine=ExecutionEngine(registry=registry),
+        workers=1,
+        registry=registry,
+        tracer=tracer,
+    )
+    try:
+        job = manager.submit(
+            JobSpec(workflow_code=code, max_retries=2, retry_backoff=0.01)
+        )
+        done = manager.wait(job.job_id, timeout=30)
+        assert done.state is JobState.SUCCEEDED
+        assert done.attempts == 2
+    finally:
+        manager.shutdown(wait=True)
+
+    # Both attempts ran through the engine: one errored, one succeeded.
+    runs = registry.get("laminar_runs_total")
+    assert runs.labels("simple", "error").value == 1
+    assert runs.labels("simple", "success").value == 1
+    assert registry.get("laminar_jobs_retried_total").value == 1
+    # Per-state duration histograms recorded the terminal job.
+    state_seconds = registry.get("laminar_job_state_seconds")
+    assert state_seconds.labels("running").count == 1
+    # The job's lifecycle span tree includes both attempts.
+    job_roots = [r for r in tracer.tree() if r["name"] == f"job:{job.job_id}"]
+    assert len(job_roots) == 1
+    children = {c["name"] for c in job_roots[0]["children"]}
+    assert {"queued", "running", "attempt:1", "attempt:2"} <= children
+    assert job_roots[0]["attrs"]["attempts"] == 2
+    assert job_roots[0]["status"] == "ok"
+
+
+# -- structured log events ----------------------------------------------------
+
+def test_format_and_parse_event_round_trip():
+    line = format_event(
+        "retry", job_id=7, attempt=2, backoff=0.125, error="boom: x=1"
+    )
+    assert line.startswith("[jobs] event=retry ")
+    event = parse_event(line)
+    assert event["event"] == "retry"
+    assert event["job_id"] == "7"
+    assert event["error"] == "boom: x=1"
+
+
+def test_instance_label_split():
+    assert split_instance_label("IsPrime0") == ("IsPrime", "0")
+    assert split_instance_label("Counter12") == ("Counter", "12")
+    assert split_instance_label("NoIndex") == ("NoIndex", "0")
