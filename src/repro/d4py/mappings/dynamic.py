@@ -257,13 +257,20 @@ class _DynamicEngine:
     def _autoscaler_loop(self) -> None:
         while not self.stop_event.is_set():
             depth = self.broker.llen(self.ns + _TASKS)
+            spawn = False
+            # target_workers is read by _worker_loop under workers_lock
+            # for its scale-down decision, so every write happens under
+            # the same lock — an unsynchronised write could shrink the
+            # pool past the floor a concurrent reader just checked.
             with self.workers_lock:
                 current = len(self.workers)
-            if depth > _SCALE_UP_DEPTH and current < self.max_workers:
-                self.target_workers = min(self.max_workers, current + 1)
+                if depth > _SCALE_UP_DEPTH and current < self.max_workers:
+                    self.target_workers = min(self.max_workers, current + 1)
+                    spawn = True
+                elif depth == 0 and current > self.min_workers:
+                    self.target_workers = max(self.min_workers, current - 1)
+            if spawn:
                 self._spawn_worker()
-            elif depth == 0 and current > self.min_workers:
-                self.target_workers = max(self.min_workers, current - 1)
             time.sleep(_SCALE_INTERVAL)
 
     # -- enactment ----------------------------------------------------------------

@@ -158,6 +158,11 @@ class RedisSim:
                     if key in ns:
                         del ns[key]
                         n += 1
+            if n:
+                # A deleted counter reads as 0: wake wait_for_zero()
+                # waiters so they re-check instead of sleeping out their
+                # full timeout on a key that no longer exists.
+                self._lock.notify_all()
             return n
 
     def wait_for_zero(self, key: str, timeout: float | None = None) -> bool:

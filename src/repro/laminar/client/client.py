@@ -57,6 +57,33 @@ from repro.laminar.transport.tcp import TcpClientTransport
 
 __all__ = ["LaminarClient", "RunSummary", "ClientError"]
 
+#: Read-only server actions safe to resend after a connection failure —
+#: the TCP transport only reconnect-retries exchanges from this set.
+_IDEMPOTENT_ACTIONS = frozenset(
+    {
+        "ping",
+        "stats",
+        "get_pe",
+        "get_workflow",
+        "get_pes_by_workflow",
+        "get_registry",
+        "describe",
+        "visualize",
+        "export_registry",
+        "search_literal",
+        "search_semantic",
+        "code_recommendation",
+        "code_completion",
+        "job_status",
+        "job_result",
+        "job_logs",
+        "list_jobs",
+        "get_metrics",
+        "get_trace",
+        "check_resources",
+    }
+)
+
 
 class ClientError(RuntimeError):
     """A server-reported failure, with the response status attached."""
@@ -102,9 +129,31 @@ class LaminarClient:
         self._token: str | None = None
 
     @classmethod
-    def connect(cls, host: str, port: int, timeout: float = 60.0) -> "LaminarClient":
-        """Connect to a remote Laminar server over TCP."""
-        return cls(transport=TcpClientTransport(host, port, timeout=timeout))
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        idle_deadline: float | None = None,
+        retry_policy=None,
+    ) -> "LaminarClient":
+        """Connect to a remote Laminar server over TCP.
+
+        ``idle_deadline`` bounds mid-exchange silence (server heartbeats
+        reset it), so a dead server surfaces as a prompt
+        :class:`~repro.laminar.transport.tcp.HeartbeatTimeout` instead of
+        an indefinite hang; ``retry_policy`` shapes the bounded
+        reconnect-with-backoff applied to idempotent verbs.
+        """
+        return cls(
+            transport=TcpClientTransport(
+                host,
+                port,
+                timeout=timeout,
+                idle_deadline=idle_deadline,
+                retry_policy=retry_policy,
+            )
+        )
 
     def close(self) -> None:
         """Release the underlying transport."""
@@ -114,7 +163,12 @@ class LaminarClient:
 
     def _call(self, action: str, **params: Any) -> Any:
         payload = {"action": action, "token": self._token, **params}
-        response = self._transport.request(payload)
+        if isinstance(self._transport, TcpClientTransport):
+            response = self._transport.request(
+                payload, idempotent=action in _IDEMPOTENT_ACTIONS
+            )
+        else:
+            response = self._transport.request(payload)
         status = response.get("status", 500)
         body = response.get("body")
         if status >= 400:
@@ -502,7 +556,13 @@ class LaminarClient:
                 lines.append(str(frame.payload))
                 if on_line:
                     on_line(str(frame.payload))
-            else:  # END
+            elif frame.type is FrameType.ERROR:
+                err = frame.payload if isinstance(frame.payload, dict) else {}
+                raise ClientError(
+                    int(err.get("status", 500)),
+                    err.get("error", "run request failed on the server"),
+                )
+            elif frame.type is FrameType.END:
                 summary_payload = frame.payload if isinstance(frame.payload, dict) else {}
         if status_code >= 400:
             raise ClientError(

@@ -184,9 +184,12 @@ class JobManager:
                 f"job {job_id} already finished ({job.state.value})"
             )
         job.cancel_event.set()
+        # Discard from the queue while the job is still QUEUED — discard
+        # rejects jobs in any other state, so the terminal transition
+        # must land after the lazy heap drop, not before.
+        self.queue.discard(job.job_id)  # no-op when it was running
         if job.try_transition(JobState.CANCELLED):
             job.error = "cancelled by request"
-            self.queue.discard(job.job_id)  # no-op when it was running
             self.store.save(job)
             self._terminal_hook(job)
         return job

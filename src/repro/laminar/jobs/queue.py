@@ -95,12 +95,15 @@ class JobQueue:
         """Lazily remove a queued job (cancellation); True if it was queued.
 
         The entry stays in the heap but will be skipped by ``get`` —
-        O(queued cancellations) memory, O(1) time.
+        O(queued cancellations) memory, O(1) time.  Only jobs still in
+        ``QUEUED`` state are discardable: marking an entry whose job has
+        already left the queue's jurisdiction (running or terminal)
+        would double-count it in the ``depth``/capacity accounting.
         """
         with self._cond:
             for _, _, job in self._heap:
                 if job.job_id == job_id and job.job_id not in self._cancelled:
-                    if job.state is JobState.QUEUED or job.terminal:
+                    if job.state is JobState.QUEUED:
                         self._cancelled.add(job_id)
                         return True
                     return False

@@ -9,23 +9,41 @@ A real HTTP/2 stack is out of scope offline; DESIGN.md substitution S7
 replaces it with a framed protocol that preserves the property under
 test — *incremental delivery*:
 
-* :mod:`repro.laminar.transport.frames` — HEADERS/DATA/END frame types.
+* :mod:`repro.laminar.transport.frames` — HEADERS/DATA/END/ERROR/PING/
+  PONG frame types with strict JSON-safe encoding and loud truncation
+  errors.
 * :mod:`repro.laminar.transport.inprocess` — zero-copy in-process
   transport (client holds the server object; streams are generators).
 * :mod:`repro.laminar.transport.tcp` — localhost TCP with
-  length-prefixed JSON frames and multiplexed stream ids.
+  length-prefixed JSON frames, multiplexed stream ids, structured
+  ERROR propagation, PING/PONG heartbeats and bounded
+  reconnect-with-backoff for idempotent exchanges.
 
 Both implement the same two-method interface (:class:`Transport`), so
 every client feature works identically over either.
 """
 
-from repro.laminar.transport.frames import Frame, FrameType
+from repro.laminar.transport.frames import (
+    Frame,
+    FramePayloadError,
+    FrameProtocolError,
+    FrameType,
+)
 from repro.laminar.transport.inprocess import InProcessTransport
-from repro.laminar.transport.tcp import TcpServerTransport, TcpClientTransport
+from repro.laminar.transport.tcp import (
+    HeartbeatTimeout,
+    RetryPolicy,
+    TcpClientTransport,
+    TcpServerTransport,
+)
 
 __all__ = [
     "Frame",
     "FrameType",
+    "FramePayloadError",
+    "FrameProtocolError",
+    "HeartbeatTimeout",
+    "RetryPolicy",
     "InProcessTransport",
     "TcpServerTransport",
     "TcpClientTransport",

@@ -1,13 +1,26 @@
 """Frame model for the streaming transport (HTTP/2-flavoured).
 
 A logical request/response exchange is one *stream*; frames belonging to
-a stream carry its id, mirroring RFC 9113's multiplexing.  Three frame
-types are enough for Laminar's traffic:
+a stream carry its id, mirroring RFC 9113's multiplexing.  Six frame
+types cover Laminar's traffic:
 
 * ``HEADERS`` — opens an exchange; payload is the request or the
   response status/metadata.
 * ``DATA`` — one chunk of streamed body (an output line, a file part).
 * ``END`` — closes the stream; payload optionally carries a summary.
+* ``ERROR`` — closes the stream abnormally; payload is a structured
+  ``{status, error_type, error}`` record so a server-side handler
+  failure reaches the client as data instead of a dead connection.
+* ``PING`` / ``PONG`` — liveness probes (RFC 9113 §6.7): the server
+  pushes PING while a long exchange is in flight so the client can
+  tell a slow run from a dead server; a PING received while idle is
+  answered with a PONG echoing its payload.
+
+Encoding is strict: a payload that is not JSON-safe raises
+:class:`FramePayloadError` at ``encode`` time (the old behaviour
+silently stringified it with ``default=str``), and a wire read that
+ends mid-frame raises :class:`FrameProtocolError` (the old behaviour
+reported truncation as a clean EOF).
 """
 
 from __future__ import annotations
@@ -17,14 +30,25 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["FrameType", "Frame"]
+__all__ = ["FrameType", "Frame", "FramePayloadError", "FrameProtocolError"]
 
 
 class FrameType(enum.Enum):
-    """The three frame kinds: HEADERS, DATA, END."""
+    """The six frame kinds: HEADERS, DATA, END, ERROR, PING, PONG."""
     HEADERS = "headers"
     DATA = "data"
     END = "end"
+    ERROR = "error"
+    PING = "ping"
+    PONG = "pong"
+
+
+class FramePayloadError(TypeError):
+    """A frame payload that cannot be represented as strict JSON."""
+
+
+class FrameProtocolError(ConnectionError):
+    """The wire ended or corrupted mid-frame (truncation, bad JSON)."""
 
 
 @dataclass
@@ -36,11 +60,21 @@ class Frame:
     payload: Any = field(default=None)
 
     def encode(self) -> bytes:
-        """Length-prefixed JSON wire form (4-byte big-endian length)."""
-        body = json.dumps(
-            {"stream_id": self.stream_id, "type": self.type.value, "payload": self.payload},
-            default=str,
-        ).encode("utf-8")
+        """Length-prefixed JSON wire form (4-byte big-endian length).
+
+        Raises :class:`FramePayloadError` if the payload is not strictly
+        JSON-safe (unknown types, NaN/Infinity) — a lossy ``default=str``
+        fallback would corrupt typed payloads silently.
+        """
+        try:
+            body = json.dumps(
+                {"stream_id": self.stream_id, "type": self.type.value, "payload": self.payload},
+                allow_nan=False,
+            ).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise FramePayloadError(
+                f"frame payload for stream {self.stream_id} is not JSON-safe: {exc}"
+            ) from exc
         return len(body).to_bytes(4, "big") + body
 
     @classmethod
@@ -55,12 +89,27 @@ class Frame:
 
     @classmethod
     def read_from(cls, sock_file) -> "Frame | None":
-        """Read one frame from a binary file-like; ``None`` at EOF."""
+        """Read one frame from a binary file-like; ``None`` at clean EOF.
+
+        EOF is clean only on a frame boundary (zero bytes read).  A
+        partial header or truncated body means the peer died mid-frame
+        and raises :class:`FrameProtocolError` so callers never mistake
+        a half-delivered response for the end of the exchange.
+        """
         header = sock_file.read(4)
-        if len(header) < 4:
+        if not header:
             return None
+        if len(header) < 4:
+            raise FrameProtocolError(
+                f"connection truncated mid-frame: {len(header)}/4 header bytes"
+            )
         length = int.from_bytes(header, "big")
         body = sock_file.read(length)
         if len(body) < length:
-            return None
-        return cls.decode(body)
+            raise FrameProtocolError(
+                f"connection truncated mid-frame: {len(body)}/{length} body bytes"
+            )
+        try:
+            return cls.decode(body)
+        except (ValueError, KeyError) as exc:
+            raise FrameProtocolError(f"undecodable frame: {exc}") from exc

@@ -3,7 +3,10 @@
 This is the zero-configuration mode used by tests, examples and the
 benchmark harness: no sockets, but the same framed streaming semantics —
 ``stream`` yields DATA payloads as the execution engine produces them,
-because the server returns a live generator.
+because the server returns a live generator.  Failure semantics also
+mirror the TCP transport: an exception escaping the server's handler
+(or raised lazily while a streamed body is drained) becomes a
+structured 500 / ERROR frame instead of propagating into the client.
 """
 
 from __future__ import annotations
@@ -33,6 +36,13 @@ class ServerStream:
         return self._summary() if callable(self._summary) else self._summary
 
 
+def _error_body(exc: BaseException) -> dict:
+    return {
+        "error": str(exc) or type(exc).__name__,
+        "error_type": type(exc).__name__,
+    }
+
+
 class InProcessTransport:
     """Direct client↔server coupling with streaming support."""
 
@@ -40,31 +50,56 @@ class InProcessTransport:
         self._server = server
         self._next_stream_id = 1
 
-    def request(self, payload: dict) -> dict:
-        """Unary exchange; a streaming response is drained into a list."""
-        response = self._server.handle(payload)
+    def request(self, payload: dict, idempotent: bool = False) -> dict:
+        """Unary exchange; a streaming response is drained into a list.
+
+        ``idempotent`` is accepted for interface parity with the TCP
+        transport; there is no connection to lose in-process.
+        """
+        try:
+            response = self._server.handle(payload)
+        except Exception as exc:  # noqa: BLE001 — mirror the ERROR frame path
+            return {"status": 500, "body": _error_body(exc)}
         if isinstance(response.get("body"), ServerStream):
             stream = response["body"]
-            lines = list(stream.chunks)
+            try:
+                lines = list(stream.chunks)
+                summary = stream.summary()
+            except Exception as exc:  # noqa: BLE001 — lazy body failure
+                return {"status": 500, "body": _error_body(exc)}
             return {
                 "status": response["status"],
-                "body": {"lines": lines, "summary": stream.summary()},
+                "body": {"lines": lines, "summary": summary},
             }
         return response
 
     def stream(self, payload: dict) -> Iterator[Frame]:
-        """Framed exchange: HEADERS, then DATA per chunk, then END."""
+        """Framed exchange: HEADERS, then DATA per chunk, then END.
+
+        A handler or mid-stream exception terminates the exchange with
+        an ERROR frame, exactly like the TCP server handler.
+        """
         stream_id = self._next_stream_id
         self._next_stream_id += 1
-        response = self._server.handle(payload)
+        try:
+            response = self._server.handle(payload)
+        except Exception as exc:  # noqa: BLE001
+            yield Frame(stream_id, FrameType.ERROR, {"status": 500, **_error_body(exc)})
+            return
         body = response.get("body")
+        yield Frame(stream_id, FrameType.HEADERS, {"status": response["status"]})
         if isinstance(body, ServerStream):
-            yield Frame(stream_id, FrameType.HEADERS, {"status": response["status"]})
-            for chunk in body.chunks:
-                yield Frame(stream_id, FrameType.DATA, chunk)
-            yield Frame(stream_id, FrameType.END, body.summary())
+            try:
+                for chunk in body.chunks:
+                    yield Frame(stream_id, FrameType.DATA, chunk)
+                summary = body.summary()
+            except Exception as exc:  # noqa: BLE001
+                yield Frame(
+                    stream_id, FrameType.ERROR, {"status": 500, **_error_body(exc)}
+                )
+                return
+            yield Frame(stream_id, FrameType.END, summary)
         else:
-            yield Frame(stream_id, FrameType.HEADERS, {"status": response["status"]})
             yield Frame(stream_id, FrameType.END, body)
 
     def close(self) -> None:

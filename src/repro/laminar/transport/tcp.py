@@ -7,6 +7,19 @@ each connection gets a handler thread, and streaming responses are
 written frame by frame as the execution engine produces chunks — the
 client observes output lines *before* the workflow finishes, which is
 what the A1 ablation bench measures.
+
+Robustness (the §IV request path under partial failure):
+
+* a handler exception becomes a structured ``ERROR`` frame — the
+  connection survives and the next exchange proceeds normally;
+* the server pushes ``PING`` heartbeats while an exchange is in flight,
+  and the client enforces a configurable ``idle_deadline`` of silence,
+  so a slow run (heartbeats keep arriving) is distinguishable from a
+  dead server (:class:`HeartbeatTimeout`);
+* :meth:`TcpClientTransport.request` reconnects with bounded
+  exponential backoff (:class:`RetryPolicy`, the same shape as the jobs
+  worker's retry policy) — but only when the caller marks the exchange
+  idempotent, because a resend must be safe.
 """
 
 from __future__ import annotations
@@ -14,62 +27,189 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.laminar.transport.frames import Frame, FrameType
+from repro.laminar.transport.frames import (
+    Frame,
+    FrameProtocolError,
+    FrameType,
+)
 from repro.laminar.transport.inprocess import ServerStream
 
-__all__ = ["TcpServerTransport", "TcpClientTransport"]
+__all__ = [
+    "TcpServerTransport",
+    "TcpClientTransport",
+    "RetryPolicy",
+    "HeartbeatTimeout",
+]
+
+
+class HeartbeatTimeout(ConnectionError):
+    """No frame (not even a heartbeat) arrived within the idle deadline."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff, mirroring the jobs worker's shape
+    (``retry_backoff * 2 ** (attempt - 1)``)."""
+
+    max_retries: int = 2
+    backoff: float = 0.05
+    factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        return self.backoff * self.factor ** (attempt - 1)
+
+
+def _error_payload(exc: BaseException, status: int = 500) -> dict:
+    """The structured body of an ERROR frame."""
+    return {
+        "status": status,
+        "error_type": type(exc).__name__,
+        "error": str(exc) or type(exc).__name__,
+    }
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    def setup(self) -> None:
+        super().setup()
+        # Responses and heartbeats interleave on one socket, so every
+        # frame write happens under this lock.
+        self._write_lock = threading.Lock()
+        self._in_flight = threading.Event()
+        self._hb_stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
+        interval = getattr(self.server, "heartbeat_interval", 0.0)
+        if interval and interval > 0:
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(float(interval),),
+                name="laminar-tcp-heartbeat",
+                daemon=True,
+            )
+            self._hb_thread.start()
+
+    def finish(self) -> None:
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=1.0)
+        super().finish()
+
+    def _send(self, frame: Frame) -> None:
+        with self._write_lock:
+            self.wfile.write(frame.encode())
+            self.wfile.flush()
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        """Push PING frames while an exchange is being served.
+
+        Heartbeats only flow mid-exchange: an idle connection has nothing
+        to prove (the client probes it with its own PING), and skipping
+        idle periods keeps the socket buffer of a parked client empty.
+        """
+        while not self._hb_stop.wait(interval):
+            if not self._in_flight.is_set():
+                continue
+            try:
+                self._send(Frame(0, FrameType.PING, {"ts": time.time()}))
+                self.server.count_heartbeat()
+            except (OSError, ValueError):
+                return  # peer gone / socket closed underneath us
+
     def handle(self) -> None:
         """Serve HEADERS-opened exchanges until the peer disconnects."""
         while True:
-            frame = Frame.read_from(self.rfile)
+            try:
+                frame = Frame.read_from(self.rfile)
+            except (FrameProtocolError, OSError):
+                return  # peer died mid-frame; nothing left to answer
             if frame is None:
                 return
+            if frame.type is FrameType.PING:
+                try:
+                    self._send(Frame(frame.stream_id, FrameType.PONG, frame.payload))
+                except (OSError, ValueError):
+                    return
+                continue
             if frame.type is not FrameType.HEADERS:
                 continue  # ignore stray frames; HEADERS opens an exchange
-            response = self.server.laminar_server.handle(frame.payload)
-            body = response.get("body")
             try:
-                self.wfile.write(
+                self._serve_exchange(frame)
+            except (BrokenPipeError, ConnectionResetError, ValueError):
+                return
+
+    def _serve_exchange(self, frame: Frame) -> None:
+        """Answer one exchange; a handler failure becomes an ERROR frame."""
+        self._in_flight.set()
+        try:
+            try:
+                response = self.server.laminar_server.handle(frame.payload)
+                body = response.get("body")
+                self._send(
                     Frame(
                         frame.stream_id,
                         FrameType.HEADERS,
                         {"status": response["status"]},
-                    ).encode()
+                    )
                 )
                 if isinstance(body, ServerStream):
                     for chunk in body.chunks:
-                        self.wfile.write(
-                            Frame(frame.stream_id, FrameType.DATA, chunk).encode()
-                        )
-                        self.wfile.flush()
-                    self.wfile.write(
-                        Frame(frame.stream_id, FrameType.END, body.summary()).encode()
-                    )
+                        self._send(Frame(frame.stream_id, FrameType.DATA, chunk))
+                    self._send(Frame(frame.stream_id, FrameType.END, body.summary()))
                 else:
-                    self.wfile.write(
-                        Frame(frame.stream_id, FrameType.END, body).encode()
-                    )
-                self.wfile.flush()
+                    self._send(Frame(frame.stream_id, FrameType.END, body))
             except (BrokenPipeError, ConnectionResetError):
-                return
+                raise  # the *client* died; nobody left to inform
+            except Exception as exc:  # noqa: BLE001 — anything else is reportable
+                self.server.count_handler_error(type(exc).__name__)
+                self._send(Frame(frame.stream_id, FrameType.ERROR, _error_payload(exc)))
+        finally:
+            self._in_flight.clear()
 
 
 class _ThreadingServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    heartbeat_interval: float = 1.0
+    transport_errors = None  # obs counter families, bound by the transport
+    heartbeats = None
+
+    def count_handler_error(self, error_type: str) -> None:
+        if self.transport_errors is not None:
+            self.transport_errors.labels(error_type).inc()
+
+    def count_heartbeat(self) -> None:
+        if self.heartbeats is not None:
+            self.heartbeats.inc()
 
 
 class TcpServerTransport:
     """Serves a :class:`~repro.laminar.server.app.LaminarServer` over TCP."""
 
-    def __init__(self, server, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval: float = 1.0,
+    ) -> None:
         self._tcp = _ThreadingServer((host, port), _Handler)
         self._tcp.laminar_server = server
+        self._tcp.heartbeat_interval = heartbeat_interval
+        registry = getattr(server, "obs_registry", None)
+        if registry is not None:
+            self._tcp.transport_errors = registry.counter(
+                "laminar_transport_handler_errors_total",
+                "Handler exceptions surfaced to clients as ERROR frames.",
+                ("error_type",),
+            )
+            self._tcp.heartbeats = registry.counter(
+                "laminar_transport_heartbeats_total",
+                "PING heartbeats pushed to clients during long exchanges.",
+            )
         self._thread: threading.Thread | None = None
 
     @property
@@ -92,14 +232,76 @@ class TcpServerTransport:
 
 
 class TcpClientTransport:
-    """Client side: one persistent connection, sequential exchanges."""
+    """Client side: one persistent connection, sequential exchanges.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
-        self._wfile = self._sock.makefile("wb")
+    ``idle_deadline`` bounds how long the client tolerates total silence
+    mid-exchange; server heartbeats (or any frame) reset the clock, so
+    the deadline only fires when the server is actually gone.  A dropped
+    connection is re-established lazily on the next call, and
+    :meth:`request` additionally retries exchanges the caller marked
+    idempotent, with bounded exponential backoff.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        idle_deadline: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.idle_deadline = idle_deadline
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._wfile = None
         self._next_stream_id = 1
         self._lock = threading.Lock()
+        # Fault accounting, exposed via bind_metrics().
+        self.reconnects = 0
+        self.retries = 0
+        self.pings_sent = 0
+        self._connect()
+
+    # -- connection management ------------------------------------------------
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    def _teardown(self) -> None:
+        """Drop the (possibly poisoned) connection; reconnect happens lazily."""
+        for handle in (self._rfile, self._wfile, self._sock):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        self._rfile = self._wfile = self._sock = None
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+
+    def bind_metrics(self, registry) -> None:
+        """Register live gauges for this client's fault accounting."""
+        registry.gauge(
+            "laminar_client_reconnects_total",
+            "Connections re-established by the TCP client transport.",
+        ).set_function(lambda: self.reconnects)
+        registry.gauge(
+            "laminar_client_request_retries_total",
+            "Idempotent exchanges resent after a connection failure.",
+        ).set_function(lambda: self.retries)
+
+    # -- frame plumbing -------------------------------------------------------
 
     def _open(self, payload: dict) -> int:
         stream_id = self._next_stream_id
@@ -108,43 +310,139 @@ class TcpClientTransport:
         self._wfile.flush()
         return stream_id
 
-    def request(self, payload: dict) -> dict:
-        """Unary exchange; DATA frames (if any) are collected into lines."""
+    def _read_frame(self) -> Frame:
+        """Next exchange frame; heartbeats are consumed as liveness proof."""
+        while True:
+            try:
+                frame = Frame.read_from(self._rfile)
+            except TimeoutError as exc:
+                raise HeartbeatTimeout(
+                    f"no frame or heartbeat from server within "
+                    f"{self.idle_deadline}s — presuming it dead"
+                ) from exc
+            if frame is None:
+                raise ConnectionError("server closed mid-exchange")
+            if frame.type in (FrameType.PING, FrameType.PONG):
+                continue  # liveness only; each read re-arms the idle deadline
+            return frame
+
+    # -- exchanges ------------------------------------------------------------
+
+    def request(self, payload: dict, idempotent: bool = False) -> dict:
+        """Unary exchange; DATA frames (if any) are collected into lines.
+
+        With ``idempotent=True`` a connection failure (including a
+        heartbeat timeout) tears the socket down, backs off, reconnects
+        and resends — up to ``retry_policy.max_retries`` times.  Non-
+        idempotent exchanges never resend; they fail loudly and the next
+        call reconnects.
+        """
         with self._lock:
-            self._open(payload)
+            attempt = 0
+            while True:
+                try:
+                    self._ensure_connected()
+                    return self._exchange(payload)
+                except (ConnectionError, OSError):
+                    self._teardown()
+                    attempt += 1
+                    if not idempotent or attempt > self.retry_policy.max_retries:
+                        raise
+                    self.retries += 1
+                    time.sleep(self.retry_policy.delay(attempt))
+
+    def _exchange(self, payload: dict) -> dict:
+        self._open(payload)
+        if self.idle_deadline is not None:
+            self._sock.settimeout(self.idle_deadline)
+        try:
             status: dict[str, Any] = {}
             lines: list[Any] = []
             while True:
-                frame = Frame.read_from(self._rfile)
-                if frame is None:
-                    raise ConnectionError("server closed mid-exchange")
+                frame = self._read_frame()
                 if frame.type is FrameType.HEADERS:
                     status = frame.payload or {}
                 elif frame.type is FrameType.DATA:
                     lines.append(frame.payload)
+                elif frame.type is FrameType.ERROR:
+                    err = frame.payload or {}
+                    return {
+                        "status": int(err.get("status", 500)),
+                        "body": {
+                            "error": err.get("error", "server error"),
+                            "error_type": err.get("error_type"),
+                        },
+                    }
                 else:  # END
                     body = frame.payload
                     if lines:
                         body = {"lines": lines, "summary": frame.payload}
                     return {"status": status.get("status", 500), "body": body}
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(self._timeout)
 
     def stream(self, payload: dict) -> Iterator[Frame]:
-        """Framed exchange yielding frames as they arrive on the wire."""
+        """Framed exchange yielding frames as they arrive on the wire.
+
+        Heartbeats are filtered out; an ERROR frame is yielded (so the
+        caller sees the structured failure) and terminates the stream.
+        """
         with self._lock:
-            self._open(payload)
-            while True:
-                frame = Frame.read_from(self._rfile)
-                if frame is None:
-                    raise ConnectionError("server closed mid-exchange")
-                yield frame
-                if frame.type is FrameType.END:
-                    return
+            try:
+                self._ensure_connected()
+                self._open(payload)
+                if self.idle_deadline is not None:
+                    self._sock.settimeout(self.idle_deadline)
+                try:
+                    while True:
+                        frame = self._read_frame()
+                        yield frame
+                        if frame.type in (FrameType.END, FrameType.ERROR):
+                            return
+                finally:
+                    if self._sock is not None:
+                        self._sock.settimeout(self._timeout)
+            except (ConnectionError, OSError):
+                self._teardown()
+                raise
+
+    def ping(self, timeout: float = 5.0) -> float:
+        """Round-trip liveness probe; returns the RTT in seconds.
+
+        Sends a PING and waits up to ``timeout`` for the PONG.  Raises
+        :class:`HeartbeatTimeout` when the server never answers.
+        """
+        with self._lock:
+            try:
+                self._ensure_connected()
+                started = time.monotonic()
+                stream_id = self._next_stream_id
+                self._next_stream_id += 2
+                self._wfile.write(
+                    Frame(stream_id, FrameType.PING, {"ts": time.time()}).encode()
+                )
+                self._wfile.flush()
+                self.pings_sent += 1
+                self._sock.settimeout(timeout)
+                try:
+                    while True:
+                        frame = Frame.read_from(self._rfile)
+                        if frame is None:
+                            raise ConnectionError("server closed during ping")
+                        if frame.type is FrameType.PONG:
+                            return time.monotonic() - started
+                except TimeoutError as exc:
+                    raise HeartbeatTimeout(
+                        f"server did not answer PING within {timeout}s"
+                    ) from exc
+                finally:
+                    if self._sock is not None:
+                        self._sock.settimeout(self._timeout)
+            except (ConnectionError, OSError):
+                self._teardown()
+                raise
 
     def close(self) -> None:
         """Close the socket and its file handles."""
-        for handle in (self._rfile, self._wfile):
-            try:
-                handle.close()
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
-        self._sock.close()
+        self._teardown()

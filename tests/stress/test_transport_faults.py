@@ -1,0 +1,350 @@
+"""Fault-injection stress tests for the TCP client–server path.
+
+Every test here reproduces a failure mode the transport must survive:
+handler exceptions, mid-frame disconnects, byte-dribble partial writes,
+silent (black-holed) servers and connection loss between exchanges.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.laminar.client.client import ClientError, LaminarClient
+from repro.laminar.server.app import LaminarServer
+from repro.laminar.transport import (
+    FrameProtocolError,
+    FrameType,
+    HeartbeatTimeout,
+    RetryPolicy,
+    TcpClientTransport,
+    TcpServerTransport,
+)
+from repro.laminar.transport.inprocess import ServerStream
+from tests.stress.chaos import ChaosProxy
+
+WF = """
+class Counter(ProducerPE):
+    def _process(self, inputs):
+        print("tick")
+        return 1
+
+c = Counter("Counter")
+graph = WorkflowGraph()
+graph.add(c)
+"""
+
+
+class RaisingServer:
+    """A server whose handler always explodes — the pre-fix connection killer."""
+
+    def __init__(self, exc: BaseException | None = None) -> None:
+        self.exc = exc or RuntimeError("kaboom: injected handler failure")
+        self.calls = 0
+
+    def handle(self, payload):
+        self.calls += 1
+        raise self.exc
+
+
+class SlowServer:
+    """A healthy server that takes a long time to answer."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def handle(self, payload):
+        time.sleep(self.delay)
+        return {"status": 200, "body": {"pong": True}}
+
+
+class StreamFailingServer:
+    """Streams a couple of chunks, then raises mid-body."""
+
+    def handle(self, payload):
+        def chunks():
+            yield "line-1"
+            yield "line-2"
+            raise ValueError("stream blew up mid-body")
+
+        return {"status": 200, "body": ServerStream(chunks())}
+
+
+@pytest.fixture()
+def laminar_tcp():
+    server = LaminarServer()
+    transport = TcpServerTransport(server, heartbeat_interval=0.2).start()
+    try:
+        yield server, transport
+    finally:
+        transport.stop()
+        server.close()
+
+
+# -- structured error propagation ---------------------------------------------
+
+
+def test_handler_exception_reaches_client_as_structured_error():
+    """The acceptance-criteria scenario: a raising server action must be
+    reported as data, not as ``ConnectionError("server closed mid-exchange")``."""
+    backend = RaisingServer()
+    transport = TcpServerTransport(backend).start()
+    client = TcpClientTransport(*transport.address)
+    try:
+        response = client.request({"action": "ping"})
+        assert response["status"] == 500
+        assert response["body"]["error_type"] == "RuntimeError"
+        assert "kaboom" in response["body"]["error"]
+    finally:
+        client.close()
+        transport.stop()
+
+
+def test_connection_survives_handler_exception():
+    """One bad exchange must not poison the connection for the next one."""
+    backend = RaisingServer()
+    transport = TcpServerTransport(backend).start()
+    client = TcpClientTransport(*transport.address)
+    try:
+        for _ in range(3):
+            assert client.request({"action": "ping"})["status"] == 500
+        assert backend.calls == 3
+        assert client.reconnects == 0  # same socket throughout
+    finally:
+        client.close()
+        transport.stop()
+
+
+def test_stream_exchange_reports_error_frame():
+    backend = RaisingServer()
+    transport = TcpServerTransport(backend).start()
+    client = TcpClientTransport(*transport.address)
+    try:
+        frames = list(client.stream({"action": "run", "id": "x"}))
+        assert frames[-1].type is FrameType.ERROR
+        assert frames[-1].payload["error_type"] == "RuntimeError"
+    finally:
+        client.close()
+        transport.stop()
+
+
+def test_mid_stream_body_failure_becomes_error_frame():
+    """An exception raised while the body streams arrives after DATA frames."""
+    transport = TcpServerTransport(StreamFailingServer()).start()
+    client = TcpClientTransport(*transport.address)
+    try:
+        frames = list(client.stream({"action": "run"}))
+        types = [f.type for f in frames]
+        assert FrameType.DATA in types
+        assert frames[-1].type is FrameType.ERROR
+        assert frames[-1].payload["error_type"] == "ValueError"
+        # Unary spelling: the error wins over the partial body.
+        response = client.request({"action": "run"})
+        assert response["status"] == 500
+        assert "mid-body" in response["body"]["error"]
+    finally:
+        client.close()
+        transport.stop()
+
+
+def test_laminar_client_sees_server_error_as_client_error(laminar_tcp):
+    """End to end: a raising action surfaces as ClientError, and the same
+    client keeps working afterwards."""
+    server, transport = laminar_tcp
+    original = server.handle
+
+    def flaky(payload):
+        if payload.get("action") == "explode":
+            raise ValueError("injected action failure")
+        return original(payload)
+
+    server.handle = flaky
+    client = LaminarClient.connect(*transport.address)
+    try:
+        with pytest.raises(ClientError) as excinfo:
+            client._call("explode")
+        assert excinfo.value.status == 500
+        assert "injected action failure" in str(excinfo.value)
+        # Connection is still healthy: run a real workflow over it.
+        server.registry.register_workflow(server.auth.resolve(None), WF, "wf_ok")
+        summary = client.run("wf_ok", input=2)
+        assert summary.ok and summary.lines == ["tick", "tick"]
+    finally:
+        server.handle = original
+        client.close()
+
+
+def test_transport_error_counter_increments(laminar_tcp):
+    server, transport = laminar_tcp
+    original = server.handle
+    server.handle = lambda payload: (_ for _ in ()).throw(RuntimeError("boom"))
+    client = TcpClientTransport(*transport.address)
+    try:
+        assert client.request({"action": "ping"})["status"] == 500
+        text = server.obs_registry.render_text()
+        assert "laminar_transport_handler_errors_total" in text
+        assert 'error_type="RuntimeError"' in text
+    finally:
+        server.handle = original
+        client.close()
+
+
+# -- chaos proxy: mid-frame disconnects and partial writes --------------------
+
+
+def test_mid_frame_disconnect_raises_protocol_error(laminar_tcp):
+    """A response cut mid-frame must raise loudly, not read as a clean EOF."""
+    _server, transport = laminar_tcp
+    with ChaosProxy(transport.address, cut_after=10) as proxy:
+        client = TcpClientTransport(*proxy.address)
+        try:
+            with pytest.raises(FrameProtocolError):
+                client.request({"action": "ping"})
+        finally:
+            client.close()
+
+
+def test_partial_writes_reassemble(laminar_tcp):
+    """Byte-dribbled responses (1-byte proxy chunks) still decode cleanly."""
+    _server, transport = laminar_tcp
+    with ChaosProxy(transport.address, chunk=1, delay=0.0005) as proxy:
+        client = TcpClientTransport(*proxy.address)
+        try:
+            response = client.request({"action": "ping"})
+            assert response["status"] == 200
+            assert response["body"]["pong"] is True
+        finally:
+            client.close()
+
+
+# -- reconnect with backoff ---------------------------------------------------
+
+
+def test_idempotent_request_reconnects_after_cut(laminar_tcp):
+    """First exchange fits under the per-connection byte budget; the second
+    is cut mid-frame and must transparently reconnect and resend."""
+    _server, transport = laminar_tcp
+    # Measure the exact wire size of one ping response (re-encoding a
+    # decoded frame is byte-identical), then budget the proxy for one
+    # full response plus a few bytes — the second response gets cut.
+    probe = TcpClientTransport(*transport.address)
+    frames = list(probe.stream({"action": "ping"}))
+    ping_bytes = sum(len(f.encode()) for f in frames)
+    probe.close()
+    with ChaosProxy(transport.address, cut_after=ping_bytes + 8) as proxy:
+        client = TcpClientTransport(
+            *proxy.address, retry_policy=RetryPolicy(max_retries=3, backoff=0.01)
+        )
+        try:
+            assert client.request({"action": "ping"}, idempotent=True)["status"] == 200
+            # Second exchange exceeds this connection's budget → cut →
+            # reconnect to the proxy (fresh budget) → success.
+            assert client.request({"action": "ping"}, idempotent=True)["status"] == 200
+            assert client.reconnects >= 1
+            assert client.retries >= 1
+            assert proxy.connections >= 2
+        finally:
+            client.close()
+
+
+def test_non_idempotent_request_never_resends(laminar_tcp):
+    _server, transport = laminar_tcp
+    with ChaosProxy(transport.address, cut_after=10) as proxy:
+        client = TcpClientTransport(
+            *proxy.address, retry_policy=RetryPolicy(max_retries=3, backoff=0.01)
+        )
+        try:
+            with pytest.raises(ConnectionError):
+                client.request({"action": "register_pe", "code": "x"})
+            assert client.retries == 0
+        finally:
+            client.close()
+
+
+def test_retry_budget_is_bounded(laminar_tcp):
+    """Every connection gets cut, so retries must exhaust and raise."""
+    _server, transport = laminar_tcp
+    with ChaosProxy(transport.address, cut_after=6) as proxy:
+        client = TcpClientTransport(
+            *proxy.address, retry_policy=RetryPolicy(max_retries=2, backoff=0.01)
+        )
+        try:
+            with pytest.raises(ConnectionError):
+                client.request({"action": "ping"}, idempotent=True)
+            assert client.retries == 2
+        finally:
+            client.close()
+
+
+# -- heartbeats and liveness --------------------------------------------------
+
+
+def test_heartbeats_keep_slow_exchange_alive():
+    """A handler slower than the idle deadline survives because PINGs flow."""
+    transport = TcpServerTransport(SlowServer(1.1), heartbeat_interval=0.15).start()
+    client = TcpClientTransport(*transport.address, idle_deadline=0.5)
+    try:
+        response = client.request({"action": "ping"})
+        assert response["status"] == 200
+        assert response["body"]["pong"] is True
+    finally:
+        client.close()
+        transport.stop()
+
+
+def test_idle_deadline_detects_dead_server(laminar_tcp):
+    """A black-holed server trips the idle deadline promptly instead of
+    hanging until the 30s socket timeout."""
+    _server, transport = laminar_tcp
+    with ChaosProxy(transport.address, blackhole=True) as proxy:
+        client = TcpClientTransport(*proxy.address, idle_deadline=0.4)
+        try:
+            started = time.monotonic()
+            with pytest.raises(HeartbeatTimeout):
+                client.request({"action": "ping"})
+            assert time.monotonic() - started < 3.0
+        finally:
+            client.close()
+
+
+def test_client_ping_detects_dead_server(laminar_tcp):
+    _server, transport = laminar_tcp
+    with ChaosProxy(transport.address, blackhole=True) as proxy:
+        client = TcpClientTransport(*proxy.address)
+        try:
+            with pytest.raises(HeartbeatTimeout):
+                client.ping(timeout=0.4)
+        finally:
+            client.close()
+
+
+@pytest.mark.slow
+def test_chaos_soak_mixed_faults(laminar_tcp):
+    """Many sequential exchanges through a byte-dribbling proxy while a
+    concurrent client hammers the direct path — nothing wedges or leaks."""
+    server, transport = laminar_tcp
+    errors: list[str] = []
+
+    def direct_worker():
+        c = TcpClientTransport(*transport.address)
+        try:
+            for _ in range(25):
+                if c.request({"action": "ping"})["status"] != 200:
+                    errors.append("direct status")
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"direct: {exc}")
+        finally:
+            c.close()
+
+    thread = threading.Thread(target=direct_worker)
+    thread.start()
+    with ChaosProxy(transport.address, chunk=7, delay=0.0002) as proxy:
+        client = TcpClientTransport(*proxy.address)
+        try:
+            for _ in range(25):
+                assert client.request({"action": "ping"})["status"] == 200
+        finally:
+            client.close()
+    thread.join(timeout=30.0)
+    assert not thread.is_alive()
+    assert errors == []

@@ -53,11 +53,24 @@ def test_frame_read_from_file():
     assert third is None
 
 
-def test_frame_read_truncated_returns_none():
+def test_frame_read_truncated_body_raises():
     import io
 
+    from repro.laminar.transport import FrameProtocolError
+
     data = Frame(1, FrameType.DATA, "x").encode()
-    assert Frame.read_from(io.BytesIO(data[:-2])) is None
+    with pytest.raises(FrameProtocolError):
+        Frame.read_from(io.BytesIO(data[:-2]))
+
+
+def test_frame_read_partial_header_raises():
+    import io
+
+    from repro.laminar.transport import FrameProtocolError
+
+    data = Frame(1, FrameType.DATA, "x").encode()
+    with pytest.raises(FrameProtocolError):
+        Frame.read_from(io.BytesIO(data[:3]))
 
 
 # -- in-process -----------------------------------------------------------------
@@ -201,10 +214,24 @@ def test_frame_large_payload_roundtrip():
     assert decoded.payload == big
 
 
-def test_frame_non_json_payload_stringified():
-    frame = Frame(1, FrameType.END, {"value": range(3)})
-    decoded = Frame.decode(frame.encode()[4:])
-    assert "range" in decoded.payload["value"]
+def test_frame_non_json_payload_rejected_loudly():
+    from repro.laminar.transport import FramePayloadError
+
+    with pytest.raises(FramePayloadError):
+        Frame(1, FrameType.END, {"value": range(3)}).encode()
+    with pytest.raises(FramePayloadError):
+        Frame(1, FrameType.DATA, float("nan")).encode()
+
+
+def test_error_ping_pong_frame_roundtrip():
+    for ftype, payload in [
+        (FrameType.ERROR, {"status": 500, "error_type": "ValueError", "error": "x"}),
+        (FrameType.PING, {"ts": 1.0}),
+        (FrameType.PONG, {"ts": 1.0}),
+    ]:
+        decoded = Frame.decode(Frame(9, ftype, payload).encode()[4:])
+        assert decoded.type is ftype
+        assert decoded.payload == payload
 
 
 def test_tcp_large_response(tcp):
@@ -218,6 +245,37 @@ def test_tcp_large_response(tcp):
     assert response["status"] == 200
     fetched = client.request({"action": "get_pe", "id": "Big"})
     assert len(fetched["body"]["peCode"]) > 4000
+
+
+def test_tcp_client_ping_roundtrip(tcp):
+    _server, client = tcp
+    rtt = client.ping(timeout=5.0)
+    assert 0.0 <= rtt < 5.0
+    assert client.pings_sent == 1
+    # The connection is still good for a normal exchange afterwards.
+    assert client.request({"action": "ping"})["status"] == 200
+
+
+def test_inprocess_handler_exception_becomes_error(server):
+    transport = InProcessTransport(server)
+    original = server.handle
+
+    def exploding(payload):
+        if payload.get("action") == "explode":
+            raise RuntimeError("kaboom")
+        return original(payload)
+
+    server.handle = exploding
+    try:
+        response = transport.request({"action": "explode"})
+        assert response["status"] == 500
+        assert response["body"]["error_type"] == "RuntimeError"
+        assert "kaboom" in response["body"]["error"]
+        frames = list(transport.stream({"action": "explode"}))
+        assert frames[-1].type is FrameType.ERROR
+        assert frames[-1].payload["error_type"] == "RuntimeError"
+    finally:
+        server.handle = original
 
 
 def test_stopped_server_refuses_new_connections(server):
