@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Dataflow hot-path benchmark: per-item dispatch vs micro-batching vs fusion.
+
+Measures items/sec of the dynamic mapping on a 3-stage streaming pipeline
+(``Source -> Scale -> Offset -> Tag``) under three configurations:
+
+* ``per_item`` — ``batch_max_items=1, fuse=False``: one broker round-trip
+  per item per edge (the pre-batching engine).
+* ``batched`` — fixed 32-item task frames, no fusion.
+* ``batched_fused`` — adaptive frame sizing plus operator fusion: the
+  whole linear chain runs inline in the claiming worker.
+
+Every arm is checked to produce the identical leaf output multiset before
+its timing counts, so the speedup cannot come from dropped or duplicated
+items.  The acceptance bar (ISSUE 6) is ``batched_fused`` at >= 5x the
+``per_item`` items/sec; the full run commits its result to
+``BENCH_dataflow_batching.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dataflow_batching.py          # full
+    PYTHONPATH=src python benchmarks/bench_dataflow_batching.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.d4py import IterativePE, ProducerPE, WorkflowGraph
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.d4py import IterativePE, ProducerPE, WorkflowGraph
+
+from repro.d4py.mappings.dynamic import run_dynamic
+from repro.obs import disabled
+
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_dataflow_batching.json"
+)
+THRESHOLD = 5.0
+
+
+class _Source(ProducerPE):
+    def __init__(self, name=None):
+        super().__init__(name)
+        self._n = 0
+
+    def _process(self, inputs):
+        self._n += 1
+        return self._n
+
+    def postprocess(self):
+        self._n = 0  # instances are reused across rounds via deepcopy templates
+
+
+class _Scale(IterativePE):
+    def _process(self, value):
+        return value * 3
+
+
+class _Offset(IterativePE):
+    def _process(self, value):
+        return value + 7
+
+
+class _Tag(IterativePE):
+    def _process(self, value):
+        return ("item", value)
+
+
+def _pipeline() -> WorkflowGraph:
+    graph = WorkflowGraph()
+    source = _Source("Source")
+    scale = _Scale("Scale")
+    offset = _Offset("Offset")
+    tag = _Tag("Tag")
+    graph.connect(source, "output", scale, "input")
+    graph.connect(scale, "output", offset, "input")
+    graph.connect(offset, "output", tag, "input")
+    return graph
+
+
+ARMS = {
+    "per_item": {"batch_max_items": 1, "fuse": False},
+    "batched": {"batch_max_items": 32, "fuse": False},
+    "batched_fused": {"batch_max_items": "adaptive", "fuse": True},
+}
+
+
+def _run_arm(items: int, **options):
+    """One enactment; returns (wall_seconds, sorted leaf outputs)."""
+    graph = _pipeline()
+    started = time.perf_counter()
+    result = run_dynamic(
+        graph,
+        input=items,
+        min_workers=4,
+        max_workers=4,
+        autoscale=False,
+        instances_per_pe=4,
+        **options,
+    )
+    wall = time.perf_counter() - started
+    return wall, sorted(result.output_for("Tag"))
+
+
+def run_bench(items: int, rounds: int) -> dict:
+    expected = sorted(("item", i * 3 + 7) for i in range(1, items + 1))
+    arms: dict[str, dict] = {}
+    with disabled():  # measure the engine, not the metrics registry
+        for name, options in ARMS.items():
+            _run_arm(min(items, 100), **options)  # warm-up
+            walls = []
+            for _ in range(rounds):
+                wall, outputs = _run_arm(items, **options)
+                if outputs != expected:
+                    raise AssertionError(
+                        f"arm {name!r} produced wrong outputs "
+                        f"({len(outputs)} items, expected {len(expected)})"
+                    )
+                walls.append(wall)
+            wall = statistics.median(walls)
+            arms[name] = {
+                "wall_ms": round(1e3 * wall, 3),
+                "items_per_sec": round(items / wall, 1),
+            }
+
+    base = arms["per_item"]["items_per_sec"]
+    return {
+        "benchmark": "dataflow_batching",
+        "workflow": "Source -> Scale -> Offset -> Tag (3-stage streaming)",
+        "mapping": "dynamic (4 workers, no autoscale, 4 instances/PE)",
+        "items": items,
+        "rounds": rounds,
+        "arms": arms,
+        "speedup_batched": round(arms["batched"]["items_per_sec"] / base, 2),
+        "speedup_batched_fused": round(
+            arms["batched_fused"]["items_per_sec"] / base, 2
+        ),
+        "threshold_speedup": THRESHOLD,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, correctness + direction only; no JSON committed",
+    )
+    parser.add_argument(
+        "--items", type=int, default=None, help="items per enactment"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="timed rounds per arm"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RESULT_PATH, help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    items = args.items or (300 if args.smoke else 6000)
+    rounds = args.rounds or (1 if args.smoke else 3)
+    payload = run_bench(items, rounds)
+
+    for name, arm in payload["arms"].items():
+        print(
+            f"{name:>14}: {arm['items_per_sec']:>10.1f} items/s "
+            f"({arm['wall_ms']:.1f} ms)"
+        )
+    print(
+        f"speedup: batched {payload['speedup_batched']}x, "
+        f"batched+fused {payload['speedup_batched_fused']}x "
+        f"(bar: >= {THRESHOLD}x full run)"
+    )
+
+    if args.smoke:
+        # CI smoke: outputs already validated per arm; batching must at
+        # least not be slower than per-item dispatch on a tiny workload.
+        if payload["speedup_batched_fused"] < 1.0:
+            print("FAIL: batched+fused slower than per-item on smoke workload")
+            return 1
+        print("smoke OK")
+        return 0
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"result written to {args.out}")
+    if payload["speedup_batched_fused"] < THRESHOLD:
+        print(f"FAIL: speedup below the {THRESHOLD}x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,10 @@ def run_graph(
     ``options`` are forwarded to the mapping (``num_processes`` and
     ``verbose`` for ``multi``; ``min_workers`` / ``max_workers`` /
     ``instances_per_pe`` / ``autoscale`` / ``broker`` / ``drain_timeout``
-    for ``dynamic``).  ``trace`` / ``tracer`` / ``registry`` are accepted
+    for ``dynamic``).  The batching knobs ``batch_max_items`` /
+    ``batch_max_delay`` / ``fuse`` reach the mappings that support them
+    (``multi`` takes a fixed ``batch_max_items``; ``dynamic`` takes all
+    three) and are ignored by ``simple``, which has no inter-process hops.  ``trace`` / ``tracer`` / ``registry`` are accepted
     by every mapping: with ``trace=True`` the result carries a span tree
     on ``result.trace``, and per-instance metrics are recorded into
     ``registry`` (or the process default).
@@ -49,6 +52,10 @@ def run_graph(
         options.pop("verbose", None)
         options.pop("num_processes", None)
         options.pop("drain_timeout", None)
+        # The sequential mapping has no inter-process hops to batch or fuse.
+        options.pop("batch_max_items", None)
+        options.pop("batch_max_delay", None)
+        options.pop("fuse", None)
         provenance = bool(options.pop("provenance", False))
         trace = bool(options.pop("trace", False))
         tracer = options.pop("tracer", None)
@@ -73,6 +80,12 @@ def run_graph(
         # runtime available offline, "mpi" enacts through the same
         # rank-partitioned process engine (DESIGN.md substitution note).
         options.pop("drain_timeout", None)
+        # multi batches with a fixed frame size only; adaptive sizing and
+        # fusion are dynamic-mapping features.
+        options.pop("batch_max_delay", None)
+        options.pop("fuse", None)
+        if not isinstance(options.get("batch_max_items"), int):
+            options.pop("batch_max_items", None)
         return run_multi(graph, input=input, **options)
     if mapping == "dynamic":
         options.pop("verbose", None)

@@ -9,6 +9,9 @@ substrate.  This module holds the pieces every mapping needs:
   divide N processes among the PEs of a graph (Fig 5b of the paper).
 * :class:`RunResult` — what every mapping returns: data collected from
   unconnected output ports plus engine log lines.
+* :class:`BatchPolicy` — the micro-batch flush policy shared by the
+  physical mappings (how many items ride in one task frame, and how long
+  an under-full frame may wait before it is flushed anyway).
 """
 
 from __future__ import annotations
@@ -76,6 +79,60 @@ class RunResult:
         if not self.timings:
             return None
         return max(self.timings, key=self.timings.get)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Flush policy for micro-batched task frames between PE instances.
+
+    Instead of one broker round-trip per data item, emitters accumulate
+    items per destination instance and enqueue them as one list-of-items
+    frame.  A buffered destination is flushed when it holds
+    ``max_items`` items, when the oldest buffered item is older than
+    ``max_delay`` seconds, or unconditionally when the producing task
+    finishes (so no item can linger in a buffer).
+
+    ``adaptive=True`` means ``max_items`` is not fixed: the dynamic
+    mapping recomputes the target from its live queue-depth and
+    queue-wait gauges (deep queue → bigger frames to amortise dispatch,
+    shallow queue → per-item for latency), capped at ``adaptive_cap``.
+    """
+
+    max_items: int = 1
+    max_delay: float = 0.002
+    adaptive: bool = False
+    adaptive_cap: int = 64
+
+    @classmethod
+    def of(
+        cls,
+        batch_max_items: "int | str | None",
+        batch_max_delay: float = 0.002,
+    ) -> "BatchPolicy":
+        """Coerce the user-facing knobs into a policy.
+
+        ``None`` or ``"adaptive"`` selects adaptive sizing; an int >= 1
+        fixes the frame size (1 = per-item dispatch, the pre-batching
+        behaviour).
+        """
+        if batch_max_delay < 0:
+            raise ValueError(
+                f"batch_max_delay must be >= 0, got {batch_max_delay}"
+            )
+        if batch_max_items is None or batch_max_items == "adaptive":
+            return cls(max_items=1, max_delay=batch_max_delay, adaptive=True)
+        if isinstance(batch_max_items, bool) or not isinstance(
+            batch_max_items, int
+        ):
+            raise TypeError(
+                "batch_max_items must be an int >= 1, None, or 'adaptive'; "
+                f"got {batch_max_items!r}"
+            )
+        if batch_max_items < 1:
+            raise ValueError(
+                f"batch_max_items must be >= 1, got {batch_max_items}"
+            )
+        return cls(max_items=batch_max_items, max_delay=batch_max_delay)
 
 
 def normalize_inputs(

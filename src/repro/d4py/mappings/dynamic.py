@@ -1,12 +1,25 @@
 """The ``dynamic`` mapping: work-queue execution with autoscaling workers.
 
 This reproduces dispel4py's Redis-based dynamic workload allocation
-(Liang et al., 2022): instead of statically binding processes to PEs, every
-data item becomes a *task* on a shared queue (the simulated Redis broker,
+(Liang et al., 2022): instead of statically binding processes to PEs, data
+items become *tasks* on a shared FIFO queue (the simulated Redis broker,
 :class:`~repro.d4py.redisim.RedisSim`), and an elastic pool of workers pulls
 tasks regardless of which PE they belong to.  An autoscaler grows the pool
 while the queue is deep and shrinks it when the queue idles — the adaptive
 resource allocation the paper's §II-A describes.
+
+Two optimisations keep per-item dispatch off the hot path:
+
+* **Micro-batching** — emitters accumulate items per destination instance
+  and enqueue them as one list-of-items frame, flushed by the
+  :class:`~repro.d4py.mappings.base.BatchPolicy` (size/age thresholds plus
+  an unconditional flush when the producing task finishes).  ``group_by``
+  routing is applied *before* buffering, so batches are split per
+  destination instance and partitioning is identical to per-item dispatch.
+* **Operator fusion** — 1-in/1-out shuffle-connected segments (detected by
+  :meth:`~repro.d4py.workflow.WorkflowGraph.linear_segments`) run inside
+  the worker that claimed the head task, invoking downstream instances
+  inline with no broker round-trip between stages.
 
 Workers are threads sharing one broker; each *logical PE instance* is a
 distinct deep-copied PE object guarded by a lock, so stateful PEs and
@@ -16,13 +29,18 @@ distinct deep-copied PE object guarded by a lock, so stateful PEs and
 from __future__ import annotations
 
 import copy
+import itertools
 import threading
 import time
 from typing import Any
 
-from repro.d4py.core import GenericPE
-from repro.d4py.grouping import Grouping
-from repro.d4py.mappings.base import RunResult, leaf_ports, normalize_inputs
+from repro.d4py.core import GenericPE, IterativePE
+from repro.d4py.mappings.base import (
+    BatchPolicy,
+    RunResult,
+    leaf_ports,
+    normalize_inputs,
+)
 from repro.d4py.redisim import RedisSim
 from repro.d4py.workflow import WorkflowGraph
 
@@ -30,12 +48,32 @@ _TASKS = "tasks"
 _PENDING = "pending"
 _DONE = "done"
 
+#: Sentinel frame pushed once per worker at shutdown.  A worker parked in
+#: ``blpop`` only re-checks ``stop_event`` after its poll timeout expires;
+#: feeding it a sentinel wakes it with an item so the pool retires
+#: immediately instead of paying the poll interval as shutdown latency.
+_STOP_FRAME = ("__STOP__",)
+
 #: Queue depth above which the autoscaler adds a worker.
 _SCALE_UP_DEPTH = 4
 #: Seconds between autoscaler checks.
 _SCALE_INTERVAL = 0.02
 #: Default overall drain deadline before the run is declared wedged (seconds).
 _DRAIN_TIMEOUT = 120.0
+#: Per-thread join budget during shutdown (seconds); threads still alive
+#: afterwards are counted as leaked and reported in the run's logs.
+_JOIN_TIMEOUT = 5.0
+
+#: Minimum seconds between adaptive batch-target recomputations.
+_ADAPTIVE_REFRESH = 0.005
+#: EWMA smoothing factor for the observed queue wait.
+_EWMA_ALPHA = 0.2
+#: Queue-wait EWMA (seconds) above which the adaptive target is boosted:
+#: tasks are waiting longer than a frame takes to flush, so dispatch
+#: overhead — not compute — is the bottleneck.
+_WAIT_SLOW = 0.002
+#: Histogram buckets for the per-frame batch-size distribution.
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 class DrainTimeout(RuntimeError):
@@ -57,6 +95,36 @@ class DrainTimeout(RuntimeError):
         self.timeout = timeout
 
 
+class _FrameState:
+    """Per-worker-thread scratch state for the task frame being executed.
+
+    Emit buffers and leaf collections are thread-confined, so the hot path
+    touches no shared lock except each PE instance's own: buffered items
+    are flushed and leaf outputs merged into the shared result exactly
+    once per frame.
+    """
+
+    __slots__ = ("buffers", "births", "leaf", "fused", "fused_buf", "seat")
+
+    def __init__(self) -> None:
+        #: ``{(pe_name, instance_idx, input_name): [payload, ...]}``
+        self.buffers: dict[tuple[str, int, str | None], list] = {}
+        #: First-buffered timestamp per destination (for the age flush).
+        self.births: dict[tuple[str, int, str | None], float] = {}
+        #: Leaf-port emissions of the current frame, merged at frame end.
+        self.leaf: dict[tuple[str, str], list] = {}
+        #: Items that crossed each fused edge inline, per edge index.
+        self.fused: dict[int, int] = {}
+        #: Items awaiting a fused stage run, per fused edge index.  Drained
+        #: stage-at-a-time by ``_drain_fused`` so the downstream instance
+        #: lock is taken once per frame, not once per item.
+        self.fused_buf: dict[int, list] = {}
+        #: This worker's fused-placement seat: fused invokes go to
+        #: instance ``seat % n``, so each worker keeps hitting the same
+        #: (usually uncontended) downstream instance locks.
+        self.seat = 0
+
+
 class _DynamicEngine:
     """One dynamic enactment: broker, instance pool, worker pool, autoscaler."""
 
@@ -72,6 +140,9 @@ class _DynamicEngine:
         trace: bool = False,
         tracer=None,
         registry=None,
+        batch_max_items: int | str | None = None,
+        batch_max_delay: float = 0.002,
+        fuse: bool = True,
     ) -> None:
         from repro.obs import runtime as obs_runtime
 
@@ -82,6 +153,8 @@ class _DynamicEngine:
         self.max_workers = max_workers
         self.autoscale = autoscale
         self.drain_timeout = drain_timeout
+        self.batch = BatchPolicy.of(batch_max_items, batch_max_delay)
+        self.fuse = bool(fuse)
 
         # Observability: metrics always record (into the explicit registry
         # or the process default unless disabled); spans only when traced.
@@ -91,6 +164,7 @@ class _DynamicEngine:
         self.instance_spans: dict[tuple[str, int], object] = {}
         self.queue_wait: dict[tuple[str, int], float] = {}
         self._wait_histogram = None
+        self._batch_histogram = None
         if trace:
             from repro.obs.trace import Tracer
 
@@ -102,6 +176,13 @@ class _DynamicEngine:
                 "Time dynamic-mapping tasks spend queued before a worker "
                 "claims them.",
                 ("pe",),
+            )
+            self._batch_histogram = self.registry.histogram(
+                "laminar_dynamic_batch_size",
+                "Items per task frame enqueued on the dynamic mapping's "
+                "broker.",
+                ("pe",),
+                buckets=_BATCH_BUCKETS,
             )
             self.registry.gauge(
                 "laminar_dynamic_queue_depth",
@@ -123,12 +204,65 @@ class _DynamicEngine:
             for pe in self.flat.pes
         }
 
+        # Operator fusion: 1-in/1-out shuffle links run inside the worker
+        # holding the upstream instance, with no broker round-trip.
+        self.fused_edges: set[int] = set()
+        #: ``{edge_idx: (dest_pe_name, to_input, n_instances)}`` for fused
+        #: edges — resolved at drain time, once per stage batch.
+        self.fused_meta: dict[int, tuple[str, str, int]] = {}
+        self.segments: list[list[str]] = []
+        if self.fuse:
+            fusable = {
+                (u.name, out, v.name, inp)
+                for u, out, v, inp in self.flat.fusable_edges()
+            }
+            for edge_idx, (u, out, v, inp, _g) in enumerate(self.edges):
+                if (u.name, out, v.name, inp) in fusable:
+                    self.fused_edges.add(edge_idx)
+                    self.fused_meta[edge_idx] = (
+                        v.name,
+                        inp,
+                        self.n_instances[v.name],
+                    )
+            self.segments = [
+                [pe.name for pe in chain]
+                for chain in self.flat.linear_segments()
+            ]
+        self.fused_counts: dict[int, int] = {}
+        self.segment_spans: list[tuple[object, int]] = []
+        if self.tracer is not None:
+            for names in self.segments:
+                first_edge = next(
+                    idx
+                    for idx, (u, _o, v, _i, _g) in enumerate(self.edges)
+                    if u.name == names[0] and v.name == names[1]
+                )
+                span = self.tracer.span(
+                    "fused:" + "->".join(names),
+                    parent=self.span_root,
+                    stages=len(names),
+                )
+                self.segment_spans.append((span, first_edge))
+
         self.result = RunResult()
         self.result_lock = threading.Lock()
         self.errors: list[str] = []
 
-        self.instances: dict[tuple[str, int], tuple[GenericPE, threading.Lock]] = {}
+        #: ``{(pe_name, idx): (pe, lock, [iterations, busy_seconds])}`` —
+        #: the stats cell is mutated under the instance's own lock, so the
+        #: hot path never touches ``result_lock`` per invocation.
+        self.instances: dict[
+            tuple[str, int], tuple[GenericPE, threading.Lock, list]
+        ] = {}
         self.instances_lock = threading.Lock()
+        # Per-key creation gates: instances_lock is only held to look up or
+        # register entries, never across deepcopy/preprocess (see instance()).
+        self._creating: dict[tuple[str, int], threading.Lock] = {}
+        # During the final postprocess sweep fused edges fall back to
+        # buffering (and the buffers are discarded), matching the simple
+        # mapping where postprocess emissions reach leaves but are not
+        # processed further downstream.
+        self._postprocessing = False
 
         # Per-run key namespace so several enactments can share one broker.
         self.ns = f"d4pyrun:{id(self)}:"
@@ -139,95 +273,357 @@ class _DynamicEngine:
         self.peak_workers = min_workers
         self.stop_event = threading.Event()
 
+        self._tls = threading.local()
+        self._seat_counter = itertools.count()
+        # Adaptive batch sizing state: refreshed from the queue-depth gauge
+        # at most every _ADAPTIVE_REFRESH seconds; races on these floats
+        # are benign (a stale target, never a wrong result).
+        self._adaptive_target = 1
+        self._adaptive_stamp = 0.0
+        self._wait_ewma = 0.0
+
     # -- instance pool ---------------------------------------------------------
 
-    def instance(self, pe_name: str, idx: int) -> tuple[GenericPE, threading.Lock]:
-        """Lazily create (or fetch) one logical PE instance and its lock."""
+    def instance(
+        self, pe_name: str, idx: int
+    ) -> tuple[GenericPE, threading.Lock, list]:
+        """Lazily create (or fetch) one logical PE instance entry.
+
+        The shared ``instances_lock`` guards only the dictionaries; the
+        expensive part — ``copy.deepcopy`` of the template plus the user's
+        ``preprocess()`` — runs under a per-key creation gate, so two
+        *distinct* instances can always warm up concurrently (a single
+        global critical section here used to serialise the whole worker
+        pool behind one slow preprocess).
+        """
         key = (pe_name, idx)
+        entry = self.instances.get(key)
+        if entry is not None:
+            return entry
         with self.instances_lock:
             entry = self.instances.get(key)
-            if entry is None:
-                template = self.pe_by_name[pe_name]
-                pe = copy.deepcopy(template)
-                pe.rank = idx
-                pe._set_emitter(self._make_emitter(pe_name, pe))
-                pe._set_logger(self._log)
-                pe.preprocess()
-                entry = (pe, threading.Lock())
+            if entry is not None:
+                return entry
+            gate = self._creating.setdefault(key, threading.Lock())
+        with gate:
+            entry = self.instances.get(key)
+            if entry is not None:
+                return entry
+            template = self.pe_by_name[pe_name]
+            pe = copy.deepcopy(template)
+            pe.rank = idx
+            pe._set_emitter(self._make_emitter(pe_name, pe))
+            pe._set_logger(self._log)
+            pe.preprocess()
+            entry = (pe, threading.Lock(), [0, 0.0])
+            span = None
+            if self.tracer is not None:
+                # Worker threads do not inherit the run's context, so
+                # the instance span is parented explicitly to the root.
+                span = self.tracer.span(
+                    f"pe:{pe_name}{idx}",
+                    parent=self.span_root,
+                    pe=pe_name,
+                    instance=idx,
+                )
+            with self.instances_lock:
                 self.instances[key] = entry
-                if self.tracer is not None:
-                    # Worker threads do not inherit the run's context, so
-                    # the instance span is parented explicitly to the root.
-                    self.instance_spans[key] = self.tracer.span(
-                        f"pe:{pe_name}{idx}",
-                        parent=self.span_root,
-                        pe=pe_name,
-                        instance=idx,
-                    )
-            return entry
+                if span is not None:
+                    self.instance_spans[key] = span
+        return entry
 
     def _log(self, message: str) -> None:
         with self.result_lock:
             self.result.logs.append(message)
 
     def _make_emitter(self, pe_name: str, pe: GenericPE):
+        # Per-output routing tables precomputed once per instance: the old
+        # emitter re-scanned every edge of the graph on every emission.
+        edges_by_output: dict[str, list] = {}
+        for edge_idx, (u, from_output, v, to_input, grouping) in enumerate(
+            self.edges
+        ):
+            if u.name == pe_name:
+                edges_by_output.setdefault(from_output, []).append(
+                    (
+                        edge_idx,
+                        v.name,
+                        to_input,
+                        grouping,
+                        self.n_instances[v.name],
+                        edge_idx in self.fused_edges,
+                    )
+                )
+        leaf_outputs = {out for (p, out) in self.leaves if p == pe_name}
+        # Per-edge shuffle counters.  The emitter only runs while this
+        # instance's lock is held, so plain dict mutation is safe; seeding
+        # with the instance rank staggers round-robin across instances.
+        shuffle_counters: dict[int, int] = {}
+        counter_seed = (pe.rank or 0) * 7919
+        tls = self._tls
+        engine = self
+
         def emit(output: str, data: Any) -> None:
-            if (pe_name, output) in self.leaves:
-                with self.result_lock:
-                    self.result.outputs.setdefault((pe_name, output), []).append(data)
-            for edge_idx, (u, from_output, v, to_input, grouping) in enumerate(
-                self.edges
+            state = tls.state
+            if output in leaf_outputs:
+                state.leaf.setdefault((pe_name, output), []).append(data)
+            for edge_idx, dest, to_input, grouping, n, fused in edges_by_output.get(
+                output, ()
             ):
-                if u.name != pe_name or from_output != output:
+                if fused and not engine._postprocessing:
+                    # Fused hop: queue the item for an in-worker stage run
+                    # — no broker round-trip.
+                    buf = state.fused_buf.get(edge_idx)
+                    if buf is None:
+                        buf = state.fused_buf[edge_idx] = []
+                    buf.append(data)
                     continue
-                n = self.n_instances[v.name]
-                counter = self.broker.incr(f"{self.ns}ctr:{edge_idx}") - 1
+                counter = shuffle_counters.get(edge_idx, counter_seed)
+                shuffle_counters[edge_idx] = counter + 1
                 for dest_idx in grouping.route(data, n, counter):
-                    self.push_task(v.name, dest_idx, to_input, data)
+                    self._buffer_item(state, dest, dest_idx, to_input, data)
+
+        # Specialised fast paths for the two shapes a fused chain is made
+        # of — they skip the routing loop entirely and fall back to the
+        # general emitter for anything unusual (postprocess sweep,
+        # unexpected output names).
+        if not leaf_outputs and len(edges_by_output) == 1:
+            [(only_output, edge_list)] = edges_by_output.items()
+            if len(edge_list) == 1 and edge_list[0][5]:
+                fast_edge = edge_list[0][0]
+
+                def fused_emit(output: str, data: Any) -> None:
+                    if output == only_output and not engine._postprocessing:
+                        state = tls.state
+                        buf = state.fused_buf.get(fast_edge)
+                        if buf is None:
+                            buf = state.fused_buf[fast_edge] = []
+                        buf.append(data)
+                        return
+                    emit(output, data)
+
+                return fused_emit
+        if not edges_by_output and len(leaf_outputs) == 1:
+            [only_leaf] = leaf_outputs
+            leaf_key = (pe_name, only_leaf)
+
+            def leaf_emit(output: str, data: Any) -> None:
+                if output == only_leaf:
+                    state = tls.state
+                    items = state.leaf.get(leaf_key)
+                    if items is None:
+                        items = state.leaf[leaf_key] = []
+                    items.append(data)
+                    return
+                emit(output, data)
+
+            return leaf_emit
 
         return emit
 
     # -- task queue --------------------------------------------------------------
 
-    def push_task(
-        self, pe_name: str, instance_idx: int, input_name: str | None, payload: Any
-    ) -> None:
-        """Enqueue one task and bump the in-flight counter.
+    def _frame_state(self) -> _FrameState:
+        state = getattr(self._tls, "state", None)
+        if state is None:
+            state = self._tls.state = _FrameState()
+        return state
 
-        The enqueue timestamp travels with the task so the consuming
-        worker can measure queue wait; it is appended here (not taken as
-        a parameter) so external callers such as
-        :class:`repro.d4py.realtime.StreamSession` stay unchanged.
+    def _batch_target(self) -> int:
+        """Items per frame before a buffered destination is flushed.
+
+        Fixed policies return ``max_items``.  The adaptive policy derives
+        the target from the same live signals the dashboards see — the
+        ``laminar_dynamic_queue_depth`` gauge and the queue-wait EWMA
+        behind ``laminar_dynamic_queue_wait_seconds``: a deep queue (or
+        tasks visibly waiting on dispatch) grows frames to amortise broker
+        round-trips; a shallow queue degrades to per-item dispatch so
+        latency stays flat.
         """
+        if not self.batch.adaptive:
+            return self.batch.max_items
+        now = time.perf_counter()
+        if now - self._adaptive_stamp >= _ADAPTIVE_REFRESH:
+            depth = self.broker.llen(self.ns + _TASKS)
+            workers = max(1, len(self.workers))
+            target = max(1, min(self.batch.adaptive_cap, depth // workers))
+            if self._wait_ewma > _WAIT_SLOW:
+                target = min(self.batch.adaptive_cap, max(target * 2, 8))
+            self._adaptive_target = target
+            self._adaptive_stamp = now
+        return self._adaptive_target
+
+    def _buffer_item(
+        self,
+        state: _FrameState,
+        pe_name: str,
+        instance_idx: int,
+        input_name: str | None,
+        payload: Any,
+    ) -> None:
+        """Buffer one routed item; flush its destination on size/age."""
+        key = (pe_name, instance_idx, input_name)
+        buf = state.buffers.get(key)
+        now = time.perf_counter()
+        if buf is None:
+            buf = state.buffers[key] = []
+            state.births[key] = now
+        buf.append(payload)
+        if (
+            len(buf) >= self._batch_target()
+            or now - state.births[key] >= self.batch.max_delay
+        ):
+            del state.buffers[key]
+            del state.births[key]
+            self.push_batch(pe_name, instance_idx, input_name, buf)
+
+    def _flush_buffers(self, state: _FrameState) -> None:
+        """Enqueue every buffered destination of the calling thread."""
+        if not state.buffers:
+            return
+        buffers, state.buffers, state.births = state.buffers, {}, {}
+        for (pe_name, instance_idx, input_name), payloads in buffers.items():
+            self.push_batch(pe_name, instance_idx, input_name, payloads)
+
+    def push_batch(
+        self,
+        pe_name: str,
+        instance_idx: int,
+        input_name: str | None,
+        payloads: list,
+    ) -> None:
+        """Enqueue one task frame and bump the in-flight counter.
+
+        The enqueue timestamp travels with the frame so the consuming
+        worker can measure queue wait.
+        """
+        if self._batch_histogram is not None:
+            self._batch_histogram.labels(pe_name).observe(len(payloads))
         self.broker.incr(self.ns + _PENDING)
         self.broker.rpush(
             self.ns + _TASKS,
-            (pe_name, instance_idx, input_name, payload, time.perf_counter()),
+            (pe_name, instance_idx, input_name, payloads, time.perf_counter()),
         )
 
-    def _run_task(self, task: tuple) -> None:
-        pe_name, instance_idx, input_name, payload, enqueued = task
-        waited = time.perf_counter() - enqueued
-        if self._wait_histogram is not None:
-            self._wait_histogram.labels(pe_name).observe(waited)
-        pe, lock = self.instance(pe_name, instance_idx)
+    def push_task(
+        self, pe_name: str, instance_idx: int, input_name: str | None, payload: Any
+    ) -> None:
+        """Enqueue one single-item task frame (external-producer entry point).
+
+        Kept item-granular so callers such as
+        :class:`repro.d4py.realtime.StreamSession` stay unchanged; internal
+        edges batch through :meth:`push_batch`.
+        """
+        self.push_batch(pe_name, instance_idx, input_name, [payload])
+
+    def _invoke_batch(
+        self, pe_name: str, idx: int, input_name: str | None, payloads: list
+    ) -> None:
+        """Run a batch of items through one PE instance, one lock hold.
+
+        Instance stats are mutated under the instance lock we already
+        hold — no trip through ``result_lock`` on the per-item path.
+        """
+        entry = self.instances.get((pe_name, idx))
+        if entry is None:
+            entry = self.instance(pe_name, idx)
+        pe, lock, stats = entry
         started = time.perf_counter()
         with lock:
             if input_name is None:
-                pe.process(dict(payload) if isinstance(payload, dict) else {})
+                for payload in payloads:
+                    pe.process(payload if isinstance(payload, dict) else {})
             else:
-                pe.process({input_name: payload})
-        elapsed = time.perf_counter() - started
+                for payload in payloads:
+                    pe.process({input_name: payload})
+            stats[0] += len(payloads)
+            stats[1] += time.perf_counter() - started
+
+    def _drain_fused(self, state: _FrameState) -> None:
+        """Run buffered fused-stage items, one lock hold per stage batch.
+
+        Emissions during a stage run may buffer items for stages further
+        down the fused chain; the loop keeps draining until the cascade is
+        exhausted (workflows are DAGs, so it terminates).  Placement uses
+        the worker's seat, so each worker keeps hitting the same (usually
+        uncontended) downstream instance locks; ``shuffle`` semantics
+        permit any placement.
+        """
+        while state.fused_buf:
+            edge_idx, items = state.fused_buf.popitem()
+            pe_name, input_name, n = self.fused_meta[edge_idx]
+            state.fused[edge_idx] = state.fused.get(edge_idx, 0) + len(items)
+            idx = state.seat % n
+            entry = self.instances.get((pe_name, idx))
+            if entry is None:
+                entry = self.instance(pe_name, idx)
+            pe, lock, stats = entry
+            started = time.perf_counter()
+            with lock:
+                if (
+                    type(pe).process is IterativePE.process
+                    and input_name == pe.INPUT_NAME
+                ):
+                    # Unwrapped stage loop: an unmodified IterativePE just
+                    # extracts the single input and writes a non-None
+                    # result, so the engine inlines that contract and
+                    # skips the per-item dict build and write() checks.
+                    proc = pe._process
+                    emitter = pe._emitter
+                    out_name = pe.OUTPUT_NAME
+                    for item in items:
+                        result = proc(item)
+                        if result is not None:
+                            emitter(out_name, result)
+                else:
+                    proc = pe.process
+                    for item in items:
+                        proc({input_name: item})
+                stats[0] += len(items)
+                stats[1] += time.perf_counter() - started
+
+    def _merge_frame_results(self, state: _FrameState) -> None:
+        """Fold the calling thread's frame-local results into the run."""
+        if not (state.leaf or state.fused):
+            return
         with self.result_lock:
-            label = f"{pe_name}{instance_idx}"
-            self.result.timings[label] = self.result.timings.get(label, 0.0) + elapsed
-            key = (pe_name, instance_idx)
-            self.queue_wait[key] = self.queue_wait.get(key, 0.0) + waited
-        self.broker.incr(f"{self.ns}iter:{pe_name}{instance_idx}")
+            for key, items in state.leaf.items():
+                self.result.outputs.setdefault(key, []).extend(items)
+            for edge_idx, count in state.fused.items():
+                self.fused_counts[edge_idx] = (
+                    self.fused_counts.get(edge_idx, 0) + count
+                )
+        state.leaf.clear()
+        state.fused.clear()
+
+    def _run_task(self, task: tuple) -> None:
+        pe_name, instance_idx, input_name, payloads, enqueued = task
+        waited = time.perf_counter() - enqueued
+        self._wait_ewma += _EWMA_ALPHA * (waited - self._wait_ewma)
+        if self._wait_histogram is not None:
+            self._wait_histogram.labels(pe_name).observe(waited)
+        state = self._frame_state()
+        try:
+            self._invoke_batch(pe_name, instance_idx, input_name, payloads)
+            self._drain_fused(state)
+        finally:
+            # A failed frame abandons its fused cascade (the run is going
+            # to raise); flushing must still happen before the caller
+            # decrements the in-flight counter so the run can never
+            # observe "drained" with items still buffered.
+            state.fused_buf.clear()
+            self._flush_buffers(state)
+            self._merge_frame_results(state)
+            with self.result_lock:
+                key = (pe_name, instance_idx)
+                self.queue_wait[key] = self.queue_wait.get(key, 0.0) + waited
 
     def _worker_loop(self) -> None:
+        self._frame_state().seat = next(self._seat_counter)
         while not self.stop_event.is_set():
-            task = self.broker.brpop(self.ns + _TASKS, timeout=0.05)
+            # Head pop paired with push_batch's tail push: true FIFO, so
+            # the oldest queued frame is always the next one claimed.
+            task = self.broker.blpop(self.ns + _TASKS, timeout=0.05)
             if task is None:
                 with self.workers_lock:
                     if (
@@ -237,6 +633,8 @@ class _DynamicEngine:
                         self.workers.remove(threading.current_thread())
                         return
                 continue
+            if task == _STOP_FRAME:
+                return
             try:
                 self._run_task(task)
             except Exception as exc:
@@ -246,6 +644,17 @@ class _DynamicEngine:
                     )
             finally:
                 self.broker.decr(self.ns + _PENDING)
+
+    def _wake_workers(self) -> None:
+        """Push one stop sentinel per live worker (call after ``stop_event``).
+
+        Sentinels are not counted in the pending counter; any left
+        undrained disappear with the run namespace in ``delete_prefix``.
+        """
+        with self.workers_lock:
+            n = len(self.workers)
+        if n:
+            self.broker.rpush(self.ns + _TASKS, *([_STOP_FRAME] * n))
 
     def _spawn_worker(self) -> None:
         thread = threading.Thread(target=self._worker_loop, daemon=True)
@@ -277,6 +686,15 @@ class _DynamicEngine:
 
     def run(self, input_spec: Any) -> RunResult:
         """Enact the workflow: seed tasks, drain the queue, collect results."""
+        try:
+            return self._run(input_spec)
+        finally:
+            # Drop the per-run namespace (pending/done counters and any
+            # undrained task list) so enactments sharing a long-lived
+            # broker do not accumulate ghost keys.
+            self.broker.delete_prefix(self.ns)
+
+    def _run(self, input_spec: Any) -> RunResult:
         from repro.obs import runtime as obs_runtime
 
         wall_started = time.perf_counter()
@@ -298,11 +716,24 @@ class _DynamicEngine:
         if setup_span is not None:
             setup_span.end()
 
+        # The drive loop is not latency-sensitive, so root invocations are
+        # seeded in full-size frames up front (adaptive sizing has no
+        # queue-depth signal yet — the queue starts empty).
+        seed_target = (
+            self.batch.adaptive_cap if self.batch.adaptive else self.batch.max_items
+        )
+        leaked = 0
         try:
             for root, invocations in normalize_inputs(self.flat, input_spec).items():
                 n = self.n_instances[root.name]
+                per_instance: dict[int, list] = {}
                 for i, inputs in enumerate(invocations):
-                    self.push_task(root.name, i % n, None, dict(inputs))
+                    per_instance.setdefault(i % n, []).append(dict(inputs))
+                for idx, payloads in per_instance.items():
+                    for lo in range(0, len(payloads), seed_target):
+                        self.push_batch(
+                            root.name, idx, None, payloads[lo : lo + seed_target]
+                        )
 
             if not self.broker.wait_for_zero(
                 self.ns + _PENDING, timeout=self.drain_timeout
@@ -312,22 +743,46 @@ class _DynamicEngine:
         finally:
             self.stop_event.set()
             self.broker.set(self.ns + _DONE, 1)
+            self._wake_workers()
             with self.workers_lock:
                 pending_join = list(self.workers)
             for thread in pending_join:
-                thread.join(timeout=5.0)
+                thread.join(timeout=_JOIN_TIMEOUT)
             if scaler is not None:
-                scaler.join(timeout=5.0)
+                scaler.join(timeout=_JOIN_TIMEOUT)
+            stuck = [t for t in pending_join if t.is_alive()]
+            if scaler is not None and scaler.is_alive():
+                stuck.append(scaler)
+            leaked = len(stuck)
+            if leaked:
+                from repro.obs.events import format_event
 
-        for (pe_name, idx), (pe, lock) in sorted(self.instances.items()):
+                with self.result_lock:
+                    self.result.logs.append(
+                        format_event(
+                            "worker_leak",
+                            component="dynamic",
+                            leaked_threads=leaked,
+                            join_timeout=_JOIN_TIMEOUT,
+                            queue=self.ns + _TASKS,
+                        )
+                    )
+
+        self._postprocessing = True
+        state = self._frame_state()  # emitters need this thread's state
+        for (pe_name, idx), (pe, lock, stats) in sorted(self.instances.items()):
             with lock:
                 pe.postprocess()
-            count = self.broker.get(f"{self.ns}iter:{pe_name}{idx}") or 0
-            self.result.iterations[f"{pe_name}{idx}"] = int(count)
-
-        # Normalise the timings contract: every reporting instance has a key.
-        for label in self.result.iterations:
-            self.result.timings.setdefault(label, 0.0)
+            label = f"{pe_name}{idx}"
+            self.result.iterations[label] = stats[0]
+            self.result.timings[label] = stats[1]
+        # Postprocess emissions land in the main thread's frame state;
+        # leaf items among them belong in the observable results (the
+        # buffered non-leaf remainder is discarded, matching the simple
+        # mapping's stream-exhausted semantics).
+        state.buffers.clear()
+        state.births.clear()
+        self._merge_frame_results(state)
 
         status = "error" if self.errors else "success"
         if self.tracer is not None:
@@ -341,6 +796,8 @@ class _DynamicEngine:
                         self.queue_wait.get((pe_name, idx), 0.0), 6
                     ),
                 ).end()
+            for span, first_edge in self.segment_spans:
+                span.set(items=self.fused_counts.get(first_edge, 0)).end()
             self.span_root.set(peak_workers=self.peak_workers).end(
                 "error" if self.errors else "ok"
             )
@@ -356,6 +813,11 @@ class _DynamicEngine:
 
         if self.errors:
             raise RuntimeError("dynamic worker failures: " + "; ".join(self.errors))
+        if leaked:
+            self.result.logs.append(
+                f"dynamic: WARNING {leaked} worker thread(s) still alive "
+                f"after {_JOIN_TIMEOUT:.1f}s join timeout"
+            )
         self.result.logs.append(
             f"dynamic: peak workers {self.peak_workers} "
             f"(min {self.min_workers}, max {self.max_workers})"
@@ -375,6 +837,9 @@ def run_dynamic(
     trace: bool = False,
     tracer=None,
     registry=None,
+    batch_max_items: int | str | None = None,
+    batch_max_delay: float = 0.002,
+    fuse: bool = True,
 ) -> RunResult:
     """Execute ``graph`` with dynamic workload allocation over a work queue.
 
@@ -401,10 +866,22 @@ def run_dynamic(
     trace:
         Capture a span tree on ``result.trace`` — per-instance spans are
         parented to the ``run:dynamic`` root explicitly, since worker
-        threads do not inherit the enactment's span context.
+        threads do not inherit the enactment's span context.  Fused
+        segments additionally appear as ``fused:a->b`` spans carrying the
+        inline item count.
     tracer, registry:
         Optional :class:`repro.obs.Tracer` / metrics registry sinks (a
         fresh tracer / the process-default registry when omitted).
+    batch_max_items:
+        Items per inter-PE task frame: an int fixes the frame size (1 =
+        per-item dispatch), ``None``/``"adaptive"`` (the default) sizes
+        frames from the live queue-depth/queue-wait gauges.
+    batch_max_delay:
+        Seconds an under-full frame may wait before being flushed anyway.
+    fuse:
+        Run 1-in/1-out shuffle-connected PE chains inline in one worker
+        task (no broker round-trips between stages).  ``group_by`` /
+        ``global`` / ``all`` edges always go through the queue.
     """
     engine = _DynamicEngine(
         graph,
@@ -417,5 +894,8 @@ def run_dynamic(
         trace=trace,
         tracer=tracer,
         registry=registry,
+        batch_max_items=batch_max_items,
+        batch_max_delay=batch_max_delay,
+        fuse=fuse,
     )
     return engine.run(input)

@@ -30,6 +30,8 @@ from repro.d4py.mappings.base import (
 from repro.d4py.workflow import WorkflowGraph
 
 _STOP = ("__STOP__",)
+#: First element of a micro-batch frame ``(_BATCH, to_input, [payloads])``.
+_BATCH = ("__BATCH__",)
 
 #: Hard ceiling on how long the parent waits for worker completion before
 #: declaring the run wedged (seconds).
@@ -75,6 +77,7 @@ def _worker(
     leaves: set[tuple[str, str]],
     verbose: bool,
     traced: bool = False,
+    batch_max_items: int = 1,
 ) -> None:
     """Run one PE instance on one rank until its input streams drain."""
     import sys
@@ -83,6 +86,20 @@ def _worker(
     counters: dict[int, int] = {}
     iterations = 0
     busy = 0.0
+    # Micro-batch buffers per (dest rank, input port).  Routing happens
+    # *before* buffering, so group_by partitioning is unchanged — a frame
+    # only ever carries items for the one rank it is addressed to.
+    buffers: dict[tuple[int, str], list] = {}
+
+    def flush(key: tuple[int, str]) -> None:
+        payloads = buffers.pop(key, None)
+        if payloads:
+            dest_rank, to_input = key
+            inboxes[dest_rank].put((_BATCH, to_input, payloads))
+
+    def flush_all() -> None:
+        for key in list(buffers):
+            flush(key)
 
     def emit(output: str, data: Any) -> None:
         if (pe.name, output) in leaves:
@@ -95,7 +112,13 @@ def _worker(
             count = counters.get(edge_idx, 0)
             counters[edge_idx] = count + 1
             for offset in grouping.route(data, len(dest_ranks), count):
-                inboxes[dest_ranks[offset]].put((to_input, data))
+                if batch_max_items <= 1:
+                    inboxes[dest_ranks[offset]].put((to_input, data))
+                    continue
+                key = (dest_ranks[offset], to_input)
+                buffers.setdefault(key, []).append(data)
+                if len(buffers[key]) >= batch_max_items:
+                    flush(key)
 
     pe.rank = rank
     pe._set_emitter(emit)
@@ -116,19 +139,33 @@ def _worker(
         stops_seen = 0
         inbox = inboxes[rank]
         while stops_seen < expected_stops:
-            msg = inbox.get()
+            try:
+                msg = inbox.get_nowait()
+            except queue_mod.Empty:
+                # About to block: hand off every under-full frame first so
+                # no item sits in a local buffer while downstream starves.
+                flush_all()
+                msg = inbox.get()
             if msg == _STOP:
                 stops_seen += 1
                 continue
-            to_input, data = msg
-            started = _time.perf_counter()
-            pe.process({to_input: data})
-            busy += _time.perf_counter() - started
-            iterations += 1
+            if len(msg) == 3 and msg[0] == _BATCH:
+                _marker, to_input, payloads = msg
+            else:
+                to_input, data = msg
+                payloads = [data]
+            for data in payloads:
+                started = _time.perf_counter()
+                pe.process({to_input: data})
+                busy += _time.perf_counter() - started
+                iterations += 1
         pe.postprocess()
     except Exception as exc:  # surface worker failures to the parent
         collector.put(("error", rank, f"{type(exc).__name__}: {exc}"))
     finally:
+        # Buffered frames must reach their destinations before the STOPs
+        # that tell those destinations their streams are exhausted.
+        flush_all()
         # One STOP per (edge, dest instance): downstream instances count
         # these to know when their input streams are exhausted.
         for _from_output, _to_input, _grouping, dest_ranks in out_edges:
@@ -165,6 +202,7 @@ def run_multi(
     trace: bool = False,
     tracer=None,
     registry=None,
+    batch_max_items: int = 1,
 ) -> RunResult:
     """Execute ``graph`` with static multiprocessing workload distribution.
 
@@ -186,8 +224,17 @@ def run_multi(
     tracer, registry:
         Optional :class:`repro.obs.Tracer` / metrics registry sinks (a
         fresh tracer / the process-default registry when omitted).
+    batch_max_items:
+        Items per inter-rank message frame (1 = per-item delivery, the
+        classic behaviour).  Frames are split per destination rank before
+        sending, so ``group_by`` partitioning is identical either way;
+        buffered frames are flushed whenever a worker is about to block
+        on its inbox and before its STOP markers.
     """
     import time as _time
+
+    if batch_max_items < 1:
+        raise ValueError(f"batch_max_items must be >= 1, got {batch_max_items}")
 
     wall_started = _time.perf_counter()
     span_root = setup_span = None
@@ -246,6 +293,7 @@ def run_multi(
                     leaves,
                     verbose,
                     trace,
+                    batch_max_items,
                 ),
                 daemon=True,
             )

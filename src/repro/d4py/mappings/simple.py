@@ -64,6 +64,11 @@ def run_simple(
     flat = graph.flatten()
     result = RunResult()
     leaves = leaf_ports(flat)
+    # Routing table computed once: the emitter is the hot path (one call
+    # per emitted item), so it must not re-scan the graph's edges.
+    routes: dict[tuple[str, str], list[tuple[GenericPE, str]]] = {}
+    for u, from_output, v, to_input, _grouping in flat.edges():
+        routes.setdefault((u.name, from_output), []).append((v, to_input))
     # Queue entries: (pe, inputs, consumed item ids) — ids are only
     # tracked when provenance capture is on.
     queue: deque[tuple[GenericPE, dict[str, Any], tuple[int, ...]]] = deque()
@@ -90,7 +95,7 @@ def run_simple(
                 current["produced"].append(item_id)
             if (pe.name, output) in leaves:
                 result.outputs.setdefault((pe.name, output), []).append(data)
-            for dest, to_input, _grouping in flat.successors(pe, output):
+            for dest, to_input in routes.get((pe.name, output), ()):
                 consumed = (item_id,) if item_id is not None else ()
                 queue.append((dest, {to_input: data}, consumed))
 

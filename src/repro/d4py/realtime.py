@@ -42,6 +42,9 @@ class StreamSession:
         instances_per_pe: int = 4,
         autoscale: bool = True,
         broker: RedisSim | None = None,
+        batch_max_items: "int | str | None" = None,
+        batch_max_delay: float = 0.002,
+        fuse: bool = True,
     ) -> None:
         self._engine = _DynamicEngine(
             graph,
@@ -50,6 +53,9 @@ class StreamSession:
             min_workers=min_workers,
             max_workers=max_workers,
             autoscale=autoscale,
+            batch_max_items=batch_max_items,
+            batch_max_delay=batch_max_delay,
+            fuse=fuse,
         )
         self._entries = []
         for pe in self._engine.flat.roots():
@@ -137,18 +143,43 @@ class StreamSession:
         ):
             raise TimeoutError("stream session did not drain in time")
         self._engine.stop_event.set()
+        self._engine._wake_workers()
         with self._engine.workers_lock:
             workers = list(self._engine.workers)
         for worker in workers:
             worker.join(timeout=5.0)
         if self._scaler is not None:
             self._scaler.join(timeout=5.0)
+        leaked = sum(1 for worker in workers if worker.is_alive())
+        if leaked:
+            from repro.obs.events import format_event
 
-        for (pe_name, idx), (pe, lock) in sorted(self._engine.instances.items()):
+            with self._engine.result_lock:
+                self._engine.result.logs.append(
+                    format_event(
+                        "worker_leak",
+                        component="stream",
+                        leaked_threads=leaked,
+                        join_timeout=5.0,
+                        queue=self._engine.ns + "tasks",
+                    )
+                )
+
+        # Like the dynamic mapping's final sweep: postprocess emissions
+        # reach leaves but are not dispatched onward through fused edges.
+        self._engine._postprocessing = True
+        state = self._engine._frame_state()  # emitters need this thread's state
+        for (pe_name, idx), (pe, lock, stats) in sorted(
+            self._engine.instances.items()
+        ):
             with lock:
                 pe.postprocess()
-            count = self._engine.broker.get(f"{self._engine.ns}iter:{pe_name}{idx}")
-            self._engine.result.iterations[f"{pe_name}{idx}"] = int(count or 0)
+            self._engine.result.iterations[f"{pe_name}{idx}"] = stats[0]
+            self._engine.result.timings[f"{pe_name}{idx}"] = stats[1]
+        state.buffers.clear()
+        state.births.clear()
+        self._engine._merge_frame_results(state)
+        self._engine.broker.delete_prefix(self._engine.ns)
         if self._engine.errors:
             raise RuntimeError(
                 "stream session failures: " + "; ".join(self._engine.errors)

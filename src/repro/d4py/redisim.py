@@ -57,26 +57,45 @@ class RedisSim:
             self._lock.notify_all()
             return len(self._lists[key])
 
+    def _drop_if_empty(self, key: str) -> None:
+        """Remove a fully drained list so the key table does not grow forever.
+
+        ``_lists`` is a ``defaultdict``: every key ever popped would
+        otherwise survive as an empty deque, so per-run namespaces on a
+        shared broker would accumulate ghosts and ``stats()["lists"]``
+        would count queues that no longer exist.  Callers hold ``_lock``.
+        """
+        lst = self._lists.get(key)
+        if lst is not None and not lst:
+            del self._lists[key]
+
     def rpop(self, key: str) -> Any | None:
         """Non-blocking pop from the tail; ``None`` if empty."""
         with self._lock:
             lst = self._lists.get(key)
-            return lst.pop() if lst else None
+            value = lst.pop() if lst else None
+            self._drop_if_empty(key)
+            return value
 
     def lpop(self, key: str) -> Any | None:
         """Non-blocking pop from the head; ``None`` if empty."""
         with self._lock:
             lst = self._lists.get(key)
-            return lst.popleft() if lst else None
+            value = lst.popleft() if lst else None
+            self._drop_if_empty(key)
+            return value
 
-    def brpop(self, key: str, timeout: float | None = None) -> Any | None:
-        """Blocking tail pop: wait up to ``timeout`` seconds for an item."""
+    def _bpop(
+        self, key: str, timeout: float | None, from_head: bool
+    ) -> Any | None:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while True:
                 lst = self._lists.get(key)
                 if lst:
-                    return lst.pop()
+                    value = lst.popleft() if from_head else lst.pop()
+                    self._drop_if_empty(key)
+                    return value
                 if deadline is None:
                     self._blocked += 1
                     try:
@@ -92,6 +111,19 @@ class RedisSim:
                         self._lock.wait(remaining)
                     finally:
                         self._blocked -= 1
+
+    def brpop(self, key: str, timeout: float | None = None) -> Any | None:
+        """Blocking tail pop: wait up to ``timeout`` seconds for an item."""
+        return self._bpop(key, timeout, from_head=False)
+
+    def blpop(self, key: str, timeout: float | None = None) -> Any | None:
+        """Blocking head pop: wait up to ``timeout`` seconds for an item.
+
+        Paired with :meth:`rpush` this gives true FIFO consumption — the
+        combination the dynamic mapping uses for its task queue, so the
+        oldest queued task is always the next one claimed.
+        """
+        return self._bpop(key, timeout, from_head=True)
 
     def llen(self, key: str) -> int:
         """Current length of list ``key`` (0 when absent)."""
@@ -162,6 +194,24 @@ class RedisSim:
                 # A deleted counter reads as 0: wake wait_for_zero()
                 # waiters so they re-check instead of sleeping out their
                 # full timeout on a key that no longer exists.
+                self._lock.notify_all()
+            return n
+
+    def delete_prefix(self, prefix: str) -> int:
+        """Delete every key starting with ``prefix`` across all namespaces.
+
+        Used by the dynamic mapping to drop its per-run ``d4pyrun:<id>:``
+        namespace when an enactment finishes, so long-lived shared brokers
+        do not accumulate counters from completed runs.
+        """
+        with self._lock:
+            n = 0
+            for ns in (self._kv, self._lists, self._hashes):
+                stale = [k for k in ns if k.startswith(prefix)]
+                for key in stale:
+                    del ns[key]
+                n += len(stale)
+            if n:
                 self._lock.notify_all()
             return n
 

@@ -108,6 +108,55 @@ class WorkflowGraph:
                 dests.append((v, data["to_input"], data["grouping"]))
         return dests
 
+    def fusable_edges(self) -> list[tuple[GenericPE, str, GenericPE, str]]:
+        """Edges eligible for operator fusion: ``(u, out, v, in)`` tuples.
+
+        An edge can be fused — the downstream PE invoked inline by the
+        upstream's worker, with no broker round-trip — when the pair forms
+        a 1-in/1-out link of a linear chain:
+
+        * ``u`` has exactly one outgoing edge (all of its traffic crosses
+          this link), and
+        * ``v`` has exactly one incoming edge (its whole input stream
+          originates here), and
+        * the link's grouping is ``shuffle`` — the engine is already free
+          to route any item to any instance, so co-locating an item with
+          its producer cannot violate partitioning.  ``group_by`` /
+          ``global`` / ``all`` edges pin items to specific instances and
+          must keep going through the queue.
+        """
+        fusable = []
+        for u, from_output, v, to_input, grouping in self.edges():
+            if (
+                self._graph.out_degree(u) == 1
+                and self._graph.in_degree(v) == 1
+                and grouping.kind == "shuffle"
+            ):
+                fusable.append((u, from_output, v, to_input))
+        return fusable
+
+    def linear_segments(self) -> list[list[GenericPE]]:
+        """Maximal fusable chains of PEs, each in upstream-to-downstream order.
+
+        Built from :meth:`fusable_edges`: consecutive fusable links are
+        merged into one segment, so ``src -> a -> b -> c`` with all links
+        fusable yields ``[[src, a, b, c]]``.  Only segments of two or more
+        PEs are returned; PEs not on any fusable link do not appear.
+        """
+        next_of: dict[GenericPE, GenericPE] = {}
+        has_fusable_in: set[GenericPE] = set()
+        for u, _out, v, _in in self.fusable_edges():
+            next_of[u] = v  # out_degree(u) == 1, so at most one entry per u
+            has_fusable_in.add(v)
+        segments = []
+        for head in self.pes:
+            if head in next_of and head not in has_fusable_in:
+                chain = [head]
+                while chain[-1] in next_of:
+                    chain.append(next_of[chain[-1]])
+                segments.append(chain)
+        return segments
+
     def __len__(self) -> int:
         return self._graph.number_of_nodes()
 

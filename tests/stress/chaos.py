@@ -83,6 +83,10 @@ class FaultyRedisSim(RedisSim):
         self._delay()
         return super().brpop(key, timeout)
 
+    def blpop(self, key, timeout=None):
+        self._delay()
+        return super().blpop(key, timeout)
+
     def incr(self, key, amount=1):
         self._delay()
         return super().incr(key, amount)

@@ -125,6 +125,9 @@ def test_dynamic_autoscaler_retires_idle_workers():
             return value
 
     graph = pipeline(RangeProducer("src"), Slowish("slow"))
+    # Per-item dispatch: batching/fusion would collapse the burst into a
+    # handful of frames and the queue would never get deep enough to
+    # trigger the scale-up this test is about.
     engine = _DynamicEngine(
         graph,
         RedisSim(),
@@ -132,12 +135,150 @@ def test_dynamic_autoscaler_retires_idle_workers():
         min_workers=1,
         max_workers=6,
         autoscale=True,
+        batch_max_items=1,
+        fuse=False,
     )
     result = engine.run(200)
     assert engine.peak_workers > 1, "burst should have scaled the pool up"
     # After the drain loop the pool target returns to the floor.
     assert engine.target_workers <= engine.peak_workers
     assert len(result.output_for("slow")) == 200
+
+
+def test_dynamic_claims_tasks_in_fifo_order():
+    """Regression for the queue-order bug: the engine used brpop (tail pop)
+    against rpush (tail push), turning the work queue into a LIFO stack.
+
+    One producer invocation emits 0..7 in order, queueing eight per-item
+    frames for the sink.  With one worker and one instance per PE, FIFO
+    claim order means the sink records exactly 0..7; under the pre-fix
+    LIFO pairing the newest frame is always claimed first, so the order
+    comes out reversed.  (The values are bound to the queued frames, not
+    to producer state, so claim order is what the sink observes.)
+    """
+    from repro.d4py import IterativePE, ProducerPE
+    from repro.d4py.mappings.dynamic import _DynamicEngine
+
+    class Burst(ProducerPE):
+        def _process(self, inputs):
+            for i in range(8):
+                self.write("output", i)
+            return None
+
+    class Recorder(IterativePE):
+        seen: list = []  # class attribute: shared across deepcopied instances
+
+        def _process(self, value):
+            Recorder.seen.append(value)
+            return value
+
+    Recorder.seen = []
+    graph = pipeline(Burst("src"), Recorder("rec"))
+    engine = _DynamicEngine(
+        graph,
+        RedisSim(),
+        instances_per_pe=1,
+        min_workers=1,
+        max_workers=1,
+        autoscale=False,
+        batch_max_items=1,
+        fuse=False,
+    )
+    engine.run(1)
+    assert Recorder.seen == list(range(8))
+
+
+def test_dynamic_instance_creation_not_globally_serialised():
+    """Two *distinct* instances must be able to warm up concurrently.
+
+    The pre-fix engine held the global instances_lock across deepcopy +
+    preprocess, so a slow preprocess serialised the whole pool.  Both
+    preprocess calls meet at a barrier: if creation were still under one
+    global lock, the first would hold it while parked on the barrier and
+    the second could never arrive, so the barrier would break.
+    """
+    import threading
+
+    from repro.d4py.mappings.dynamic import _DynamicEngine
+
+    class Meet(Double):
+        barrier = threading.Barrier(2)  # class attribute: survives deepcopy
+
+        def preprocess(self):
+            Meet.barrier.wait(timeout=5.0)
+
+    Meet.barrier = threading.Barrier(2)
+    graph = pipeline(RangeProducer("src"), Meet("meet"))
+    engine = _DynamicEngine(
+        graph,
+        RedisSim(),
+        instances_per_pe=2,
+        min_workers=1,
+        max_workers=1,
+        autoscale=False,
+    )
+    entries: list = []
+    errors: list = []
+
+    def create(idx):
+        try:
+            entries.append(engine.instance("meet", idx))
+        except Exception as exc:  # BrokenBarrierError under the old locking
+            errors.append(exc)
+
+    threads = [threading.Thread(target=create, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert not errors, f"concurrent instance creation deadlocked: {errors}"
+    assert len(entries) == 2
+    assert entries[0][0] is not entries[1][0]  # two distinct PE copies
+
+
+def test_dynamic_repeated_runs_leave_shared_broker_clean():
+    """Enactments on a long-lived broker must not accumulate ghost keys."""
+    broker = RedisSim()
+    baseline = broker.stats()
+    for _ in range(3):
+        graph = pipeline(RangeProducer("src"), Double("dbl"))
+        result = run_graph(
+            graph, input=20, mapping="dynamic", broker=broker, max_workers=2
+        )
+        assert len(result.output_for("dbl")) == 20
+        assert broker.stats() == baseline
+
+
+def test_dynamic_leaked_worker_reported_in_logs(monkeypatch):
+    """A worker that outlives the join budget is surfaced, not swallowed."""
+    import threading
+    import time as _t
+
+    from repro.d4py.mappings import dynamic as dyn
+    from repro.obs.events import parse_event
+
+    monkeypatch.setattr(dyn, "_JOIN_TIMEOUT", 0.05)
+    graph = pipeline(RangeProducer("src"), Double("dbl"))
+    engine = dyn._DynamicEngine(
+        graph,
+        RedisSim(),
+        instances_per_pe=2,
+        min_workers=1,
+        max_workers=2,
+        autoscale=False,
+    )
+    straggler = threading.Thread(target=_t.sleep, args=(1.0,), daemon=True)
+    straggler.start()
+    with engine.workers_lock:
+        engine.workers.append(straggler)
+    result = engine.run(5)
+    assert len(result.output_for("dbl")) == 5  # the run itself still succeeds
+    events = [parse_event(line) for line in result.logs]
+    leaks = [e for e in events if e and e.get("event") == "worker_leak"]
+    assert leaks, f"no worker_leak event in logs: {result.logs}"
+    assert leaks[0]["leaked_threads"] == "1"
+    assert leaks[0]["component"] == "dynamic"
+    straggler.join(timeout=5.0)
 
 
 def test_dynamic_drain_timeout_raises_structured_error():

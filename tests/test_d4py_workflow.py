@@ -99,6 +99,48 @@ def test_flatten_is_identity_without_composites():
     assert g.flatten() is g
 
 
+def test_fusable_edges_on_linear_shuffle_chain():
+    """Every link of a 1-in/1-out shuffle chain is fusable."""
+    g = WorkflowGraph()
+    src, a, b = RangeProducer("src"), Double("a"), AddOne("b")
+    g.connect(src, "output", a, "input")
+    g.connect(a, "output", b, "input")
+    fusable = {(u.name, out, v.name, inp) for u, out, v, inp in g.fusable_edges()}
+    assert fusable == {
+        ("src", "output", "a", "input"),
+        ("a", "output", "b", "input"),
+    }
+    assert [[pe.name for pe in seg] for seg in g.linear_segments()] == [
+        ["src", "a", "b"]
+    ]
+
+
+def test_fan_out_breaks_fusion():
+    """A PE with two consumers keeps all of its edges on the queue."""
+    g = WorkflowGraph()
+    src, d1, d2 = RangeProducer("src"), Double("d1"), Double("d2")
+    g.connect(src, "output", d1, "input")
+    g.connect(src, "output", d2, "input")
+    assert g.fusable_edges() == []
+    assert g.linear_segments() == []
+
+
+def test_group_by_edge_is_never_fusable():
+    """group_by pins items to instances, so the edge must stay queued;
+    the shuffle link upstream of it still fuses."""
+    from tests.helpers import KeyedCount
+
+    g = WorkflowGraph()
+    src, tag, count = RangeProducer("src"), Double("tag"), KeyedCount("count")
+    g.connect(src, "output", tag, "input")
+    g.connect(tag, "output", count, "input")
+    fusable = {(u.name, v.name) for u, _out, v, _inp in g.fusable_edges()}
+    assert fusable == {("src", "tag")}
+    assert [[pe.name for pe in seg] for seg in g.linear_segments()] == [
+        ["src", "tag"]
+    ]
+
+
 def test_multigraph_allows_parallel_distinct_edges():
     """Two distinct port-to-port connections between the same PE pair."""
     from repro.d4py import GenericPE

@@ -151,6 +151,62 @@ def test_keyed_state_invariant_across_mappings(mapping, options):
     assert actual == expected
 
 
+@pytest.mark.parametrize(
+    "options",
+    [
+        {"batch_max_items": 16, "fuse": False},
+        {"batch_max_items": "adaptive", "fuse": True},
+    ],
+    ids=["batched", "batched_fused"],
+)
+def test_batched_grouped_pipeline_matches_per_item(options):
+    """Micro-batching and fusion are pure transport optimisations.
+
+    On a grouped 3-stage workflow (emit -> key -> keyed count) a batched
+    (or batched+fused) enactment must be indistinguishable from per-item
+    dispatch: identical leaf output multiset, identical per-PE totals,
+    and — because group_by routing is value-deterministic — identical
+    per-instance iteration counts for the grouped stage.  Batches crossing
+    the grouped edge must therefore be split per destination instance
+    before enqueueing, never delivered wholesale to one instance.
+    """
+    from tests.helpers import KeyedCount
+
+    class Key(IterativePE):
+        def _process(self, x):
+            return (x % 5, x)
+
+    def build():
+        g = WorkflowGraph()
+        emit, key, count = Emit("emit"), Key("key"), KeyedCount("count")
+        g.connect(emit, "output", key, "input")
+        g.connect(key, "output", count, "input")
+        return g
+
+    def run(**opts):
+        return run_graph(
+            build(),
+            input=40,
+            mapping="dynamic",
+            max_workers=3,
+            instances_per_pe=4,
+            **opts,
+        )
+
+    def pe_totals(result, prefix):
+        return sum(v for k, v in result.iterations.items() if k.startswith(prefix))
+
+    def grouped_per_instance(result):
+        return {k: v for k, v in result.iterations.items() if k.startswith("count")}
+
+    per_item = run(batch_max_items=1, fuse=False)
+    other = run(**options)
+    assert Counter(per_item.output_for("count")) == Counter(other.output_for("count"))
+    for prefix in ("emit", "key", "count"):
+        assert pe_totals(per_item, prefix) == pe_totals(other, prefix) == 40
+    assert grouped_per_instance(per_item) == grouped_per_instance(other)
+
+
 @settings(max_examples=10, deadline=None)
 @given(n=st.integers(0, 25), mod=st.integers(1, 5))
 def test_filter_count_invariant(n, mod):

@@ -53,6 +53,77 @@ def test_brpop_wakes_on_push():
     assert got == ["item"]
 
 
+def test_blpop_head_pop_is_fifo_with_rpush():
+    """rpush + blpop is the FIFO pairing the dynamic task queue relies on."""
+    r = RedisSim()
+    r.rpush("q", "a", "b", "c")
+    assert [r.blpop("q", timeout=0.1) for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_blpop_times_out_on_empty():
+    r = RedisSim()
+    start = time.monotonic()
+    assert r.blpop("empty", timeout=0.05) is None
+    assert time.monotonic() - start >= 0.04
+
+
+def test_blpop_wakes_on_push():
+    r = RedisSim()
+    got = []
+
+    def consumer():
+        got.append(r.blpop("q", timeout=2.0))
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    time.sleep(0.02)
+    r.rpush("q", "item")
+    t.join(timeout=2.0)
+    assert got == ["item"]
+
+
+def test_drained_lists_do_not_leak_keys():
+    """Fully popped lists disappear from the key table (defaultdict ghosts)."""
+    r = RedisSim()
+    for i in range(10):
+        key = f"run{i}:tasks"
+        r.rpush(key, 1, 2, 3)
+        assert r.blpop(key, timeout=0.1) == 1
+        assert r.rpop(key) == 3
+        assert r.lpop(key) == 2
+    assert r.stats()["lists"] == 0
+    assert r.stats()["queued_items"] == 0
+
+
+def test_delete_prefix_spans_namespaces():
+    r = RedisSim()
+    r.set("run1:pending", 3)
+    r.rpush("run1:tasks", "x")
+    r.hset("run1:meta", "f", 1)
+    r.set("keep", 1)
+    assert r.delete_prefix("run1:") == 3
+    assert r.get("run1:pending") is None
+    assert r.llen("run1:tasks") == 0
+    assert r.hgetall("run1:meta") == {}
+    assert r.get("keep") == 1
+    assert r.delete_prefix("run1:") == 0
+
+
+def test_delete_prefix_wakes_wait_for_zero():
+    """Dropping a counter key reads as zero, so waiters must re-check."""
+    r = RedisSim()
+    r.incr("run2:pending", 5)
+
+    def cleaner():
+        time.sleep(0.02)
+        r.delete_prefix("run2:")
+
+    t = threading.Thread(target=cleaner)
+    t.start()
+    assert r.wait_for_zero("run2:pending", timeout=2.0) is True
+    t.join()
+
+
 def test_hash_operations():
     r = RedisSim()
     r.hset("h", "f", 1)
