@@ -94,7 +94,14 @@ class MinHashLSHIndex:
         return len(self._signatures)
 
     def add(self, item_id: Any, features: Iterable[str]) -> None:
-        """Index one item by its feature set."""
+        """Index (or re-index) one item by its feature set.
+
+        Re-adding an already-indexed id first removes its old band
+        entries, so changed features never leave stale buckets behind
+        and buckets never hold duplicate ids.
+        """
+        if item_id in self._signatures:
+            self.remove(item_id)
         fs = frozenset(features)
         sig = minhash_signature(fs, self._coeffs)
         self._signatures[item_id] = sig
@@ -102,6 +109,21 @@ class MinHashLSHIndex:
         for band in range(self.bands):
             key = sig[band * self.rows : (band + 1) * self.rows].tobytes()
             self._buckets[band][key].append(item_id)
+
+    def remove(self, item_id: Any) -> bool:
+        """Drop one item from every band bucket; False when absent."""
+        sig = self._signatures.pop(item_id, None)
+        if sig is None:
+            return False
+        del self._features[item_id]
+        for band in range(self.bands):
+            key = sig[band * self.rows : (band + 1) * self.rows].tobytes()
+            bucket = self._buckets[band].get(key)
+            if bucket is not None:
+                bucket.remove(item_id)
+                if not bucket:
+                    del self._buckets[band][key]
+        return True
 
     def candidates(self, features: Iterable[str]) -> set[Any]:
         """Items sharing at least one LSH band with the query."""

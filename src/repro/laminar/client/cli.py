@@ -529,6 +529,40 @@ class LaminarCLI(cmd.Cmd):
                 f"workers {workers.get('busy', 0)}/{workers.get('size', 0)} busy"
             )
 
+    def do_index(self, arg: str) -> None:
+        """index stats|save [path] — inspect or persist the search indexes.
+
+        ``index stats`` shows per-kind occupancy (items, capacity,
+        tombstones, rebuilds) and recent index lifecycle events;
+        ``index save [path]`` persists the semantic indexes for a warm
+        restart (path defaults to the server's configured index_dir).
+        """
+        parts = arg.split()
+        sub = parts[0] if parts else "stats"
+        if sub == "stats":
+            body = self.client.index_Stats()
+            self._p(
+                f"revision: {body['revision']}, "
+                f"index_dir: {body['index_dir'] or '(not configured)'}"
+            )
+            for kind, stats in body["kinds"].items():
+                self._p(
+                    f"  {kind:<9} {stats['items']:>6} items  "
+                    f"cap {stats['capacity']:>6}  "
+                    f"tombstones {stats['tombstones']:>4}  "
+                    f"rebuilds {stats['rebuilds']:>3}  "
+                    f"{'synced' if stats['synced'] else 'stale'}"
+                )
+            for event in body.get("events", []):
+                self._p(f"  {event}")
+            return
+        if sub == "save":
+            body = self.client.index_Save(parts[1] if len(parts) > 1 else None)
+            for kind, info in body["saved"].items():
+                self._p(f"saved {kind}: {info['count']} items -> {info['path']}")
+            return
+        self._p("usage: index stats | index save [path]")
+
     def do_export(self, arg: str) -> None:
         """export <file.json> — dump the registry (PEs, workflows, embeddings)."""
         path = arg.strip()

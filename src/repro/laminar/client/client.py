@@ -81,6 +81,7 @@ _IDEMPOTENT_ACTIONS = frozenset(
         "get_metrics",
         "get_trace",
         "check_resources",
+        "index_stats",
     }
 )
 
@@ -332,6 +333,20 @@ class LaminarClient:
             embeddingType=embedding_type,
             topK=top_k,
         )
+
+    # -- search index management -----------------------------------------------
+
+    def index_Stats(self) -> dict:
+        """Occupancy/persistence stats of the server's semantic indexes."""
+        return self._call("index_stats")
+
+    def index_Save(self, path: str | None = None) -> dict:
+        """Persist the semantic indexes for warm restarts.
+
+        ``path`` overrides the server's configured ``index_dir``; with
+        neither set the server answers 400.
+        """
+        return self._call("index_save", path=path)
 
     # -- execution -----------------------------------------------------------------------------
 

@@ -49,6 +49,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="default per-job timeout in seconds (default none)",
     )
+    parser.add_argument(
+        "--index-dir",
+        default=None,
+        help="directory for the persisted semantic-search index; warm-starts "
+        "on boot when it matches the registry (default none)",
+    )
     ns = parser.parse_args(argv)
 
     server = LaminarServer(
@@ -56,6 +62,7 @@ def main(argv: list[str] | None = None) -> int:
         job_workers=ns.job_workers,
         job_queue_capacity=ns.job_queue,
         job_default_timeout=ns.job_timeout,
+        index_dir=ns.index_dir,
     )
     transport = TcpServerTransport(server, host=ns.host, port=ns.port).start()
     host, port = transport.address

@@ -145,6 +145,7 @@ class LaminarServer:
         job_workers: int = 2,
         job_queue_capacity: int = 64,
         job_default_timeout: float | None = None,
+        index_dir: str | None = None,
     ) -> None:
         self.db = RegistryDatabase(db_path)
         self.users = UserRepository(self.db)
@@ -155,11 +156,17 @@ class LaminarServer:
         self.job_rows = JobRepository(self.db)
 
         self.auth = AuthService(self.users)
-        self.registry = RegistryService(self.pes, self.workflows)
+        # ``index_dir`` enables warm starts: semantic indexes persisted
+        # there (``index_save``) are memmap-loaded on boot instead of
+        # rebuilt from every stored embedding.
+        self.registry = RegistryService(
+            self.pes, self.workflows, index_dir=index_dir
+        )
         # Per-server observability sinks: a private registry/tracer so
         # several servers in one process (tests!) never mix metrics.
         self.obs_registry = MetricsRegistry()
         self.tracer = Tracer()
+        self.registry.bind_metrics(self.obs_registry)
         self.engine = ExecutionEngine(
             registry=self.obs_registry, tracer=self.tracer
         )

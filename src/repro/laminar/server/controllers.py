@@ -65,6 +65,8 @@ class Router:
             "remove_all": self._remove_all,
             "search_literal": self._search_literal,
             "search_semantic": self._search_semantic,
+            "index_stats": self._index_stats,
+            "index_save": self._index_save,
             "code_recommendation": self._code_recommendation,
             "code_completion": self._code_completion,
             "check_resources": self._check_resources,
@@ -193,6 +195,12 @@ class Router:
             kind=params.get("kind", "pe"),
             top_k=int(params.get("topK", 5)),
         )
+
+    def _index_stats(self, user, params):
+        return self.registry.index_stats()
+
+    def _index_save(self, user, params):
+        return {"saved": self.registry.index_save(params.get("path"))}
 
     def _code_recommendation(self, user, params):
         (snippet,) = _require(params, "snippet")

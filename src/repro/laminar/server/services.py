@@ -22,7 +22,9 @@ import ast
 import hashlib
 import json
 import secrets
+import time
 from collections import Counter
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -52,7 +54,9 @@ from repro.laminar.transport.inprocess import ServerStream
 from repro.models.describer import CodeT5Describer, DescriptionContext
 from repro.models.embedder import UniXcoderEmbedder
 from repro.models.reacc import ReACCRetriever
+from repro.obs.events import format_event
 from repro.search.code import CodeSearch
+from repro.search.index import IndexPersistenceError, load_index, save_index
 from repro.search.semantic import SemanticSearch
 
 __all__ = [
@@ -137,8 +141,30 @@ class AuthService:
         return self._guest
 
 
+class _SemanticIndexState:
+    """One kind's live semantic index: the index, its record map, and the
+    registry revision it reflects."""
+
+    __slots__ = ("search", "by_id", "revision")
+
+    def __init__(self, search: SemanticSearch, by_id: dict, revision: int) -> None:
+        self.search = search
+        self.by_id = by_id
+        self.revision = revision
+
+
 class RegistryService:
-    """PE/workflow registration, metadata generation and search."""
+    """PE/workflow registration, metadata generation and search.
+
+    Semantic search runs on persistent incremental
+    :class:`~repro.search.index.VectorIndex` instances (one per kind):
+    register/update/remove apply O(1) index deltas instead of the old
+    rebuild-on-revision-bump, and ``index_dir`` enables warm starts —
+    the index is persisted with :func:`repro.search.index.save_index`
+    and memmap-loaded on the next boot instead of re-parsing every
+    stored embedding.  A corrupt or stale persisted index falls back,
+    loudly, to a rebuild from the registry (the source of truth).
+    """
 
     def __init__(
         self,
@@ -147,22 +173,248 @@ class RegistryService:
         describer: CodeT5Describer | None = None,
         embedder: UniXcoderEmbedder | None = None,
         reacc: ReACCRetriever | None = None,
+        index_dir: str | Path | None = None,
     ) -> None:
         self.pes = pes
         self.workflows = workflows
         self.describer = describer or CodeT5Describer()
         self.embedder = embedder or UniXcoderEmbedder()
         self.reacc = reacc or ReACCRetriever()
-        # Search-index caching: any registry mutation bumps the revision;
-        # cached indexes are rebuilt lazily when stale.  Keeps semantic
-        # search and code recommendation O(query) instead of O(registry)
-        # per call (measured in bench_ablate_registry_scale).
+        self.index_dir = Path(index_dir) if index_dir else None
+        # Search-index caching: any registry mutation bumps the revision.
+        # Semantic indexes are updated *incrementally* by the mutation
+        # paths below (state.revision tracks _revision); a revision bump
+        # with no matching index delta (e.g. registry import) leaves the
+        # state stale and the next query rebuilds from the registry.
         self._revision = 0
-        self._semantic_cache: dict[str, tuple[int, Any, dict]] = {}
+        self._sem_states: dict[str, _SemanticIndexState] = {}
         self._code_cache: tuple[int, CodeSearch, dict] | None = None
+        #: Structured one-line events from index lifecycle (warm starts,
+        #: rebuilds, corruption fallbacks) — surfaced via index_stats.
+        self.index_events: list[str] = []
+        self._rebuilds = {"pe": 0, "workflow": 0}
+        self._metrics: dict[str, Any] | None = None
 
     def _mutated(self) -> None:
         self._revision += 1
+
+    def _mutated_with_deltas(self) -> None:
+        """Revision bump for a mutation whose index updates are applied
+        explicitly via ``_index_add``/``_index_remove``.
+
+        States already synced stay synced (a PE registration must not
+        make the untouched workflow index look stale); the touched kind
+        is re-synced by its delta. Plain :meth:`_mutated` remains the
+        out-of-band path (e.g. registry import) that stales everything.
+        """
+        before = self._revision
+        self._revision += 1
+        for state in self._sem_states.values():
+            if state.revision == before:
+                state.revision = self._revision
+
+    # -- observability -------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Register search/index metrics on a ``repro.obs`` registry."""
+        self._metrics = {
+            "queries": registry.counter(
+                "laminar_search_queries_total",
+                "Search queries served, by mode and kind.",
+                ("mode", "kind"),
+            ),
+            "latency": registry.histogram(
+                "laminar_search_query_seconds",
+                "Search query latency, by mode.",
+                ("mode",),
+            ),
+            "size": registry.gauge(
+                "laminar_search_index_size",
+                "Live items in the semantic index, by kind.",
+                ("kind",),
+            ),
+            "candidates": registry.gauge(
+                "laminar_search_candidates",
+                "Vectors scored by the last semantic query, by kind.",
+                ("kind",),
+            ),
+            "rebuilds": registry.counter(
+                "laminar_search_index_rebuilds_total",
+                "Semantic index rebuilds from the registry, by kind and cause.",
+                ("kind", "cause"),
+            ),
+            "warm_starts": registry.counter(
+                "laminar_search_index_warm_starts_total",
+                "Semantic indexes loaded from their persisted form, by kind.",
+                ("kind",),
+            ),
+        }
+
+    def _metric(self, name: str):
+        return self._metrics.get(name) if self._metrics else None
+
+    def _record_query(self, mode: str, kind: str, started: float) -> None:
+        if not self._metrics:
+            return
+        self._metrics["queries"].labels(mode, kind).inc()
+        self._metrics["latency"].labels(mode).observe(time.monotonic() - started)
+
+    def _index_event(self, event: str, **fields: Any) -> None:
+        self.index_events.append(format_event(event, component="search", **fields))
+
+    # -- semantic index lifecycle --------------------------------------------
+
+    def _kind_records(self, kind: str) -> list[PERecord | WorkflowRecord]:
+        return list(self.pes.all() if kind == "pe" else self.workflows.all())
+
+    def _record_id(self, kind: str, record: PERecord | WorkflowRecord) -> int:
+        return record.peId if kind == "pe" else record.workflowId
+
+    def _record_vector(self, record: PERecord | WorkflowRecord) -> list[float]:
+        return record.desc_vector() or [0.0] * self.embedder.dim
+
+    def _kind_dir(self, kind: str, base: Path | None = None) -> Path | None:
+        root = base if base is not None else self.index_dir
+        return (root / kind) if root is not None else None
+
+    def _try_warm_start(self, kind: str) -> _SemanticIndexState | None:
+        """Load the persisted index for ``kind`` if it matches the registry."""
+        path = self._kind_dir(kind)
+        if path is None or not path.exists():
+            return None
+        try:
+            index = load_index(path, mmap=True, verify=True)
+        except IndexPersistenceError as exc:
+            self._index_event(
+                "index_corrupt", kind=kind, reason=exc.reason, detail=exc.detail
+            )
+            counter = self._metric("rebuilds")
+            if counter:
+                counter.labels(kind, "corrupt").inc()
+            return None
+        records = self._kind_records(kind)
+        by_id = {self._record_id(kind, r): r for r in records}
+        if set(index.ids) != set(by_id):
+            # Registry changed since the index was saved — it is not a
+            # warm copy of the truth, so rebuild rather than serve it.
+            self._index_event(
+                "index_stale", kind=kind, persisted=len(index), registry=len(by_id)
+            )
+            counter = self._metric("rebuilds")
+            if counter:
+                counter.labels(kind, "stale").inc()
+            return None
+        self._index_event("index_warm_start", kind=kind, items=len(index))
+        counter = self._metric("warm_starts")
+        if counter:
+            counter.labels(kind).inc()
+        search = SemanticSearch(self.embedder, index=index)
+        return _SemanticIndexState(search, by_id, self._revision)
+
+    def _rebuild_state(self, kind: str, cause: str) -> _SemanticIndexState:
+        records = self._kind_records(kind)
+        search = SemanticSearch(self.embedder)
+        by_id = {}
+        ids, vectors = [], []
+        for record in records:
+            rid = self._record_id(kind, record)
+            by_id[rid] = record
+            ids.append(rid)
+            vectors.append(self._record_vector(record))
+        if ids:
+            search.add_precomputed_batch(
+                ids, np.asarray(vectors, dtype=np.float32)
+            )
+        self._rebuilds[kind] += 1
+        counter = self._metric("rebuilds")
+        if counter:
+            counter.labels(kind, cause).inc()
+        return _SemanticIndexState(search, by_id, self._revision)
+
+    def _sem_state(self, kind: str) -> _SemanticIndexState:
+        """The live semantic index for ``kind``, (re)built only when needed."""
+        state = self._sem_states.get(kind)
+        if state is not None and state.revision == self._revision:
+            return state
+        if state is None:
+            warmed = self._try_warm_start(kind)
+            state = warmed or self._rebuild_state(kind, "cold")
+        else:
+            # Revision moved without an index delta (registry import or a
+            # direct repository write) — the registry is the truth.
+            state = self._rebuild_state(kind, "stale")
+        self._sem_states[kind] = state
+        gauge = self._metric("size")
+        if gauge:
+            gauge.labels(kind).set(len(state.search))
+        return state
+
+    def _index_add(self, kind: str, record: PERecord | WorkflowRecord) -> None:
+        """Apply one insert/update delta to the live index, if built."""
+        state = self._sem_states.get(kind)
+        if state is None:
+            return
+        rid = self._record_id(kind, record)
+        state.search.add_precomputed(rid, self._record_vector(record))
+        state.by_id[rid] = record
+        state.revision = self._revision
+        gauge = self._metric("size")
+        if gauge:
+            gauge.labels(kind).set(len(state.search))
+
+    def _index_remove(self, kind: str, record_id: int) -> None:
+        """Apply one remove delta to the live index, if built."""
+        state = self._sem_states.get(kind)
+        if state is None:
+            return
+        state.search.remove(record_id)
+        state.by_id.pop(record_id, None)
+        state.revision = self._revision
+        gauge = self._metric("size")
+        if gauge:
+            gauge.labels(kind).set(len(state.search))
+
+    # -- index management actions --------------------------------------------
+
+    def index_stats(self) -> dict:
+        """Occupancy, rebuild and persistence stats of the semantic indexes."""
+        kinds = {}
+        for kind in ("pe", "workflow"):
+            state = self._sem_state(kind)
+            stats = state.search.index.stats()
+            stats["rebuilds"] = self._rebuilds[kind]
+            stats["synced"] = state.revision == self._revision
+            kinds[kind] = stats
+        return {
+            "revision": self._revision,
+            "index_dir": str(self.index_dir) if self.index_dir else None,
+            "kinds": kinds,
+            "events": list(self.index_events[-20:]),
+        }
+
+    def index_save(self, path: str | None = None) -> dict:
+        """Persist both semantic indexes for warm starts; returns manifests."""
+        base = Path(path) if path else self.index_dir
+        if base is None:
+            raise ServiceError(
+                400, "no index path: pass one or configure the server's index_dir"
+            )
+        saved = {}
+        for kind in ("pe", "workflow"):
+            state = self._sem_state(kind)
+            target = self._kind_dir(kind, base)
+            try:
+                manifest = save_index(state.search.index, target)
+            except (IndexPersistenceError, OSError, AttributeError) as exc:
+                raise ServiceError(500, f"cannot save {kind} index: {exc}") from exc
+            saved[kind] = {
+                "path": str(target),
+                "count": manifest["count"],
+                "dim": manifest["dim"],
+                "checksum": manifest["checksum"],
+            }
+            self._index_event("index_saved", kind=kind, items=manifest["count"])
+        return saved
 
     # -- metadata helpers ---------------------------------------------------
 
@@ -234,7 +486,8 @@ class RegistryService:
             desc_embedding=self._desc_embedding(desc),
             spt_embedding=self._spt_embedding(class_source),
         )
-        self._mutated()
+        self._mutated_with_deltas()
+        self._index_add("pe", record)
         return record
 
     def register_workflow(
@@ -276,7 +529,10 @@ class RegistryService:
         )
         for pe in pe_records:
             self.workflows.link_pe(workflow.workflowId, pe.peId)
-        self._mutated()
+        self._mutated_with_deltas()
+        for pe in pe_records:
+            self._index_add("pe", pe)
+        self._index_add("workflow", workflow)
         return workflow, pe_records
 
     # -- lookup --------------------------------------------------------------------
@@ -320,8 +576,10 @@ class RegistryService:
         self.pes.update_description(
             pe.peId, description, self._desc_embedding(description)
         )
-        self._mutated()
-        return self.pes.get(pe.peId)
+        self._mutated_with_deltas()
+        updated = self.pes.get(pe.peId)
+        self._index_add("pe", updated)
+        return updated
 
     def update_workflow_description(
         self, ident: int | str, description: str
@@ -331,13 +589,16 @@ class RegistryService:
         self.workflows.update_description(
             wf.workflowId, description, self._desc_embedding(description)
         )
-        self._mutated()
-        return self.workflows.get(wf.workflowId)
+        self._mutated_with_deltas()
+        updated = self.workflows.get(wf.workflowId)
+        self._index_add("workflow", updated)
+        return updated
 
     # -- search -------------------------------------------------------------------------
 
     def literal_search(self, term: str, kind: str = "all") -> dict:
         """Substring search over names and descriptions (§V-A, Fig 7)."""
+        started = time.monotonic()
         result: dict[str, list] = {}
         if kind in ("all", "pe"):
             result["pes"] = [
@@ -349,37 +610,32 @@ class RegistryService:
                 wf.to_public(include_code=False)
                 for wf in self.workflows.literal_search(term)
             ]
+        self._record_query("literal", kind, started)
         return result
 
     def semantic_search(self, query: str, kind: str = "pe", top_k: int = DEFAULT_TOP_K) -> list[dict]:
         """Text-to-code search by embedding cosine (§V-B, Fig 8).
 
-        Built on :class:`repro.search.semantic.SemanticSearch` fed the
-        embeddings stored at registration time — the registry stays the
-        source of truth and the index is rebuilt per query (registries
-        are small; rebuilding beats cache-invalidation bugs).
+        Served from the kind's persistent incremental index
+        (:class:`~repro.search.index.VectorIndex` under
+        :class:`~repro.search.semantic.SemanticSearch`): registrations
+        and removals apply O(1) deltas, so a query costs one matrix
+        product over the live corpus — no per-revision rebuild.
         """
-        cached = self._semantic_cache.get(kind)
-        if cached is not None and cached[0] == self._revision:
-            _, index, by_id = cached
-        else:
-            records: list[PERecord | WorkflowRecord] = (
-                self.pes.all() if kind == "pe" else self.workflows.all()
-            )
-            index = SemanticSearch(self.embedder)
-            by_id = {}
-            for i, record in enumerate(records):
-                vector = record.desc_vector() or [0.0] * self.embedder.dim
-                index.add_precomputed(i, vector)
-                by_id[i] = record
-            self._semantic_cache[kind] = (self._revision, index, by_id)
-        if not by_id:
+        started = time.monotonic()
+        state = self._sem_state(kind)
+        if not state.by_id:
+            self._record_query("semantic", kind, started)
             return []
         out = []
-        for i, sim in index.search(query, top_k=top_k):
-            entry = by_id[i].to_public(include_code=False)
+        for rid, sim in state.search.search(query, top_k=top_k):
+            entry = state.by_id[rid].to_public(include_code=False)
             entry["cosine_similarity"] = float(round(sim, 6))
             out.append(entry)
+        gauge = self._metric("candidates")
+        if gauge:
+            gauge.labels(kind).set(len(state.search))
+        self._record_query("semantic", kind, started)
         return out
 
     def code_recommendation(
@@ -398,6 +654,7 @@ class RegistryService:
         recommendations find similar PEs first, then rank the workflows
         containing them by occurrence (only supported for 'spt').
         """
+        started = time.monotonic()
         if embedding_type not in ("spt", "llm"):
             raise ServiceError(400, f"unknown embedding_type {embedding_type!r}")
         if kind == "workflow" and embedding_type == "llm":
@@ -433,6 +690,7 @@ class RegistryService:
                 entry = pe.to_public()
                 entry["score"] = round(float(score), 4)
                 out.append(entry)
+            self._record_query("code", kind, started)
             return out
 
         # Workflow recommendation: aggregate over workflows containing hits.
@@ -455,6 +713,7 @@ class RegistryService:
             entry["occurrences"] = occurrences[wid]
             entry["score"] = round(best_scores[wid], 4)
             out.append(entry)
+        self._record_query("code", kind, started)
         return out
 
     def code_completion(
@@ -507,19 +766,22 @@ class RegistryService:
         """Delete a PE by id or name."""
         pe = self.get_pe(ident)
         self.pes.delete(pe.peId)
-        self._mutated()
+        self._mutated_with_deltas()
+        self._index_remove("pe", pe.peId)
         return {"removed": pe.peName, "peId": pe.peId}
 
     def remove_workflow(self, ident: int | str) -> dict:
         """Delete a workflow by id or name."""
         wf = self.get_workflow(ident)
         self.workflows.delete(wf.workflowId)
-        self._mutated()
+        self._mutated_with_deltas()
+        self._index_remove("workflow", wf.workflowId)
         return {"removed": wf.workflowName, "workflowId": wf.workflowId}
 
     def remove_all(self) -> dict:
         """Delete every PE and workflow; returns counts."""
         self._mutated()
+        self._sem_states = {}
         return {
             "pes_removed": self.pes.delete_all(),
             "workflows_removed": self.workflows.delete_all(),

@@ -12,10 +12,22 @@ operating on plain lists (see ``examples/search_showcase.py``).
 * :class:`repro.search.code.CodeSearch` — structural SPT-overlap search
   with Laminar's top-5/threshold-6.0 defaults, plus the ReACC 'llm'
   fallback (§VI-A).
+
+The scale substrate underneath them lives in :mod:`repro.search.index`:
+an amortized-growth exact :class:`~repro.search.index.VectorIndex`, a
+persisted/memmap warm-start format, and the two-stage
+LSH-candidates → exact-rerank :class:`~repro.search.index.TwoStageIndex`.
 """
 
 from repro.search.literal import LiteralSearch
 from repro.search.semantic import SemanticSearch
 from repro.search.code import CodeSearch
+from repro.search.index import TwoStageIndex, VectorIndex
 
-__all__ = ["LiteralSearch", "SemanticSearch", "CodeSearch"]
+__all__ = [
+    "LiteralSearch",
+    "SemanticSearch",
+    "CodeSearch",
+    "VectorIndex",
+    "TwoStageIndex",
+]

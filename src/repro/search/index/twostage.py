@@ -1,0 +1,141 @@
+"""Two-stage approximate search: LSH candidates → exact cosine rerank.
+
+The FAISS-style retrieval shape (candidate generation, then exact
+scoring on the shortlist) over the zero-dependency pieces in this
+package: :class:`RandomHyperplaneLSH` proposes a candidate set in O(1)
+bucket lookups, :class:`VectorIndex` reranks only those rows exactly.
+
+Two knobs trade recall against speed:
+
+* ``bands`` / ``rows`` — the LSH banding (see :mod:`.lsh`): more bands
+  raise the chance a true neighbour lands in the candidate set, more
+  rows shrink the set.
+* ``candidate_multiplier`` — when LSH proposes fewer than
+  ``top_k * candidate_multiplier`` candidates the query falls back to
+  the exact full scan, so sparse bucket regions degrade to correct (not
+  empty) results; the fallback count is visible in :meth:`stats`.
+
+Reranked scores are *exact* cosines — two-stage results are always a
+subset of the exact ranking with identical scores, the property the
+test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.search.index.lsh import RandomHyperplaneLSH
+from repro.search.index.vector import VectorIndex
+
+__all__ = ["TwoStageIndex"]
+
+
+class TwoStageIndex:
+    """ANN index: banded hyperplane LSH in front of an exact rerank."""
+
+    def __init__(
+        self,
+        dim: int,
+        bands: int = 12,
+        rows: int = 10,
+        seed: int = 2024,
+        candidate_multiplier: int = 4,
+    ) -> None:
+        self.exact = VectorIndex(dim)
+        self.lsh = RandomHyperplaneLSH(dim, bands=bands, rows=rows, seed=seed)
+        self.candidate_multiplier = max(int(candidate_multiplier), 1)
+        self._queries = 0
+        self._fallbacks = 0
+        self._candidates_seen = 0
+
+    @property
+    def dim(self) -> int:
+        return self.exact.dim
+
+    def __len__(self) -> int:
+        return len(self.exact)
+
+    def __contains__(self, item_id: Any) -> bool:
+        return item_id in self.exact
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, item_id: Any, vector: Sequence[float] | np.ndarray) -> None:
+        """Insert or update one item in both stages."""
+        self.exact.add(item_id, vector)
+        # Hash the *normalized* stored vector so signatures are scale-free.
+        self.lsh.add(item_id, self.exact.vector(item_id))
+
+    def add_batch(self, item_ids: Sequence[Any], vectors: np.ndarray) -> None:
+        """Insert many items with one normalize and one projection pass."""
+        self.exact.add_batch(item_ids, vectors)
+        rows = [self.exact._row_of[i] for i in item_ids if i in self.exact]
+        self.lsh.add_batch(
+            [i for i in item_ids if i in self.exact],
+            self.exact._matrix[rows],
+        )
+
+    def remove(self, item_id: Any) -> bool:
+        """Drop one item from both stages; False when absent."""
+        removed = self.exact.remove(item_id)
+        self.lsh.remove(item_id)
+        return removed
+
+    def clear(self) -> None:
+        self.exact.clear()
+        self.lsh.clear()
+
+    # -- search --------------------------------------------------------------
+
+    def search_vector(
+        self, vector: Sequence[float] | np.ndarray, top_k: int = 5
+    ) -> list[tuple[Any, float]]:
+        """Top-``top_k`` by exact cosine over the LSH candidate set."""
+        if not len(self.exact):
+            return []
+        self._queries += 1
+        candidates = self.lsh.candidates(np.asarray(vector))
+        if len(candidates) < top_k * self.candidate_multiplier:
+            self._fallbacks += 1
+            return self.exact.search_vector(vector, top_k=top_k)
+        self._candidates_seen += len(candidates)
+        return self.exact.search_subset(vector, candidates, top_k=top_k)
+
+    def search_batch(
+        self, vectors: np.ndarray, top_k: int = 5
+    ) -> list[list[tuple[Any, float]]]:
+        """Batched two-stage search (one projection pass for all queries)."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if not len(self.exact):
+            return [[] for _ in range(vectors.shape[0])]
+        candidate_sets = self.lsh.candidates_batch(vectors)
+        out: list[list[tuple[Any, float]]] = []
+        floor = top_k * self.candidate_multiplier
+        for i, candidates in enumerate(candidate_sets):
+            self._queries += 1
+            if len(candidates) < floor:
+                self._fallbacks += 1
+                out.append(self.exact.search_vector(vectors[i], top_k=top_k))
+            else:
+                self._candidates_seen += len(candidates)
+                out.append(
+                    self.exact.search_subset(vectors[i], candidates, top_k=top_k)
+                )
+        return out
+
+    def stats(self) -> dict:
+        """Exact-stage occupancy plus candidate/fallback accounting."""
+        reranked = self._queries - self._fallbacks
+        return {
+            **self.exact.stats(),
+            "bands": self.lsh.bands,
+            "rows": self.lsh.rows,
+            "candidate_multiplier": self.candidate_multiplier,
+            "queries": self._queries,
+            "fallbacks": self._fallbacks,
+            "mean_candidates": (
+                round(self._candidates_seen / reranked, 1) if reranked else 0.0
+            ),
+        }

@@ -1,0 +1,296 @@
+"""Flat vector index with amortized growth and tombstone removal.
+
+The retrieval substrate behind semantic text-to-code search (§V-B) at
+registry scale.  Three properties distinguish it from the naive
+matrix-per-add approach it replaces:
+
+* **Amortized O(1) add** — vectors live in a pre-allocated float32
+  matrix that doubles capacity when full, so building an index of *n*
+  items costs O(n) total instead of the O(n²) of per-add ``np.vstack``.
+* **O(1) remove** — removed rows are tombstoned (masked out of search)
+  rather than deleted, so no O(n) row renumbering; the matrix is
+  compacted in one pass when tombstones outnumber live rows.
+* **Batched top-k** — queries use ``np.argpartition`` (O(n) selection)
+  instead of a full O(n log n) sort, for one query or a whole batch in
+  a single matrix product.
+
+Vectors are L2-normalized float32 rows, so every score is a cosine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["VectorIndex"]
+
+#: Initial row capacity of a fresh index.
+_MIN_CAPACITY = 64
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize rows in place-friendly float32 (zero rows stay zero)."""
+    matrix = np.ascontiguousarray(matrix, dtype=np.float32)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    np.maximum(norms, 1e-12, out=norms)
+    return matrix / norms
+
+
+class VectorIndex:
+    """Incremental cosine index over dense vectors.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality; every added vector must match.
+    capacity:
+        Initial row capacity (grows by doubling as needed).
+    """
+
+    def __init__(self, dim: int, capacity: int = _MIN_CAPACITY) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = int(dim)
+        capacity = max(int(capacity), _MIN_CAPACITY)
+        self._matrix = np.zeros((capacity, self.dim), dtype=np.float32)
+        self._valid = np.zeros(capacity, dtype=bool)
+        self._ids: list[Any] = []  # row -> item id (tombstones keep theirs)
+        self._row_of: dict[Any, int] = {}  # live item id -> row
+        self._used = 0  # high-water mark of allocated rows
+        self._reallocations = 0
+        self._compactions = 0
+        #: True while the matrix is a read-only memmap (warm start); the
+        #: first mutation materializes it into writable memory.
+        self._readonly = False
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._row_of)
+
+    def __contains__(self, item_id: Any) -> bool:
+        return item_id in self._row_of
+
+    @property
+    def ids(self) -> list[Any]:
+        """Live item ids in insertion order."""
+        return [i for i in self._ids if i in self._row_of]
+
+    def vector(self, item_id: Any) -> np.ndarray:
+        """The stored (normalized) vector of one live item."""
+        return np.array(self._matrix[self._row_of[item_id]])
+
+    def stats(self) -> dict:
+        """Size/occupancy counters for observability and tests."""
+        return {
+            "items": len(self._row_of),
+            "dim": self.dim,
+            "capacity": int(self._matrix.shape[0]),
+            "used_rows": self._used,
+            "tombstones": self._used - len(self._row_of),
+            "reallocations": self._reallocations,
+            "compactions": self._compactions,
+            "memory_bytes": int(self._matrix.nbytes),
+            "readonly": self._readonly,
+        }
+
+    # -- mutation ------------------------------------------------------------
+
+    def _ensure_writable(self) -> None:
+        if self._readonly:
+            self._matrix = np.array(self._matrix, dtype=np.float32)
+            self._readonly = False
+
+    def _grow_to(self, rows_needed: int) -> None:
+        capacity = self._matrix.shape[0]
+        if rows_needed <= capacity:
+            return
+        capacity = max(capacity, _MIN_CAPACITY)
+        while capacity < rows_needed:
+            capacity *= 2
+        matrix = np.zeros((capacity, self.dim), dtype=np.float32)
+        matrix[: self._used] = self._matrix[: self._used]
+        valid = np.zeros(capacity, dtype=bool)
+        valid[: self._used] = self._valid[: self._used]
+        self._matrix, self._valid = matrix, valid
+        self._reallocations += 1
+        self._readonly = False
+
+    def add(self, item_id: Any, vector: Sequence[float] | np.ndarray) -> None:
+        """Insert (or update in place) one item's vector."""
+        arr = np.asarray(vector, dtype=np.float32).reshape(-1)
+        if arr.shape[0] != self.dim:
+            raise ValueError(
+                f"vector has dim {arr.shape[0]}, index has dim {self.dim}"
+            )
+        norm = float(np.linalg.norm(arr))
+        if norm > 0:
+            arr = arr / norm
+        self._ensure_writable()
+        row = self._row_of.get(item_id)
+        if row is not None:
+            self._matrix[row] = arr
+            return
+        self._grow_to(self._used + 1)
+        row = self._used
+        self._matrix[row] = arr
+        self._valid[row] = True
+        self._ids.append(item_id)
+        self._row_of[item_id] = row
+        self._used += 1
+
+    def add_batch(
+        self, item_ids: Sequence[Any], vectors: np.ndarray
+    ) -> None:
+        """Insert many items at once (one allocation, one normalize pass).
+
+        Ids already present are updated in place; new ids are appended in
+        order.  Duplicate ids *within* the batch keep the last vector.
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if len(item_ids) != vectors.shape[0]:
+            raise ValueError(
+                f"{len(item_ids)} ids but {vectors.shape[0]} vectors"
+            )
+        if vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"vectors have dim {vectors.shape[1]}, index has dim {self.dim}"
+            )
+        vectors = _normalize_rows(vectors)
+        self._ensure_writable()
+        fresh = [i for i, item in enumerate(item_ids) if item not in self._row_of]
+        self._grow_to(self._used + len(fresh))
+        for i, item_id in enumerate(item_ids):
+            row = self._row_of.get(item_id)
+            if row is None:
+                row = self._used
+                self._valid[row] = True
+                self._ids.append(item_id)
+                self._row_of[item_id] = row
+                self._used += 1
+            self._matrix[row] = vectors[i]
+
+    def remove(self, item_id: Any) -> bool:
+        """Tombstone one item; returns False when absent.
+
+        O(1): the row is masked out of search and compacted away later,
+        instead of the O(n) delete-and-renumber of the flat index.
+        """
+        row = self._row_of.pop(item_id, None)
+        if row is None:
+            return False
+        self._ensure_writable()
+        self._valid[row] = False
+        self._matrix[row] = 0.0
+        live = len(self._row_of)
+        if self._used >= 2 * _MIN_CAPACITY and live < self._used // 2:
+            self.compact()
+        return True
+
+    def compact(self) -> None:
+        """Rewrite storage with tombstones dropped (insertion order kept)."""
+        self._ensure_writable()
+        live_ids = [i for i in self._ids if i in self._row_of]
+        rows = [self._row_of[i] for i in live_ids]
+        matrix = np.zeros_like(self._matrix)
+        matrix[: len(rows)] = self._matrix[rows]
+        self._matrix = matrix
+        self._valid[:] = False
+        self._valid[: len(rows)] = True
+        self._ids = live_ids
+        self._row_of = {item: r for r, item in enumerate(live_ids)}
+        self._used = len(live_ids)
+        self._compactions += 1
+
+    def clear(self) -> None:
+        """Drop every item, keeping allocated capacity."""
+        self._ensure_writable()
+        self._valid[:] = False
+        self._ids = []
+        self._row_of = {}
+        self._used = 0
+
+    # -- search --------------------------------------------------------------
+
+    def _top_k_from_sims(self, sims: np.ndarray, top_k: int) -> list[tuple[Any, float]]:
+        """Select top-k rows of one similarity column, masked and ordered.
+
+        ``argpartition`` gives O(n) selection; only the k winners are then
+        sorted, with ties broken by row (= insertion) order so results are
+        deterministic and match the old stable-argsort behaviour.
+        """
+        sims = np.where(self._valid[: self._used], sims, -np.inf)
+        k = min(top_k, len(self._row_of))
+        if k <= 0:
+            return []
+        if k < sims.shape[0]:
+            top = np.argpartition(-sims, k - 1)[:k]
+        else:
+            top = np.arange(sims.shape[0])
+        order = top[np.lexsort((top, -sims[top]))]
+        return [
+            (self._ids[i], float(sims[i]))
+            for i in order
+            if np.isfinite(sims[i])
+        ]
+
+    def search_vector(
+        self, vector: Sequence[float] | np.ndarray, top_k: int = 5
+    ) -> list[tuple[Any, float]]:
+        """Top-``top_k`` ``(item_id, cosine)`` pairs for one query vector."""
+        if not self._row_of:
+            return []
+        q = np.asarray(vector, dtype=np.float32).reshape(-1)
+        norm = float(np.linalg.norm(q))
+        if norm > 0:
+            q = q / norm
+        sims = self._matrix[: self._used] @ q
+        return self._top_k_from_sims(sims, top_k)
+
+    def search_batch(
+        self, vectors: np.ndarray, top_k: int = 5
+    ) -> list[list[tuple[Any, float]]]:
+        """Top-k results for every row of ``vectors`` in one matrix product."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if not self._row_of:
+            return [[] for _ in range(vectors.shape[0])]
+        queries = _normalize_rows(vectors)
+        # (used, n_queries) — one GEMM for the whole batch.
+        sims = self._matrix[: self._used] @ queries.T
+        return [
+            self._top_k_from_sims(sims[:, j], top_k)
+            for j in range(queries.shape[0])
+        ]
+
+    def search_subset(
+        self,
+        vector: Sequence[float] | np.ndarray,
+        candidate_ids: Sequence[Any],
+        top_k: int = 5,
+    ) -> list[tuple[Any, float]]:
+        """Exact top-k restricted to ``candidate_ids`` (the rerank stage).
+
+        Unknown or tombstoned candidates are ignored.  Ties break by
+        insertion order, matching :meth:`search_vector`.
+        """
+        rows = [
+            self._row_of[c] for c in candidate_ids if c in self._row_of
+        ]
+        if not rows:
+            return []
+        rows = np.asarray(sorted(rows), dtype=np.int64)
+        q = np.asarray(vector, dtype=np.float32).reshape(-1)
+        norm = float(np.linalg.norm(q))
+        if norm > 0:
+            q = q / norm
+        sims = self._matrix[rows] @ q
+        k = min(top_k, rows.shape[0])
+        if k <= 0:
+            return []
+        if k < sims.shape[0]:
+            top = np.argpartition(-sims, k - 1)[:k]
+        else:
+            top = np.arange(sims.shape[0])
+        order = top[np.lexsort((rows[top], -sims[top]))]
+        return [(self._ids[rows[i]], float(sims[i])) for i in order]

@@ -1,9 +1,17 @@
 """Semantic text-to-code search over description embeddings (paper §V-B).
 
-Maintains an incrementally updatable matrix of description embeddings;
-queries are one ``matrix @ vector`` product (the vectorised hot path the
-HPC guides prescribe).  Mirrors Laminar's flow exactly: descriptions are
-embedded once at registration, queries at search time, ranking by cosine.
+Queries are one ``matrix @ vector`` product (the vectorised hot path the
+HPC guides prescribe), and storage/ranking delegate to
+:class:`repro.search.index.VectorIndex`: adds are amortized O(1)
+(capacity-doubling instead of the old per-add ``np.vstack``, which made
+building an n-item index O(n²)), removes are O(1) tombstones, and top-k
+uses ``np.argpartition`` instead of a full sort.  Mirrors Laminar's flow
+exactly: descriptions are embedded once at registration, queries at
+search time, ranking by cosine.
+
+Pass a :class:`repro.search.index.TwoStageIndex` as ``index`` to trade
+exactness for speed at large corpus sizes (LSH candidates → exact
+rerank; see ``docs/guide.md`` §"Search at scale").
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro.models.embedder import UniXcoderEmbedder
+from repro.search.index.vector import VectorIndex
 
 __all__ = ["SemanticSearch"]
 
@@ -20,57 +29,56 @@ __all__ = ["SemanticSearch"]
 class SemanticSearch:
     """Incremental cosine search index over text descriptions."""
 
-    def __init__(self, embedder: UniXcoderEmbedder | None = None) -> None:
+    def __init__(
+        self,
+        embedder: UniXcoderEmbedder | None = None,
+        index: Any | None = None,
+    ) -> None:
         self.embedder = embedder or UniXcoderEmbedder()
-        self._ids: list[Any] = []
-        self._vectors: np.ndarray = np.empty((0, self.embedder.dim))
-        self._row_of: dict[Any, int] = {}
+        # Any object with the VectorIndex search/mutation surface works
+        # (VectorIndex for exact search, TwoStageIndex for ANN).
+        self.index = index if index is not None else VectorIndex(self.embedder.dim)
+        if self.index.dim != self.embedder.dim:
+            raise ValueError(
+                f"index dim {self.index.dim} != embedder dim {self.embedder.dim}"
+            )
 
     def __len__(self) -> int:
-        return len(self._ids)
+        return len(self.index)
 
     def __contains__(self, item_id: Any) -> bool:
-        return item_id in self._row_of
+        return item_id in self.index
 
     def add(self, item_id: Any, description: str) -> None:
         """Index (or re-index) one item's description."""
-        vector = self.embedder.encode(description)
-        if item_id in self._row_of:
-            self._vectors[self._row_of[item_id]] = vector[0]
-            return
-        self._row_of[item_id] = len(self._ids)
-        self._ids.append(item_id)
-        self._vectors = np.vstack([self._vectors, vector])
+        self.index.add(item_id, self.embedder.encode(description)[0])
 
     def add_precomputed(self, item_id: Any, vector: list[float]) -> None:
         """Index an item whose embedding was computed earlier (registry)."""
-        arr = np.asarray(vector, dtype=np.float64)
-        norm = np.linalg.norm(arr)
-        arr = arr / norm if norm > 0 else arr
-        if item_id in self._row_of:
-            self._vectors[self._row_of[item_id]] = arr
-            return
-        self._row_of[item_id] = len(self._ids)
-        self._ids.append(item_id)
-        self._vectors = np.vstack([self._vectors, arr[None, :]])
+        self.index.add(item_id, np.asarray(vector, dtype=np.float32))
+
+    def add_precomputed_batch(
+        self, item_ids: list[Any], vectors: np.ndarray
+    ) -> None:
+        """Bulk-index precomputed embeddings (one allocation for the batch)."""
+        self.index.add_batch(item_ids, vectors)
 
     def remove(self, item_id: Any) -> bool:
         """Drop one item; returns False when absent."""
-        row = self._row_of.pop(item_id, None)
-        if row is None:
-            return False
-        self._ids.pop(row)
-        self._vectors = np.delete(self._vectors, row, axis=0)
-        for other, r in self._row_of.items():
-            if r > row:
-                self._row_of[other] = r - 1
-        return True
+        return self.index.remove(item_id)
 
     def search(self, query: str, top_k: int = 5) -> list[tuple[Any, float]]:
         """Top ``top_k`` ``(item_id, cosine)`` pairs for a text query."""
-        if not self._ids:
+        if not len(self.index):
             return []
-        query_vec = self.embedder.encode(query)[0]
-        sims = self._vectors @ query_vec
-        order = np.argsort(-sims, kind="stable")[:top_k]
-        return [(self._ids[i], float(sims[i])) for i in order]
+        return self.index.search_vector(self.embedder.encode(query)[0], top_k=top_k)
+
+    def search_batch(
+        self, queries: list[str], top_k: int = 5
+    ) -> list[list[tuple[Any, float]]]:
+        """Top-k results for many text queries in one matrix product."""
+        if not queries:
+            return []
+        if not len(self.index):
+            return [[] for _ in queries]
+        return self.index.search_batch(self.embedder.encode(queries), top_k=top_k)
