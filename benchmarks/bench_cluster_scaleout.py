@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Cluster scale-out benchmark: aggregate job throughput at 1/2/4 shards.
+
+Boots a :class:`ClusterSupervisor` at each shard count with identical
+per-shard resources (2 job workers), registers the same sleep-bound
+workflow under many names so the consistent-hash ring spreads ownership
+across shards, then submits one batch of jobs round-robin over those
+names through a :class:`ShardedClient` and measures completed jobs/sec
+for the whole batch.
+
+The workload is sleep-bound (each enactment parks in ``time.sleep``) so
+the in-process shards do not fight over the GIL — the measured scaling
+is the cluster topology's, not the interpreter's.  The acceptance bar
+(ISSUE 8) is >= 2.5x aggregate jobs/sec at 4 shards vs 1; the full run
+commits its result to ``BENCH_cluster_scaleout.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_scaleout.py          # full
+    PYTHONPATH=src python benchmarks/bench_cluster_scaleout.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.laminar.cluster import ClusterSupervisor, ShardedClient
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.laminar.cluster import ClusterSupervisor, ShardedClient
+
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_cluster_scaleout.json"
+)
+THRESHOLD = 2.5
+JOB_WORKERS = 2  # per shard — fixed so scaling comes from shard count alone
+
+SLEEP_WF = """
+import time
+
+class Sleeper(ProducerPE):
+    def _process(self, inputs):
+        time.sleep({sleep})
+        return 1
+
+graph = WorkflowGraph()
+graph.add(Sleeper("S"))
+"""
+
+
+def _run_arm(shards: int, names: int, jobs: int, sleep: float, rounds: int):
+    """Median jobs/sec over ``rounds`` batches on a ``shards``-shard cluster."""
+    code = SLEEP_WF.format(sleep=sleep)
+    with ClusterSupervisor(
+        shards=shards,
+        health_interval=5.0,
+        job_workers=JOB_WORKERS,
+        job_queue_capacity=jobs * 2,
+    ) as sup:
+        client = ShardedClient(sup.config)
+        try:
+            owners: dict[str, int] = {}
+            for i in range(names):
+                body = client.register_Workflow(code, name=f"sleep-{i}")
+                owners[body["shards"][0]] = owners.get(body["shards"][0], 0) + 1
+            walls = []
+            for _ in range(rounds):
+                started = time.perf_counter()
+                job_ids = [
+                    client.submit_Job(f"sleep-{i % names}")["jobId"]
+                    for i in range(jobs)
+                ]
+                for job_id in job_ids:
+                    result = client.wait_For_Job(
+                        job_id, timeout=120, interval=0.01
+                    )
+                    if result["state"] != "SUCCEEDED":
+                        raise AssertionError(
+                            f"job {job_id} ended {result['state']}: "
+                            f"{result.get('error')}"
+                        )
+                walls.append(time.perf_counter() - started)
+            wall = statistics.median(walls)
+            return {
+                "shards": shards,
+                "job_workers_per_shard": JOB_WORKERS,
+                "jobs": jobs,
+                "wall_s": round(wall, 3),
+                "jobs_per_s": round(jobs / wall, 1),
+                # primary-owner spread of the workflow names, so a skewed
+                # ring would be visible right in the committed result
+                "name_owners": dict(sorted(owners.items())),
+            }
+        finally:
+            client.close()
+
+
+def run_bench(shard_counts, names: int, jobs: int, sleep: float, rounds: int):
+    arms = [
+        _run_arm(shards, names, jobs, sleep, rounds) for shards in shard_counts
+    ]
+    base = arms[0]["jobs_per_s"]
+    return {
+        "benchmark": "cluster_scaleout",
+        "workload": (
+            f"{jobs} jobs x {int(sleep * 1e3)} ms sleep-bound enactment, "
+            f"round-robin over {names} workflow names"
+        ),
+        "cluster": (
+            f"in-process TCP shards, {JOB_WORKERS} job workers each, "
+            "replication=2"
+        ),
+        "rounds": rounds,
+        "arms": arms,
+        "speedup_max_shards": round(arms[-1]["jobs_per_s"] / base, 2),
+        "threshold_speedup": THRESHOLD,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, correctness + direction only; no JSON committed",
+    )
+    parser.add_argument("--jobs", type=int, default=None, help="jobs per batch")
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="timed batches per shard count"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RESULT_PATH, help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    shard_counts = (1, 2) if args.smoke else (1, 2, 4)
+    jobs = args.jobs or (12 if args.smoke else 96)
+    rounds = args.rounds or (1 if args.smoke else 3)
+    sleep = 0.02 if args.smoke else 0.03
+    names = 12 if args.smoke else 48
+    payload = run_bench(shard_counts, names, jobs, sleep, rounds)
+
+    for arm in payload["arms"]:
+        print(
+            f"shards={arm['shards']}: {arm['jobs_per_s']:>6.1f} jobs/s "
+            f"({arm['wall_s']:.2f} s/batch)"
+        )
+    print(
+        f"speedup at {shard_counts[-1]} shards: "
+        f"{payload['speedup_max_shards']}x (bar: >= {THRESHOLD}x full run)"
+    )
+
+    if args.smoke:
+        # CI smoke: every job already asserted SUCCEEDED; adding a shard
+        # must at least not slow the batch down on a tiny workload.
+        if payload["speedup_max_shards"] < 1.0:
+            print("FAIL: 2 shards slower than 1 on smoke workload")
+            return 1
+        print("smoke OK")
+        return 0
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"result written to {args.out}")
+    if payload["speedup_max_shards"] < THRESHOLD:
+        print(f"FAIL: speedup below the {THRESHOLD}x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -258,6 +258,31 @@ class RedisSim:
                 "blocked_consumers": self._blocked,
             }
 
+    def stats_prefix(self, prefix: str) -> dict:
+        """Statistics restricted to keys under ``prefix`` (one partition).
+
+        ``blocked_consumers`` is omitted: blocking is accounted globally
+        here and per-partition by :class:`NamespacedRedisSim`.
+        """
+        with self._lock:
+            lists = [v for k, v in self._lists.items() if k.startswith(prefix)]
+            return {
+                "lists": len(lists),
+                "queued_items": sum(len(lst) for lst in lists),
+                "hashes": sum(1 for k in self._hashes if k.startswith(prefix)),
+                "keys": sum(1 for k in self._kv if k.startswith(prefix)),
+            }
+
+    def namespaced(self, prefix: str) -> "NamespacedRedisSim":
+        """A view of this broker confined to keys under ``prefix``.
+
+        Cluster mode gives each server shard its own partition of one
+        shared broker (``shard:<id>:``): shards cannot observe or drain
+        each other's queues, yet the underlying store — and its single
+        condition variable — stays one object.
+        """
+        return NamespacedRedisSim(self, prefix)
+
     def bind_metrics(self, registry) -> None:
         """Register live callback gauges for this broker on ``registry``.
 
@@ -265,6 +290,145 @@ class RedisSim:
         nothing on the hot path.  Re-binding (e.g. one broker shared by
         several enactments) just overwrites the callbacks — idempotent.
         """
+        registry.gauge(
+            "laminar_broker_queued_items",
+            "Items across every list of the simulated Redis broker.",
+        ).set_function(lambda: self.stats()["queued_items"])
+        registry.gauge(
+            "laminar_broker_blocked_consumers",
+            "Consumers blocked in brpop/wait_for_zero on the broker.",
+        ).set_function(lambda: self.blocked_consumers)
+
+
+class NamespacedRedisSim:
+    """A per-shard partition of a shared :class:`RedisSim`.
+
+    Every key is transparently prefixed, so the wrapper exposes the full
+    broker surface while operations can only ever touch its own
+    namespace — :meth:`flushall` drops *this partition*, not the parent.
+    The dynamic mapping composes its own ``d4pyrun:<id>:`` run namespace
+    on top, so keys end up ``shard:<id>:d4pyrun:<run>:...`` and per-run
+    cleanup (:meth:`delete_prefix`) still works unchanged.
+    """
+
+    def __init__(self, parent: RedisSim, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self.parent = parent
+        self.prefix = prefix
+        self._blocked = 0
+        self._blocked_lock = threading.Lock()
+
+    def _k(self, key: str) -> str:
+        return self.prefix + key
+
+    @property
+    def blocked_consumers(self) -> int:
+        """Threads blocked in this partition's ``brpop``/``wait_for_zero``."""
+        with self._blocked_lock:
+            return self._blocked
+
+    def _enter_blocked(self) -> None:
+        with self._blocked_lock:
+            self._blocked += 1
+
+    def _exit_blocked(self) -> None:
+        with self._blocked_lock:
+            self._blocked -= 1
+
+    # -- lists ---------------------------------------------------------------
+
+    def lpush(self, key: str, *values: Any) -> int:
+        return self.parent.lpush(self._k(key), *values)
+
+    def rpush(self, key: str, *values: Any) -> int:
+        return self.parent.rpush(self._k(key), *values)
+
+    def rpop(self, key: str) -> Any | None:
+        return self.parent.rpop(self._k(key))
+
+    def lpop(self, key: str) -> Any | None:
+        return self.parent.lpop(self._k(key))
+
+    def brpop(self, key: str, timeout: float | None = None) -> Any | None:
+        self._enter_blocked()
+        try:
+            return self.parent.brpop(self._k(key), timeout)
+        finally:
+            self._exit_blocked()
+
+    def blpop(self, key: str, timeout: float | None = None) -> Any | None:
+        self._enter_blocked()
+        try:
+            return self.parent.blpop(self._k(key), timeout)
+        finally:
+            self._exit_blocked()
+
+    def llen(self, key: str) -> int:
+        return self.parent.llen(self._k(key))
+
+    # -- hashes ----------------------------------------------------------------
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self.parent.hset(self._k(key), field, value)
+
+    def hget(self, key: str, field: str) -> Any | None:
+        return self.parent.hget(self._k(key), field)
+
+    def hgetall(self, key: str) -> dict:
+        return self.parent.hgetall(self._k(key))
+
+    def hsetnx(self, key: str, field: str, value: Any) -> bool:
+        return self.parent.hsetnx(self._k(key), field, value)
+
+    # -- counters and keys -------------------------------------------------------
+
+    def incr(self, key: str, amount: int = 1) -> int:
+        return self.parent.incr(self._k(key), amount)
+
+    def decr(self, key: str, amount: int = 1) -> int:
+        return self.parent.decr(self._k(key), amount)
+
+    def get(self, key: str) -> Any | None:
+        return self.parent.get(self._k(key))
+
+    def set(self, key: str, value: Any) -> None:
+        self.parent.set(self._k(key), value)
+
+    def delete(self, *keys: str) -> int:
+        return self.parent.delete(*(self._k(k) for k in keys))
+
+    def delete_prefix(self, prefix: str) -> int:
+        return self.parent.delete_prefix(self._k(prefix))
+
+    def wait_for_zero(self, key: str, timeout: float | None = None) -> bool:
+        self._enter_blocked()
+        try:
+            return self.parent.wait_for_zero(self._k(key), timeout)
+        finally:
+            self._exit_blocked()
+
+    def flushall(self) -> None:
+        """Drop every key of *this partition* (the parent is untouched)."""
+        self.parent.delete_prefix(self.prefix)
+
+    def namespaced(self, prefix: str) -> "NamespacedRedisSim":
+        """A nested partition — prefixes compose onto the shared parent,
+        so ``shard:s0:`` + ``d4pyrun:1:`` scopes to
+        ``shard:s0:d4pyrun:1:...`` keys."""
+        return NamespacedRedisSim(self.parent, self._k(prefix))
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Partition-scoped statistics (same shape as :meth:`RedisSim.stats`)."""
+        stats = self.parent.stats_prefix(self.prefix)
+        stats["blocked_consumers"] = self.blocked_consumers
+        return stats
+
+    def bind_metrics(self, registry) -> None:
+        """Register partition-scoped broker gauges (same names as the
+        parent's — each shard has its own metrics registry)."""
         registry.gauge(
             "laminar_broker_queued_items",
             "Items across every list of the simulated Redis broker.",

@@ -504,6 +504,18 @@ class LaminarCLI(cmd.Cmd):
         if arg.strip() == "--prom":
             self._p(self.client.get_Metrics()["text"].rstrip())
             return
+        if not hasattr(self.client, "_call"):  # sharded client: per-shard rows
+            merged = self.client.stats()
+            for shard_id, body in sorted(merged["shards"].items()):
+                jobs = body.get("jobs") or {}
+                self._p(
+                    f"shard {shard_id}: uptime {body['uptime_seconds']}s, "
+                    f"requests {body['total_requests']}, "
+                    f"jobs finished {jobs.get('finished') or '{}'}"
+                )
+            for shard_id in merged.get("degraded", ()):
+                self._p(f"shard {shard_id}: unreachable")
+            return
         body = self.client._call("stats")
         self._p(f"uptime: {body['uptime_seconds']}s, "
                 f"requests: {body['total_requests']}")
@@ -541,25 +553,36 @@ class LaminarCLI(cmd.Cmd):
         sub = parts[0] if parts else "stats"
         if sub == "stats":
             body = self.client.index_Stats()
-            self._p(
-                f"revision: {body['revision']}, "
-                f"index_dir: {body['index_dir'] or '(not configured)'}"
-            )
-            for kind, stats in body["kinds"].items():
+            # a sharded client returns one body per shard
+            for prefix, shard_body in sorted(body["shards"].items()) if (
+                "shards" in body
+            ) else [("", body)]:
+                label = f"shard {prefix}: " if prefix else ""
                 self._p(
-                    f"  {kind:<9} {stats['items']:>6} items  "
-                    f"cap {stats['capacity']:>6}  "
-                    f"tombstones {stats['tombstones']:>4}  "
-                    f"rebuilds {stats['rebuilds']:>3}  "
-                    f"{'synced' if stats['synced'] else 'stale'}"
+                    f"{label}revision: {shard_body['revision']}, "
+                    f"index_dir: {shard_body['index_dir'] or '(not configured)'}"
                 )
-            for event in body.get("events", []):
-                self._p(f"  {event}")
+                for kind, stats in shard_body["kinds"].items():
+                    self._p(
+                        f"  {kind:<9} {stats['items']:>6} items  "
+                        f"cap {stats['capacity']:>6}  "
+                        f"tombstones {stats['tombstones']:>4}  "
+                        f"rebuilds {stats['rebuilds']:>3}  "
+                        f"{'synced' if stats['synced'] else 'stale'}"
+                    )
+                for event in shard_body.get("events", []):
+                    self._p(f"  {event}")
             return
         if sub == "save":
             body = self.client.index_Save(parts[1] if len(parts) > 1 else None)
-            for kind, info in body["saved"].items():
-                self._p(f"saved {kind}: {info['count']} items -> {info['path']}")
+            for prefix, shard_body in sorted(body["shards"].items()) if (
+                "shards" in body
+            ) else [("", body)]:
+                for kind, info in shard_body["saved"].items():
+                    self._p(
+                        f"{f'shard {prefix}: ' if prefix else ''}saved {kind}: "
+                        f"{info['count']} items -> {info['path']}"
+                    )
             return
         self._p("usage: index stats | index save [path]")
 
@@ -588,6 +611,41 @@ class LaminarCLI(cmd.Cmd):
         counts = self.client.import_Registry(open(path).read())
         self._p(f"imported {counts['pes']} PEs and {counts['workflows']} workflows")
 
+    def do_cluster(self, arg: str) -> None:
+        """cluster status — shard health, addresses and ring parameters.
+
+        Against a sharded client this probes every shard; against a
+        plain client it reports the single server's cluster identity.
+        """
+        sub = arg.strip() or "status"
+        if sub != "status":
+            self._p("usage: cluster status")
+            return
+        if hasattr(self.client, "cluster_Status"):
+            body = self.client.cluster_Status()
+            self._p(
+                f"{body['healthy']}/{body['total']} shards healthy  "
+                f"(vnodes {body['vnodes']}, replication {body['replication']})"
+            )
+            for shard in body["shards"]:
+                mark = "up" if shard["healthy"] else "DOWN"
+                line = (
+                    f"  {shard['shardId']:<6} "
+                    f"{shard['host']}:{shard['port']}  {mark}"
+                )
+                if shard.get("error"):
+                    line += f"  ({shard['error']})"
+                self._p(line)
+            return
+        body = self.client.cluster_Info()
+        if body.get("shardId") is None:
+            self._p("standalone server (no cluster configured)")
+            return
+        self._p(f"shard {body['shardId']}")
+        cluster = body.get("cluster") or {}
+        for shard in cluster.get("shards", []):
+            self._p(f"  {shard['shardId']:<6} {shard['host']}:{shard['port']}")
+
     # -- session --------------------------------------------------------------------------------
 
     def do_quit(self, arg: str) -> bool:
@@ -609,14 +667,62 @@ def main(argv: list[str] | None = None) -> int:
         metavar="HOST:PORT",
         help="connect to a running server instead of embedding one",
     )
+    parser.add_argument(
+        "--cluster",
+        metavar="CONFIG|HOST:PORT,...",
+        help="talk to a sharded cluster: a cluster-config JSON path, or a "
+        "comma-separated seed list of shard addresses (the authoritative "
+        "shard map is fetched from the first shard that answers)",
+    )
     ns = parser.parse_args(argv)
-    if ns.connect:
+    if ns.cluster:
+        client = _cluster_client(ns.cluster)
+    elif ns.connect:
         host, _, port = ns.connect.partition(":")
         client = LaminarClient.connect(host, int(port))
     else:
         client = LaminarClient()
     LaminarCLI(client).cmdloop()
     return 0
+
+
+def _cluster_client(spec: str):
+    """Build a :class:`ShardedClient` from ``--cluster``'s argument.
+
+    ``host:port,host:port`` seed lists ask each listed shard for the
+    authoritative cluster config (so shard ids and the ring agree with
+    the servers); anything else is read as a config JSON path.
+    """
+    from repro.laminar.cluster import ClusterConfig, ShardedClient, ShardInfo
+
+    if ":" not in spec:
+        return ShardedClient(ClusterConfig.load(spec))
+    endpoints = []
+    for part in spec.split(","):
+        host, _, port = part.strip().partition(":")
+        endpoints.append((host, int(port)))
+    config = None
+    for host, port in endpoints:
+        try:
+            probe = LaminarClient.connect(host, port, timeout=5.0)
+            info = probe.cluster_Info()
+            probe.close()
+        except (OSError, ClientError):
+            continue
+        if info.get("cluster"):
+            config = ClusterConfig.from_dict(info["cluster"])
+            break
+    if config is None:
+        # Standalone servers with no shared config: synthesise ids in
+        # list order (routing still works as long as every client uses
+        # the same list order).
+        config = ClusterConfig(
+            shards=[
+                ShardInfo(shard_id=f"s{i}", host=host, port=port)
+                for i, (host, port) in enumerate(endpoints)
+            ]
+        )
+    return ShardedClient(config)
 
 
 if __name__ == "__main__":  # pragma: no cover

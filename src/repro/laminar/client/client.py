@@ -82,6 +82,7 @@ _IDEMPOTENT_ACTIONS = frozenset(
         "get_trace",
         "check_resources",
         "index_stats",
+        "cluster_info",
     }
 )
 
@@ -347,6 +348,11 @@ class LaminarClient:
         neither set the server answers 400.
         """
         return self._call("index_save", path=path)
+
+    def cluster_Info(self) -> dict:
+        """The server's cluster identity: its shard id and, when it was
+        started with a cluster config, the full shard map."""
+        return self._call("cluster_info")
 
     # -- execution -----------------------------------------------------------------------------
 

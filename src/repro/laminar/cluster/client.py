@@ -1,0 +1,777 @@
+"""Shard-aware Laminar client: route, scatter-gather, fail over.
+
+:class:`ShardedClient` presents the familiar :class:`LaminarClient` verb
+surface over a whole cluster.  Three request shapes cover everything:
+
+* **Keyed writes** (``register_PE``, ``register_Workflow``, removals,
+  description updates) go to every owner of the key — the primary plus
+  its ring replicas — so a later failover has somewhere to read from.
+  The primary's answer is the caller's answer; replica failures degrade
+  durability but not the call.
+* **Keyed reads** (``get_Workflow``/``get_PE`` by *name*, ``describe``,
+  ``visualize_Workflow``, ``run``, ``submit_Job``) walk the owner list in
+  ring order and fail over to the next owner on connection loss,
+  heartbeat timeout or a 404 from a freshly-restarted (empty) shard.
+  Numeric ids are per-shard autoincrements and therefore unroutable;
+  those fall back to scatter-first-success.
+* **Scatter-gather** (``get_Registry``, searches, recommendations,
+  ``list_Jobs``, ``get_Metrics``, ``index_Stats``) fan out to every
+  live shard and merge; dead shards are skipped and reported in the
+  merged body's ``"degraded"`` list instead of failing the call.
+
+Job ids are qualified as ``"<shard>:<id>"`` on the way out of
+``submit_Job`` so every later job verb goes straight back to the shard
+that minted the id — plain ints from a single-server workflow still work
+via scatter.  Failover rides on the transport work from the hardening
+PR: each per-shard connection is a reconnecting
+:class:`~repro.laminar.transport.tcp.TcpClientTransport`, and this layer
+only ever *re-routes* verbs the single-server client already treats as
+idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable
+
+from repro.laminar.client.client import ClientError, LaminarClient, RunSummary
+from repro.laminar.client.process import Process
+from repro.laminar.cluster.config import ClusterConfig
+from repro.laminar.cluster.router import ShardRouter, routing_key
+
+__all__ = ["ShardedClient", "qualify_job_id", "split_job_id"]
+
+_TERMINAL_STATES = ("SUCCEEDED", "FAILED", "CANCELLED", "TIMED_OUT")
+
+
+def qualify_job_id(shard_id: str, job_id: Any) -> str:
+    """Stamp a per-shard job id with the shard that minted it."""
+    return f"{shard_id}:{job_id}"
+
+
+def split_job_id(job_id: Any) -> tuple[str | None, int]:
+    """Split ``"s1:42"`` → ``("s1", 42)``; plain ints have no shard."""
+    text = str(job_id)
+    if ":" in text:
+        shard, _, local = text.rpartition(":")
+        return shard, int(local)
+    return None, int(text)
+
+
+class ShardedClient:
+    """One client for N shards, routed by the shared consistent-hash ring."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        timeout: float = 60.0,
+        idle_deadline: float | None = None,
+        retry_policy=None,
+        client_factory: Callable[[str, int], LaminarClient] | None = None,
+    ) -> None:
+        self.config = config
+        self.router = ShardRouter(config)
+        self._timeout = timeout
+        self._idle_deadline = idle_deadline
+        self._retry_policy = retry_policy
+        self._factory = client_factory
+        # shard id → (port connected to, client); the port is remembered
+        # so a shard restarted on a new port gets a fresh connection.
+        self._clients: dict[str, tuple[int, LaminarClient]] = {}
+
+    # -- connection management ------------------------------------------------
+
+    def _connect(self, host: str, port: int) -> LaminarClient:
+        if self._factory is not None:
+            return self._factory(host, port)
+        return LaminarClient.connect(
+            host,
+            port,
+            timeout=self._timeout,
+            idle_deadline=self._idle_deadline,
+            retry_policy=self._retry_policy,
+        )
+
+    def _client(self, shard_id: str) -> LaminarClient:
+        info = self.config.shard(shard_id)
+        cached = self._clients.get(shard_id)
+        if cached is not None:
+            port, client = cached
+            if port == info.port:
+                return client
+            # The supervisor republished this shard on a new port.
+            self._drop(shard_id)
+        client = self._connect(info.host, info.port)
+        self._clients[shard_id] = (info.port, client)
+        return client
+
+    def _drop(self, shard_id: str) -> None:
+        cached = self._clients.pop(shard_id, None)
+        if cached is not None:
+            try:
+                cached[1].close()
+            except Exception:  # noqa: BLE001 - already broken
+                pass
+
+    def refresh(self, config: ClusterConfig | None = None) -> None:
+        """Re-read the cluster config (e.g. after membership changes)."""
+        if config is not None:
+            self.config = config
+        self.router = ShardRouter(self.config)
+        for shard_id in list(self._clients):
+            if shard_id not in self.config.shard_ids:
+                self._drop(shard_id)
+
+    def close(self) -> None:
+        """Close every per-shard connection."""
+        for shard_id in list(self._clients):
+            self._drop(shard_id)
+
+    def __enter__(self) -> "ShardedClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request shapes --------------------------------------------------------
+
+    def _owners_for(self, action: str, params: dict) -> list[str] | None:
+        key = routing_key(action, params)
+        if key is None:
+            return None
+        return self.router.owners(key)
+
+    def _call_on(self, shard_id: str, action: str, **params: Any) -> Any:
+        return self._client(shard_id)._call(action, **params)
+
+    def _keyed_read(self, action: str, **params: Any) -> Any:
+        """Route by key; fail over across owners; scatter when unroutable."""
+        owners = self._owners_for(action, params)
+        if owners is None:
+            return self._first_success(action, **params)
+        last: Exception | None = None
+        for shard_id in owners:
+            try:
+                return self._call_on(shard_id, action, **params)
+            except OSError as exc:  # connection refused/reset, heartbeat
+                self._drop(shard_id)
+                last = exc
+            except ClientError as exc:
+                if exc.status == 404:
+                    # A restarted shard may be empty; a replica has it.
+                    last = exc
+                    continue
+                raise
+        assert last is not None
+        raise last
+
+    def _keyed_write(self, action: str, **params: Any) -> Any:
+        """Write to every owner of the key; the primary's answer wins.
+
+        A down replica degrades durability, not the call; a down
+        *primary* falls back to the first replica that accepted.
+        All owners failing is the caller's error.
+        """
+        owners = self._owners_for(action, params)
+        if owners is None:
+            return self._first_success(action, **params)
+        result: Any = None
+        accepted: list[str] = []
+        last: Exception | None = None
+        for shard_id in owners:
+            try:
+                body = self._call_on(shard_id, action, **params)
+            except OSError as exc:
+                self._drop(shard_id)
+                last = exc
+                continue
+            except ClientError as exc:
+                last = exc
+                continue
+            accepted.append(shard_id)
+            if result is None:
+                result = body
+        if not accepted:
+            assert last is not None
+            raise last
+        if isinstance(result, dict):
+            result = dict(result)
+            result["shards"] = accepted
+        return result
+
+    def _first_success(self, action: str, **params: Any) -> Any:
+        """Scatter an unroutable request; first non-404 answer wins."""
+        last: Exception | None = None
+        for shard_id in self.config.shard_ids:
+            try:
+                return self._call_on(shard_id, action, **params)
+            except OSError as exc:
+                self._drop(shard_id)
+                last = exc
+            except ClientError as exc:
+                if exc.status in (404, 409):
+                    last = exc
+                    continue
+                raise
+        if last is None:
+            raise ClientError(404, f"no shard answered {action!r}")
+        raise last
+
+    def _scatter(self, action: str, **params: Any) -> tuple[dict[str, Any], list[str]]:
+        """Fan out to every shard: ``({shard: body}, [dead shards])``."""
+        bodies: dict[str, Any] = {}
+        degraded: list[str] = []
+        for shard_id in self.config.shard_ids:
+            try:
+                bodies[shard_id] = self._call_on(shard_id, action, **params)
+            except OSError:
+                self._drop(shard_id)
+                degraded.append(shard_id)
+            except ClientError:
+                degraded.append(shard_id)
+        return bodies, degraded
+
+    # -- registration ----------------------------------------------------------
+
+    def register_PE(
+        self, code: str, name: str | None = None, description: str | None = None
+    ) -> dict:
+        """Register one PE on the shard(s) owning its name."""
+        if name is None:
+            # Routing needs the name before the server assigns one: use
+            # the same extraction the registry applies on arrival.
+            from repro.laminar.server.services import RegistryService
+
+            classes = RegistryService.extract_pe_classes(code)
+            if classes:
+                name = classes[0][0]
+        return self._keyed_write(
+            "register_pe", code=code, name=name, description=description
+        )
+
+    def register_Workflow(
+        self,
+        source: str,
+        name: str | None = None,
+        description: str | None = None,
+        entry_point: str | None = None,
+    ) -> dict:
+        """Register a workflow (file path or source) on its owner shards."""
+        code, default_name = LaminarClient._load_source(source)
+        return self._keyed_write(
+            "register_workflow",
+            code=code,
+            name=name or default_name,
+            description=description,
+            entryPoint=entry_point,
+        )
+
+    # -- retrieval -------------------------------------------------------------
+
+    def get_PE(self, ident: int | str) -> dict:
+        """Retrieve a PE — routed by name, scattered for numeric ids."""
+        return self._keyed_read("get_pe", id=ident)
+
+    def get_Workflow(self, ident: int | str) -> dict:
+        """Retrieve a workflow — routed by name, scattered for ids."""
+        return self._keyed_read("get_workflow", id=ident)
+
+    def get_PEs_By_Workflow(self, ident: int | str) -> list[dict]:
+        """All PEs of a workflow, from the shard owning it."""
+        return self._keyed_read("get_pes_by_workflow", id=ident)
+
+    def describe(self, ident: int | str, kind: str = "pe") -> dict:
+        """Description plus code of a PE or workflow, from its owner."""
+        return self._keyed_read("describe", id=ident, kind=kind)
+
+    def visualize_Workflow(self, ident: int | str) -> dict:
+        """Graph renderings of a workflow, from the shard owning it."""
+        return self._keyed_read("visualize", id=ident)
+
+    @staticmethod
+    def _dedupe(entries: list[dict]) -> list[dict]:
+        """Drop replica copies from a merged listing.
+
+        Replicated writes put the same named entity on ``replication``
+        shards; a scatter-gather sees each copy once per shard.  The
+        name is the replication identity (per-shard local ids differ),
+        so the first — for ranked lists, highest-scored — copy wins.
+        """
+        seen: set = set()
+        out: list[dict] = []
+        for entry in entries:
+            name = entry.get("peName") or entry.get("workflowName")
+            if name is None:
+                key = (entry.get("shard"), entry.get("peId"), entry.get("workflowId"))
+            else:
+                key = ("pe" if entry.get("peName") else "wf", name)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(entry)
+        return out
+
+    def get_Registry(self) -> dict:
+        """Union of every shard's registry listing (replicas deduped)."""
+        bodies, degraded = self._scatter("get_registry")
+        merged: dict = {"pes": [], "workflows": [], "shards": {}}
+        for shard_id, body in bodies.items():
+            for entry in body.get("pes", ()):
+                entry["shard"] = shard_id
+                merged["pes"].append(entry)
+            for entry in body.get("workflows", ()):
+                entry["shard"] = shard_id
+                merged["workflows"].append(entry)
+            merged["shards"][shard_id] = {
+                "pes": len(body.get("pes", ())),
+                "workflows": len(body.get("workflows", ())),
+            }
+        merged["pes"] = self._dedupe(merged["pes"])
+        merged["workflows"] = self._dedupe(merged["workflows"])
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    # -- updates / removal -----------------------------------------------------
+
+    def update_PE_Description(self, ident: int | str, description: str) -> dict:
+        """Update a PE's description on every owner of its name."""
+        return self._keyed_write(
+            "update_pe_description", id=ident, description=description
+        )
+
+    def update_Workflow_Description(self, ident: int | str, description: str) -> dict:
+        """Update a workflow's description on every owner of its name."""
+        return self._keyed_write(
+            "update_workflow_description", id=ident, description=description
+        )
+
+    def remove_PE(self, ident: int | str) -> dict:
+        """Remove a PE from every shard holding a copy."""
+        return self._keyed_write("remove_pe", id=ident)
+
+    def remove_Workflow(self, ident: int | str) -> dict:
+        """Remove a workflow from every shard holding a copy."""
+        return self._keyed_write("remove_workflow", id=ident)
+
+    def remove_All(self) -> dict:
+        """Remove everything, everywhere.
+
+        The totals count removed *copies* (a replicated entity counts
+        once per shard holding it); ``shards`` has the per-shard split.
+        """
+        bodies, degraded = self._scatter("remove_all")
+        merged: dict = {
+            "pes_removed": sum(b.get("pes_removed", 0) for b in bodies.values()),
+            "workflows_removed": sum(
+                b.get("workflows_removed", 0) for b in bodies.values()
+            ),
+            "shards": bodies,
+        }
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    # -- search ----------------------------------------------------------------
+
+    def search_Registry_Literal(self, term: str, kind: str = "all") -> dict:
+        """Literal search across every shard, merged (replicas deduped)."""
+        bodies, degraded = self._scatter("search_literal", term=term, kind=kind)
+        merged: dict = {}
+        for shard_id, body in bodies.items():
+            for bucket, entries in body.items():
+                for entry in entries:
+                    entry["shard"] = shard_id
+                merged.setdefault(bucket, []).extend(entries)
+        merged = {bucket: self._dedupe(entries) for bucket, entries in merged.items()}
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    @staticmethod
+    def _merge_ranked(
+        bodies: dict[str, list[dict]], top_k: int
+    ) -> list[dict]:
+        merged: list[dict] = []
+        for shard_id, entries in bodies.items():
+            for entry in entries:
+                entry["shard"] = shard_id
+                merged.append(entry)
+        merged.sort(
+            key=lambda e: float(
+                e.get("score", e.get("cosine_similarity", 0.0)) or 0.0
+            ),
+            reverse=True,
+        )
+        return ShardedClient._dedupe(merged)[:top_k]
+
+    def search_Registry_Semantic(
+        self, query: str, kind: str = "pe", top_k: int = 5
+    ) -> list[dict]:
+        """Semantic search on every shard, re-ranked to a global top-k."""
+        bodies, _ = self._scatter(
+            "search_semantic", query=query, kind=kind, topK=top_k
+        )
+        return self._merge_ranked(bodies, top_k)
+
+    def code_Recommendation(
+        self,
+        snippet: str,
+        kind: str = "pe",
+        embedding_type: str = "spt",
+        top_k: int = 5,
+        threshold: float | None = None,
+    ) -> list[dict]:
+        """Code recommendation across every shard, globally re-ranked."""
+        bodies, _ = self._scatter(
+            "code_recommendation",
+            snippet=snippet,
+            kind=kind,
+            embeddingType=embedding_type,
+            topK=top_k,
+            threshold=threshold,
+        )
+        return self._merge_ranked(bodies, top_k)
+
+    def code_Completion(
+        self, snippet: str, embedding_type: str = "spt", top_k: int = 3
+    ) -> list[dict]:
+        """Code completion candidates across every shard, re-ranked."""
+        bodies, _ = self._scatter(
+            "code_completion",
+            snippet=snippet,
+            embeddingType=embedding_type,
+            topK=top_k,
+        )
+        return self._merge_ranked(bodies, top_k)
+
+    # -- index management ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-shard server statistics (uptime, requests, jobs)."""
+        bodies, degraded = self._scatter("stats")
+        merged: dict = {"shards": bodies}
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    def get_Trace(
+        self,
+        format: str = "tree",
+        trace_id: str | None = None,
+        clear: bool = False,
+    ) -> dict:
+        """Span data from every shard's tracer sink, concatenated."""
+        bodies, degraded = self._scatter(
+            "get_trace", format=format, trace_id=trace_id, clear=clear
+        )
+        merged: dict
+        if format == "chrome":
+            events: list = []
+            for body in bodies.values():
+                events.extend((body.get("trace") or {}).get("traceEvents", ()))
+            merged = {"trace": {"traceEvents": events}}
+        else:
+            trace: list = []
+            for body in bodies.values():
+                trace.extend(body.get("trace") or ())
+            merged = {"trace": trace}
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    # -- portability -----------------------------------------------------------
+
+    def export_Registry(self) -> dict:
+        """One coherent dump of the whole cluster.
+
+        Per-shard dumps use per-shard autoincrement ids, so the merge
+        reassigns global ids and rewrites workflow→PE links through each
+        shard's local id map; replicas are deduped by name (the first
+        shard's copy wins, links intact because a workflow's PEs are
+        registered on the workflow's own shards).
+        """
+        bodies, degraded = self._scatter("export_registry")
+        version = None
+        pes: list[dict] = []
+        workflows: list[dict] = []
+        pe_id_of: dict[str, int] = {}
+        wf_seen: set[str] = set()
+        for body in bodies.values():
+            version = body.get("version", version)
+            local: dict[int, int] = {}
+            for pe in body.get("pes", ()):
+                name = pe["peName"]
+                if name in pe_id_of:
+                    local[pe["peId"]] = pe_id_of[name]
+                    continue
+                entry = dict(pe)
+                entry["peId"] = pe_id_of[name] = len(pe_id_of) + 1
+                local[pe["peId"]] = entry["peId"]
+                pes.append(entry)
+            for wf in body.get("workflows", ()):
+                if wf["workflowName"] in wf_seen:
+                    continue
+                wf_seen.add(wf["workflowName"])
+                entry = dict(wf)
+                entry["workflowId"] = len(wf_seen)
+                entry["peIds"] = [
+                    local[i] for i in wf.get("peIds", ()) if i in local
+                ]
+                workflows.append(entry)
+        merged: dict = {"version": version, "pes": pes, "workflows": workflows}
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    def import_Registry(self, dump: dict | str) -> dict:
+        """Load a dump, routing each entity to the shards owning its name.
+
+        Each owner shard receives a sub-dump of its PEs and workflows;
+        a workflow's linked PEs ride along with it (whatever shard owns
+        their names) so the dump-local ``peIds`` links stay resolvable.
+        Returns global unique counts plus the per-shard import counts.
+        """
+        if isinstance(dump, str):
+            dump = json.loads(dump)
+        pes = list(dump.get("pes", ()))
+        workflows = list(dump.get("workflows", ()))
+        pe_by_id = {pe["peId"]: pe for pe in pes}
+        per_shard: dict[str, dict] = {}
+
+        def bucket(shard_id: str) -> dict:
+            return per_shard.setdefault(
+                shard_id,
+                {"version": dump.get("version"), "pes": [], "workflows": []},
+            )
+
+        def add_pe(shard_id: str, pe: dict) -> None:
+            sub = bucket(shard_id)
+            if all(p["peId"] != pe["peId"] for p in sub["pes"]):
+                sub["pes"].append(pe)
+
+        for pe in pes:
+            for shard_id in self.router.owners(f"pe:{pe['peName']}"):
+                add_pe(shard_id, pe)
+        for wf in workflows:
+            for shard_id in self.router.owners(f"workflow:{wf['workflowName']}"):
+                bucket(shard_id)["workflows"].append(wf)
+                for pe_id in wf.get("peIds", ()):
+                    if pe_id in pe_by_id:
+                        add_pe(shard_id, pe_by_id[pe_id])
+        shards: dict[str, dict] = {}
+        for shard_id, sub in per_shard.items():
+            shards[shard_id] = self._call_on(
+                shard_id, "import_registry", dump=sub
+            )
+        return {"pes": len(pes), "workflows": len(workflows), "shards": shards}
+
+    def index_Stats(self) -> dict:
+        """Per-shard semantic-index statistics."""
+        bodies, degraded = self._scatter("index_stats")
+        merged: dict = {"shards": bodies}
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    def index_Save(self, path: str | None = None) -> dict:
+        """Persist every shard's semantic indexes (needs per-shard
+        ``index_dir``; an explicit ``path`` would collide across shards)."""
+        if path is not None:
+            raise ValueError(
+                "sharded index_Save writes to each shard's own index_dir; "
+                "an explicit path cannot be shared"
+            )
+        bodies, degraded = self._scatter("index_save", path=None)
+        merged: dict = {"shards": bodies}
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        workflow: int | str,
+        input: Any = 1,
+        process: Process = Process.SIMPLE,
+        verbose: bool = False,
+        **options: Any,
+    ) -> RunSummary:
+        """Run a registered workflow on the shard owning it, streamed.
+
+        Connection failures *before any output arrives* fail over to the
+        next owner; a stream that already produced lines is not silently
+        re-run.
+        """
+        owners = self._owners_for("run", {"id": workflow})
+        if owners is None:
+            # Numeric id: find the shard that has it, then run there.
+            body = self._first_success("get_workflow", id=workflow)
+            owners = [body["shard"]] if "shard" in body else list(self.config.shard_ids)
+        last: Exception | None = None
+        for shard_id in owners:
+            try:
+                return self._client(shard_id).run(
+                    workflow, input=input, process=process, verbose=verbose, **options
+                )
+            except OSError as exc:
+                self._drop(shard_id)
+                last = exc
+            except ClientError as exc:
+                if exc.status == 404:
+                    last = exc
+                    continue
+                raise
+        assert last is not None
+        raise last
+
+    def submit_Job(
+        self,
+        workflow: int | str,
+        input: Any = 1,
+        process: Process = Process.SIMPLE,
+        timeout: float | None = None,
+        max_retries: int = 0,
+        priority: int = 0,
+        **options: Any,
+    ) -> dict:
+        """Submit to the shard owning the workflow; job ids come back
+        qualified as ``"<shard>:<id>"`` so later verbs route directly."""
+        owners = self._owners_for("submit_job", {"id": workflow})
+        candidates = owners if owners is not None else list(self.config.shard_ids)
+        last: Exception | None = None
+        for shard_id in candidates:
+            try:
+                body = self._call_on(
+                    shard_id,
+                    "submit_job",
+                    id=workflow,
+                    input=input,
+                    mapping=process.mapping,
+                    timeout=timeout,
+                    maxRetries=max_retries,
+                    priority=priority,
+                    options=options or None,
+                )
+            except OSError as exc:
+                self._drop(shard_id)
+                last = exc
+                continue
+            except ClientError as exc:
+                if exc.status == 404:
+                    last = exc
+                    continue
+                raise
+            body = dict(body)
+            body["jobId"] = qualify_job_id(shard_id, body["jobId"])
+            body["shard"] = shard_id
+            return body
+        assert last is not None
+        raise last
+
+    def _job_call(self, action: str, job_id: Any) -> dict:
+        shard_id, local_id = split_job_id(job_id)
+        if shard_id is None:
+            body = self._first_success(action, jobId=local_id)
+            return body
+        body = self._call_on(shard_id, action, jobId=local_id)
+        body = dict(body)
+        body["jobId"] = qualify_job_id(shard_id, local_id)
+        return body
+
+    def job_Status(self, job_id: Any) -> dict:
+        """State of a job, from the shard that minted its id."""
+        return self._job_call("job_status", job_id)
+
+    def job_Result(self, job_id: Any) -> dict:
+        """Result of a finished job; 409 while still running."""
+        return self._job_call("job_result", job_id)
+
+    def job_Logs(self, job_id: Any) -> dict:
+        """Captured output lines of a job (works mid-run)."""
+        return self._job_call("job_logs", job_id)
+
+    def cancel_Job(self, job_id: Any) -> dict:
+        """Cancel a queued or running job on its shard."""
+        return self._job_call("cancel_job", job_id)
+
+    def list_Jobs(self, state: str | None = None, limit: int = 50) -> list[dict]:
+        """Jobs across every shard, newest-first, ids qualified."""
+        bodies, _ = self._scatter("list_jobs", state=state, limit=limit)
+        merged: list[dict] = []
+        for shard_id, jobs in bodies.items():
+            for job in jobs:
+                job = dict(job)
+                job["jobId"] = qualify_job_id(shard_id, job["jobId"])
+                job["shard"] = shard_id
+                merged.append(job)
+        merged.sort(key=lambda j: j.get("submittedAt") or 0.0, reverse=True)
+        return merged[:limit]
+
+    def wait_For_Job(
+        self, job_id: Any, timeout: float = 60.0, interval: float = 0.05
+    ) -> dict:
+        """Poll a job to a terminal state; returns its result."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job_Status(job_id)
+            if status["state"] in _TERMINAL_STATES:
+                return self.job_Result(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout:.1f}s"
+                )
+            time.sleep(interval)
+
+    # -- observability ---------------------------------------------------------
+
+    def get_Metrics(self, format: str = "text") -> dict:
+        """Every shard's metrics: concatenated text or per-shard JSON."""
+        bodies, degraded = self._scatter("get_metrics", format=format)
+        if format == "json":
+            merged: dict = {
+                "shards": {s: b.get("metrics") for s, b in bodies.items()}
+            }
+            if degraded:
+                merged["degraded"] = degraded
+            return merged
+        sections = []
+        for shard_id, body in bodies.items():
+            sections.append(f"# shard {shard_id}\n{body.get('text', '')}")
+        merged = {
+            "content_type": "text/plain; version=0.0.4",
+            "text": "\n".join(sections),
+        }
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    def cluster_Status(self) -> dict:
+        """Live shard map: who answers, who owns what fraction of keys."""
+        shards = []
+        healthy = 0
+        for info in self.config.shards:
+            entry: dict[str, Any] = {
+                "shardId": info.shard_id,
+                "host": info.host,
+                "port": info.port,
+            }
+            try:
+                body = self._call_on(info.shard_id, "cluster_info")
+                entry["healthy"] = True
+                entry["reportedShardId"] = body.get("shardId")
+                healthy += 1
+            except (OSError, ClientError) as exc:
+                self._drop(info.shard_id)
+                entry["healthy"] = False
+                entry["error"] = str(exc)
+            shards.append(entry)
+        return {
+            "shards": shards,
+            "healthy": healthy,
+            "total": len(self.config.shards),
+            "vnodes": self.config.vnodes,
+            "replication": self.router.replication,
+        }

@@ -1,0 +1,116 @@
+"""Cluster topology description: shards, their addresses, ring knobs.
+
+A :class:`ClusterConfig` is the one artifact every party shares — the
+supervisor writes it after booting shards, servers load it to know
+their own identity and check key ownership, clients load it to route.
+It is a plain JSON document so it can live next to a registry db:
+
+.. code-block:: json
+
+    {
+      "vnodes": 64,
+      "replication": 2,
+      "shards": [
+        {"shard_id": "s0", "host": "127.0.0.1", "port": 8421},
+        {"shard_id": "s1", "host": "127.0.0.1", "port": 8422}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.laminar.cluster.ring import DEFAULT_VNODES
+
+__all__ = ["ShardInfo", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One server shard's identity and address."""
+
+    shard_id: str
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    def to_dict(self) -> dict:
+        return {"shard_id": self.shard_id, "host": self.host, "port": self.port}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardInfo":
+        return cls(
+            shard_id=str(data["shard_id"]),
+            host=str(data.get("host", "127.0.0.1")),
+            port=int(data.get("port", 0)),
+        )
+
+
+@dataclass
+class ClusterConfig:
+    """The shard list plus the ring parameters every party must share."""
+
+    shards: list[ShardInfo] = field(default_factory=list)
+    vnodes: int = DEFAULT_VNODES
+    #: How many distinct shards hold each key (primary + failover
+    #: replicas); clamped to the shard count when the cluster is smaller.
+    replication: int = 2
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for shard in self.shards:
+            if shard.shard_id in seen:
+                raise ValueError(f"duplicate shard_id {shard.shard_id!r}")
+            seen.add(shard.shard_id)
+
+    @property
+    def shard_ids(self) -> list[str]:
+        return [s.shard_id for s in self.shards]
+
+    def shard(self, shard_id: str) -> ShardInfo:
+        """Look one shard up by id (KeyError when absent)."""
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise KeyError(f"no shard {shard_id!r} in cluster config")
+
+    def replace(self, info: ShardInfo) -> None:
+        """Swap the entry with ``info``'s shard_id (e.g. after a restart
+        rebinds the port)."""
+        for i, shard in enumerate(self.shards):
+            if shard.shard_id == info.shard_id:
+                self.shards[i] = info
+                return
+        raise KeyError(f"no shard {info.shard_id!r} in cluster config")
+
+    def to_dict(self) -> dict:
+        return {
+            "vnodes": self.vnodes,
+            "replication": self.replication,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterConfig":
+        return cls(
+            shards=[ShardInfo.from_dict(s) for s in data.get("shards", [])],
+            vnodes=int(data.get("vnodes", DEFAULT_VNODES)),
+            replication=int(data.get("replication", 2)),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the config as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ClusterConfig":
+        """Read a config written by :meth:`save` (or by hand)."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read cluster config {path}: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,137 @@
+"""Consistent-hash ring with virtual nodes.
+
+The placement substrate of cluster mode: workflow/PE/job keys map to
+server shards through a ring of hashed virtual-node points, so
+
+* keys spread evenly across shards (each shard contributes ``vnodes``
+  points, smoothing the distribution — see the balance test), and
+* membership changes move only the keys that fall between the joining
+  (or leaving) shard's points and their predecessors — about ``1/n`` of
+  the keyspace, not a full reshuffle like modulo hashing.
+
+This is the decentralised-placement idea Wukong applies to serverless
+DAG scheduling (PAPERS.md): no central table, any party holding the
+shard list computes the same owner for the same key.
+
+Hashing is ``sha1`` over UTF-8 strings (stable across processes and
+Python versions — ``hash()`` is salted per process and useless here).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per shard; 64 keeps per-shard load within a few percent
+#: of even for small clusters while the ring stays tiny (n*64 points).
+DEFAULT_VNODES = 64
+
+
+def _hash64(text: str) -> int:
+    """First 8 bytes of sha1 as an unsigned int (the ring coordinate)."""
+    return int.from_bytes(hashlib.sha1(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent hashing over named nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node names (order-insensitive: the ring depends only on
+        the *set* of nodes and ``vnodes``).
+    vnodes:
+        Virtual points per node; more points = smoother balance.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = int(vnodes)
+        self._points: list[int] = []  # sorted ring coordinates
+        self._owner_at: dict[int, str] = {}  # coordinate -> node
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> list[str]:
+        """Member node names, sorted."""
+        return sorted(self._nodes)
+
+    def _node_points(self, node: str) -> list[int]:
+        return [_hash64(f"{node}#{i}") for i in range(self.vnodes)]
+
+    def add(self, node: str) -> None:
+        """Join one node (idempotent)."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            # sha1 collisions between distinct vnode labels are not a
+            # practical concern, but deterministic tie-breaking keeps the
+            # ring identical however members joined: lowest name wins.
+            holder = self._owner_at.get(point)
+            if holder is not None:
+                if node < holder:
+                    self._owner_at[point] = node
+                continue
+            bisect.insort(self._points, point)
+            self._owner_at[point] = node
+
+    def remove(self, node: str) -> None:
+        """Leave one node (idempotent); its keys fall to ring successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        for point in self._node_points(node):
+            if self._owner_at.get(point) == node:
+                del self._owner_at[point]
+                idx = bisect.bisect_left(self._points, point)
+                if idx < len(self._points) and self._points[idx] == point:
+                    self._points.pop(idx)
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first point clockwise of its hash)."""
+        owners = self.owners(key, 1)
+        if not owners:
+            raise LookupError("hash ring has no nodes")
+        return owners[0]
+
+    def owners(self, key: str, count: int = 1) -> list[str]:
+        """Up to ``count`` *distinct* nodes in ring order from ``key``.
+
+        The first entry is the primary owner; the rest are the natural
+        replica/failover targets (each key's successor nodes), so every
+        caller sharing the ring agrees on the failover order too.
+        """
+        if not self._points or count <= 0:
+            return []
+        start = bisect.bisect_right(self._points, _hash64(str(key)))
+        found: list[str] = []
+        for i in range(len(self._points)):
+            point = self._points[(start + i) % len(self._points)]
+            node = self._owner_at[point]
+            if node not in found:
+                found.append(node)
+                if len(found) >= min(count, len(self._nodes)):
+                    break
+        return found
+
+    def distribution(self, keys: Iterable[str]) -> dict[str, int]:
+        """Count of ``keys`` owned per node (balance diagnostics/tests)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

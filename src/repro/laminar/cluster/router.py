@@ -1,0 +1,103 @@
+"""Shard routing: map server actions and their keys to owning shards.
+
+Two pieces:
+
+* :func:`routing_key` — the *shared convention* turning an action
+  payload into a placement key (``pe:<name>`` / ``workflow:<name>``).
+  Client and server compute it identically, so a server can verify that
+  a keyed request actually belongs to it (and answer 421 when not) with
+  no coordination beyond the shared :class:`ClusterConfig`.
+* :class:`ShardRouter` — a :class:`HashRing` over the configured shard
+  ids plus the replication policy: ``owners(key)`` returns the primary
+  and its failover replicas in the order every party agrees on.
+
+Jobs deliberately have no routing key of their own: a job lives on the
+shard that owns its workflow, and the sharded client qualifies job ids
+as ``"<shard>:<id>"`` so later job verbs go straight back to the shard
+that minted the id.
+"""
+
+from __future__ import annotations
+
+from repro.laminar.cluster.config import ClusterConfig
+from repro.laminar.cluster.ring import HashRing
+
+__all__ = ["ShardRouter", "routing_key", "KEYED_ACTIONS"]
+
+#: Keyed actions → (key kind, payload parameter holding the name/id).
+#: Only these actions are ownership-checked; everything else (searches,
+#: listings, stats) is either scatter-gather or shard-local by nature.
+KEYED_ACTIONS: dict[str, tuple[str, str]] = {
+    "register_workflow": ("workflow", "name"),
+    "get_workflow": ("workflow", "id"),
+    "get_pes_by_workflow": ("workflow", "id"),
+    "update_workflow_description": ("workflow", "id"),
+    "remove_workflow": ("workflow", "id"),
+    "visualize": ("workflow", "id"),
+    "run": ("workflow", "id"),
+    "submit_job": ("workflow", "id"),
+    "register_pe": ("pe", "name"),
+    "get_pe": ("pe", "id"),
+    "update_pe_description": ("pe", "id"),
+    "remove_pe": ("pe", "id"),
+    "describe": ("pe", "id"),
+}
+
+
+def routing_key(action: str, params: dict) -> str | None:
+    """The placement key of one request, or ``None`` when unkeyed.
+
+    Numeric identifiers return ``None`` too: registry ids are per-shard
+    autoincrements, so only *names* are globally routable.  (The sharded
+    client resolves numeric lookups by scatter-gather instead.)
+    """
+    keyed = KEYED_ACTIONS.get(action)
+    if keyed is None:
+        return None
+    kind, param = keyed
+    ident = params.get(param)
+    if ident is None:
+        return None
+    ident = str(ident)
+    if not ident or ident.isdigit():
+        return None
+    if action == "describe":  # describe carries its kind in the payload
+        kind = str(params.get("kind") or kind)
+    return f"{kind}:{ident}"
+
+
+class ShardRouter:
+    """Consistent-hash placement of keys onto the configured shards."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.ring = HashRing(config.shard_ids, vnodes=config.vnodes)
+        self.replication = max(1, min(config.replication, len(config.shards) or 1))
+
+    def owner(self, key: str) -> str:
+        """Primary shard id for ``key``."""
+        return self.ring.owner(key)
+
+    def owners(self, key: str) -> list[str]:
+        """Primary plus replica shard ids, in agreed failover order."""
+        return self.ring.owners(key, self.replication)
+
+    def owns(self, shard_id: str, key: str) -> bool:
+        """Whether ``shard_id`` is the primary or a replica for ``key``."""
+        return shard_id in self.owners(key)
+
+    def misdirected(self, shard_id: str, action: str, params: dict) -> dict | None:
+        """Ownership check for one request arriving at ``shard_id``.
+
+        Returns ``None`` when the request may be served here (unkeyed
+        action, numeric id, or this shard is an owner); otherwise a
+        structured hint naming the true owners, which the server turns
+        into a 421 response.
+        """
+        key = routing_key(action, params)
+        if key is None:
+            return None
+        owners = self.owners(key)
+        if shard_id in owners:
+            return None
+        return {"key": key, "owner": owners[0], "owners": owners}

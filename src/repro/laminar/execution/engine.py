@@ -106,13 +106,18 @@ class ExecutionEngine:
         resource_cache: ResourceCache | None = None,
         registry=None,
         tracer=None,
+        broker=None,
     ) -> None:
         """``registry``/``tracer`` are the observability sinks every run
         records into — a server passes its own; standalone engines fall
-        back to the process defaults (see :mod:`repro.obs.runtime`)."""
+        back to the process defaults (see :mod:`repro.obs.runtime`).
+        ``broker`` is the default work-queue backend for dynamic-mapping
+        runs — cluster shards pass their partition of the shared
+        :class:`~repro.d4py.redisim.RedisSim` here."""
         self.cache = resource_cache or ResourceCache()
         self.registry = registry
         self.tracer = tracer
+        self.broker = broker
 
     # -- graph discovery ------------------------------------------------------
 
@@ -183,6 +188,8 @@ class ExecutionEngine:
             exec(compile_source(source, namespace["__name__"], "exec"), namespace)
             graph = self._find_graph(namespace, graph_name)
             options.setdefault("registry", self.registry)
+            if self.broker is not None and mapping == "dynamic":
+                options.setdefault("broker", self.broker)
             result = run_graph(
                 graph, input=input, mapping=mapping, verbose=verbose, **options
             )

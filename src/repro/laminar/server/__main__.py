@@ -55,7 +55,30 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for the persisted semantic-search index; warm-starts "
         "on boot when it matches the registry (default none)",
     )
+    parser.add_argument(
+        "--shard-id",
+        default=None,
+        help="this server's shard id when serving as one member of a "
+        "cluster (must appear in --cluster-config)",
+    )
+    parser.add_argument(
+        "--cluster-config",
+        default=None,
+        help="path to the shared cluster config JSON (shard map, vnodes, "
+        "replication); with --shard-id, misdirected keyed requests are "
+        "answered 421 with the true owner",
+    )
     ns = parser.parse_args(argv)
+
+    cluster_config = None
+    if ns.cluster_config is not None:
+        from repro.laminar.cluster.config import ClusterConfig
+
+        cluster_config = ClusterConfig.load(ns.cluster_config)
+        if ns.shard_id is not None and ns.shard_id not in cluster_config.shard_ids:
+            parser.error(
+                f"--shard-id {ns.shard_id!r} is not in {ns.cluster_config}"
+            )
 
     server = LaminarServer(
         ns.db,
@@ -63,12 +86,15 @@ def main(argv: list[str] | None = None) -> int:
         job_queue_capacity=ns.job_queue,
         job_default_timeout=ns.job_timeout,
         index_dir=ns.index_dir,
+        shard_id=ns.shard_id,
+        cluster_config=cluster_config,
     )
     transport = TcpServerTransport(server, host=ns.host, port=ns.port).start()
     host, port = transport.address
+    shard_note = f", shard {ns.shard_id}" if ns.shard_id else ""
     print(
         f"laminar server listening on {host}:{port} (registry: {ns.db}, "
-        f"{ns.job_workers} job workers, queue {ns.job_queue})",
+        f"{ns.job_workers} job workers, queue {ns.job_queue}{shard_note})",
         flush=True,
     )
 

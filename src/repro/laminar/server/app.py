@@ -146,7 +146,21 @@ class LaminarServer:
         job_queue_capacity: int = 64,
         job_default_timeout: float | None = None,
         index_dir: str | None = None,
+        shard_id: str | None = None,
+        cluster_config=None,
+        broker=None,
     ) -> None:
+        # Cluster identity: a shard knows its own id and (when given the
+        # shared ClusterConfig) verifies key ownership per request — a
+        # misrouted keyed request is answered 421 with the true owner
+        # instead of being served from the wrong registry partition.
+        self.shard_id = shard_id
+        self.cluster_config = cluster_config
+        self._shard_router = None
+        if cluster_config is not None and shard_id is not None:
+            from repro.laminar.cluster.router import ShardRouter
+
+            self._shard_router = ShardRouter(cluster_config)
         self.db = RegistryDatabase(db_path)
         self.users = UserRepository(self.db)
         self.pes = PERepository(self.db)
@@ -160,7 +174,7 @@ class LaminarServer:
         # there (``index_save``) are memmap-loaded on boot instead of
         # rebuilt from every stored embedding.
         self.registry = RegistryService(
-            self.pes, self.workflows, index_dir=index_dir
+            self.pes, self.workflows, index_dir=index_dir, shard_id=shard_id
         )
         # Per-server observability sinks: a private registry/tracer so
         # several servers in one process (tests!) never mix metrics.
@@ -168,7 +182,7 @@ class LaminarServer:
         self.tracer = Tracer()
         self.registry.bind_metrics(self.obs_registry)
         self.engine = ExecutionEngine(
-            registry=self.obs_registry, tracer=self.tracer
+            registry=self.obs_registry, tracer=self.tracer, broker=broker
         )
         self.execution = ExecutionService(
             self.registry, self.executions, self.responses, self.engine
@@ -186,12 +200,46 @@ class LaminarServer:
         )
         self.jobs = JobService(self.registry, self.job_manager)
         self.router = Router(self.auth, self.registry, self.execution, self.jobs)
+        if shard_id is not None:
+            # Per-shard identity gauge: every metric family scraped from
+            # this server is attributable to its shard by joining on it.
+            self.obs_registry.gauge(
+                "laminar_cluster_shard_up",
+                "1 for the shard serving this metrics registry.",
+                ("shard",),
+            ).labels(shard_id).set(1.0)
+            self._misdirected = self.metrics.registry.counter(
+                "laminar_cluster_misdirected_total",
+                "Keyed requests rejected with 421 (wrong shard), by action.",
+                ("action",),
+            )
+        else:
+            self._misdirected = None
 
     def handle(self, payload: Any) -> dict:
         """Process one request payload into a ``{status, body}`` envelope."""
         if not isinstance(payload, dict):
             return {"status": 400, "body": {"error": "payload must be an object"}}
         action = str(payload.get("action"))
+        if action == "cluster_info":
+            body = {"shardId": self.shard_id, "cluster": None}
+            if self.cluster_config is not None:
+                body["cluster"] = self.cluster_config.to_dict()
+            return {"status": 200, "body": body}
+        if self._shard_router is not None:
+            hint = self._shard_router.misdirected(self.shard_id, action, payload)
+            if hint is not None:
+                self._misdirected.labels(action).inc()
+                return {
+                    "status": 421,
+                    "body": {
+                        "error": (
+                            f"shard {self.shard_id} does not own {hint['key']!r} "
+                            f"(owner: {hint['owner']})"
+                        ),
+                        **hint,
+                    },
+                }
         if action == "stats":
             body = self.metrics.snapshot()
             # Live queue/worker gauges come from the manager; the counters

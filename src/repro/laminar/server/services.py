@@ -174,6 +174,7 @@ class RegistryService:
         embedder: UniXcoderEmbedder | None = None,
         reacc: ReACCRetriever | None = None,
         index_dir: str | Path | None = None,
+        shard_id: str | None = None,
     ) -> None:
         self.pes = pes
         self.workflows = workflows
@@ -181,6 +182,10 @@ class RegistryService:
         self.embedder = embedder or UniXcoderEmbedder()
         self.reacc = reacc or ReACCRetriever()
         self.index_dir = Path(index_dir) if index_dir else None
+        #: Cluster shard this registry partition belongs to (None when
+        #: running standalone); stamped into index lifecycle events so
+        #: merged logs from a cluster stay attributable.
+        self.shard_id = shard_id
         # Search-index caching: any registry mutation bumps the revision.
         # Semantic indexes are updated *incrementally* by the mutation
         # paths below (state.revision tracks _revision); a revision bump
@@ -260,6 +265,8 @@ class RegistryService:
         self._metrics["latency"].labels(mode).observe(time.monotonic() - started)
 
     def _index_event(self, event: str, **fields: Any) -> None:
+        if self.shard_id is not None:
+            fields.setdefault("shard", self.shard_id)
         self.index_events.append(format_event(event, component="search", **fields))
 
     # -- semantic index lifecycle --------------------------------------------
@@ -387,6 +394,7 @@ class RegistryService:
             kinds[kind] = stats
         return {
             "revision": self._revision,
+            "shard": self.shard_id,
             "index_dir": str(self.index_dir) if self.index_dir else None,
             "kinds": kinds,
             "events": list(self.index_events[-20:]),

@@ -74,6 +74,11 @@ def _error_payload(exc: BaseException, status: int = 500) -> dict:
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    # Frames are written as several small buffered writes; without
+    # TCP_NODELAY, Nagle + delayed ACK turns every exchange into a
+    # ~40 ms round-trip even on loopback.
+    disable_nagle_algorithm = True
+
     def setup(self) -> None:
         super().setup()
         # Responses and heartbeats interleave on one socket, so every
@@ -177,6 +182,38 @@ class _ThreadingServer(socketserver.ThreadingTCPServer):
     transport_errors = None  # obs counter families, bound by the transport
     heartbeats = None
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Live connection sockets, so stop() can sever them: handler
+        # threads otherwise outlive the listener and keep answering on a
+        # server whose database is already closed.
+        self._live_requests: set = set()
+        self._live_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        with self._live_lock:
+            self._live_requests.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._live_lock:
+            self._live_requests.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        """Hard-close every live connection (peers see a reset)."""
+        with self._live_lock:
+            sockets = list(self._live_requests)
+        for sock in sockets:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
     def count_handler_error(self, error_type: str) -> None:
         if self.transport_errors is not None:
             self.transport_errors.labels(error_type).inc()
@@ -224,8 +261,14 @@ class TcpServerTransport:
         return self
 
     def stop(self) -> None:
-        """Shut down the listener and join the serving thread."""
+        """Shut down the listener, sever live connections, join the thread.
+
+        Severing matters for cluster failover: a killed shard must
+        surface to connected clients as a connection error (so they
+        re-route), never as answers computed over torn-down state.
+        """
         self._tcp.shutdown()
+        self._tcp.close_all_connections()
         self._tcp.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -272,6 +315,9 @@ class TcpClientTransport:
         self._sock = socket.create_connection(
             (self._host, self._port), timeout=self._timeout
         )
+        # See _ThreadingServer.disable_nagle_algorithm — same stall in
+        # the other direction without this.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
 
@@ -291,15 +337,23 @@ class TcpClientTransport:
             self.reconnects += 1
 
     def bind_metrics(self, registry) -> None:
-        """Register live gauges for this client's fault accounting."""
+        """Register live gauges for this client's fault accounting.
+
+        Gauges are labelled by endpoint (``host:port``) so one registry
+        can watch several connections — a sharded client binds every
+        per-shard transport into the same registry without collisions.
+        """
+        endpoint = f"{self._host}:{self._port}"
         registry.gauge(
             "laminar_client_reconnects_total",
             "Connections re-established by the TCP client transport.",
-        ).set_function(lambda: self.reconnects)
+            ("endpoint",),
+        ).labels(endpoint).set_function(lambda: self.reconnects)
         registry.gauge(
             "laminar_client_request_retries_total",
             "Idempotent exchanges resent after a connection failure.",
-        ).set_function(lambda: self.retries)
+            ("endpoint",),
+        ).labels(endpoint).set_function(lambda: self.retries)
 
     # -- frame plumbing -------------------------------------------------------
 

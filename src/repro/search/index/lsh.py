@@ -45,6 +45,7 @@ class RandomHyperplaneLSH:
         self.dim = int(dim)
         self.bands = int(bands)
         self.rows = int(rows)
+        self.seed = int(seed)
         rng = np.random.default_rng(seed)
         self._planes = rng.standard_normal(
             (self.bands * self.rows, self.dim)
@@ -117,6 +118,41 @@ class RandomHyperplaneLSH:
         """Drop every item."""
         self._buckets = [defaultdict(set) for _ in range(self.bands)]
         self._keys_of = {}
+
+    # -- persistence ----------------------------------------------------------
+
+    def export_keys(self) -> list[list]:
+        """Every item's band keys as ``[item_id, [hex, ...]]`` pairs.
+
+        The hyperplanes themselves need no export: they regenerate
+        deterministically from ``seed``, so the bucket maps are the only
+        state a warm start has to read back.
+        """
+        return [
+            [item_id, [key.hex() for key in keys]]
+            for item_id, keys in self._keys_of.items()
+        ]
+
+    def load_keys(self, entries: Sequence[Sequence]) -> None:
+        """Rebuild the bucket maps from :meth:`export_keys` output.
+
+        Skips the projection pass entirely — this is what makes warm
+        starts cheap.  Entries must come from an index with the same
+        ``bands``/``rows``/``seed`` (the persistence layer verifies).
+        """
+        self.clear()
+        for item_id, hex_keys in entries:
+            if len(hex_keys) != self.bands:
+                raise ValueError(
+                    f"item {item_id!r} has {len(hex_keys)} band keys, "
+                    f"expected {self.bands}"
+                )
+            stored = []
+            for band, hex_key in enumerate(hex_keys):
+                key = bytes.fromhex(hex_key)
+                self._buckets[band][key].add(item_id)
+                stored.append(key)
+            self._keys_of[item_id] = stored
 
     def candidates(self, vector: Sequence[float] | np.ndarray) -> set[Any]:
         """Items sharing at least one band key with the query vector."""

@@ -54,6 +54,15 @@ class TwoStageIndex:
     def dim(self) -> int:
         return self.exact.dim
 
+    @property
+    def ids(self) -> list:
+        """Live item ids, in exact-stage row order."""
+        return self.exact.ids
+
+    def compact(self) -> None:
+        """Compact the exact stage (the LSH maps hold no dead entries)."""
+        self.exact.compact()
+
     def __len__(self) -> int:
         return len(self.exact)
 

@@ -606,3 +606,94 @@ def test_service_index_metrics_exposed():
         assert "laminar_search_index_size" in text
     finally:
         server.close()
+
+
+# -- two-stage (LSH) persistence ----------------------------------------------
+
+
+@pytest.fixture()
+def saved_two_stage(tmp_path):
+    vecs = _corpus(300)
+    idx = TwoStageIndex(32, bands=8, rows=6, seed=99, candidate_multiplier=2)
+    idx.add_batch(list(range(300)), vecs)
+    save_index(idx, tmp_path / "idx")
+    return idx, vecs, tmp_path / "idx"
+
+
+def test_two_stage_round_trip_restores_buckets(saved_two_stage):
+    idx, vecs, path = saved_two_stage
+    loaded = load_index(path)
+    assert isinstance(loaded, TwoStageIndex)
+    assert len(loaded) == 300
+    assert loaded.lsh.bands == 8 and loaded.lsh.rows == 6
+    assert loaded.lsh.seed == 99 and loaded.candidate_multiplier == 2
+    q = vecs[42] + 0.01
+    # identical candidate sets (bucket maps restored, planes reseeded)
+    assert idx.lsh.candidates(q) == loaded.lsh.candidates(q)
+    # identical two-stage results with exact scores
+    a = idx.search_vector(q, top_k=10)
+    b = loaded.search_vector(q, top_k=10)
+    assert [i for i, _ in a] == [i for i, _ in b]
+    assert np.allclose([s for _, s in a], [s for _, s in b], atol=1e-6)
+
+
+def test_two_stage_warm_start_skips_projection(saved_two_stage, monkeypatch):
+    _, _, path = saved_two_stage
+    # A warm start must never re-project stored vectors through the
+    # hyperplanes — only queries do that, after loading.
+    calls = {"n": 0}
+    original = RandomHyperplaneLSH._band_keys
+
+    def counting(self, vectors):
+        calls["n"] += 1
+        return original(self, vectors)
+
+    monkeypatch.setattr(RandomHyperplaneLSH, "_band_keys", counting)
+    loaded = load_index(path)
+    assert calls["n"] == 0
+    assert len(loaded.lsh) == 300
+
+
+def test_two_stage_manifest_records_lsh(saved_two_stage):
+    _, _, path = saved_two_stage
+    info = manifest_info(path)
+    assert info["lsh"] == {"bands": 8, "rows": 6, "seed": 99}
+
+
+def test_two_stage_stale_sidecar_fails_loud(saved_two_stage):
+    _, _, path = saved_two_stage
+    doc = json.loads((path / "lsh.json").read_text())
+    doc["keys"] = doc["keys"][:-1]  # sidecar no longer covers every id
+    (path / "lsh.json").write_text(json.dumps(doc))
+    with pytest.raises(IndexPersistenceError) as err:
+        load_index(path)
+    assert err.value.reason == "lsh-mismatch"
+
+
+def test_two_stage_corrupt_sidecar_fails_loud(saved_two_stage):
+    _, _, path = saved_two_stage
+    (path / "lsh.json").write_text("not json")
+    with pytest.raises(IndexPersistenceError) as err:
+        load_index(path)
+    assert err.value.reason == "bad-lsh"
+
+
+def test_two_stage_sidecar_version_checked(saved_two_stage):
+    _, _, path = saved_two_stage
+    doc = json.loads((path / "lsh.json").read_text())
+    doc["version"] = 99
+    (path / "lsh.json").write_text(json.dumps(doc))
+    with pytest.raises(IndexPersistenceError) as err:
+        load_index(path)
+    assert err.value.reason == "version"
+
+
+def test_plain_save_drops_stale_sidecar(saved_two_stage):
+    idx, vecs, path = saved_two_stage
+    vi = VectorIndex(32)
+    vi.add_batch([1, 2, 3], vecs[:3])
+    save_index(vi, path)  # plain index over a two-stage save
+    assert not (path / "lsh.json").exists()
+    loaded = load_index(path)
+    assert not isinstance(loaded, TwoStageIndex)
+    assert len(loaded) == 3
