@@ -1,0 +1,136 @@
+"""A11 — fair-share queue overhead: DRR lanes vs the old single heap.
+
+The multi-tenant queue replaced one global priority heap with per-tenant
+lanes drained by deficit round-robin.  A single-tenant deployment — the
+common case for a dev server — must not pay materially for machinery it
+does not use, so this bench drives the same put/get workload through the
+production :class:`~repro.laminar.jobs.queue.JobQueue` and through an
+inlined replica of the pre-tenancy single-heap queue, and bounds the
+single-tenant throughput cost at 10%.
+
+Methodology: interleave the two arms round-by-round so clock drift and
+cache effects hit both equally, then compare medians.  The result is
+committed to ``BENCH_fairshare.json`` at the repo root.
+"""
+
+import heapq
+import itertools
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.laminar.jobs import Job, JobQueue, JobSpec
+
+#: Jobs per round — large enough that one round takes a few ms, so the
+#: per-op delta is resolved well below the 10% bar.
+BATCH = 4000
+ROUNDS = 15
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fairshare.json"
+
+
+class LegacyHeapQueue:
+    """Faithful replica of the pre-tenancy queue: one global priority
+    heap under a condvar, with the same admission and peak accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._heap: list = []
+        self._cancelled: set = set()
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self.submitted = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    def put(self, job: Job) -> None:
+        with self._cond:
+            if len(self._heap) - len(self._cancelled) >= self.capacity:
+                self.rejected += 1
+                raise RuntimeError("full")
+            heapq.heappush(self._heap, (-job.spec.priority, next(self._seq), job))
+            self.submitted += 1
+            self.peak_depth = max(
+                self.peak_depth, len(self._heap) - len(self._cancelled)
+            )
+            self._cond.notify()
+
+    def get(self, timeout=None) -> Job | None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.job_id in self._cancelled:
+                        self._cancelled.discard(job.job_id)
+                        continue
+                    return job
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+
+
+def _jobs() -> list[Job]:
+    return [
+        Job(
+            job_id=i,
+            spec=JobSpec(workflow_code="", user_name="solo", priority=i % 3),
+        )
+        for i in range(BATCH)
+    ]
+
+
+def _time_queue(make_queue) -> float:
+    queue = make_queue()
+    jobs = _jobs()
+    started = time.perf_counter()
+    for job in jobs:
+        queue.put(job)
+    for _ in jobs:
+        assert queue.get(timeout=1.0) is not None
+    return time.perf_counter() - started
+
+
+def test_fairshare_single_tenant_overhead(report):
+    legacy_times: list[float] = []
+    fairshare_times: list[float] = []
+    for _ in range(ROUNDS):
+        legacy_times.append(
+            _time_queue(lambda: LegacyHeapQueue(capacity=BATCH + 1))
+        )
+        fairshare_times.append(
+            _time_queue(lambda: JobQueue(capacity=BATCH + 1))
+        )
+    legacy = statistics.median(legacy_times)
+    fairshare = statistics.median(fairshare_times)
+    overhead_pct = 100.0 * (fairshare - legacy) / legacy
+
+    payload = {
+        "benchmark": "fairshare_single_tenant_overhead",
+        "batch_jobs": BATCH,
+        "rounds": ROUNDS,
+        "legacy_heap_median_ms": round(1e3 * legacy, 4),
+        "fairshare_median_ms": round(1e3 * fairshare, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "threshold_pct": 10.0,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report(
+        "A11 — fair-share queue overhead (single tenant)",
+        [
+            f"workload: {BATCH} put+get pairs, median of {ROUNDS} rounds",
+            f"legacy heap:  {1e3 * legacy:8.3f} ms/round",
+            f"DRR lanes:    {1e3 * fairshare:8.3f} ms/round",
+            f"overhead: {overhead_pct:+.2f}% (bar: 10%)",
+        ],
+    )
+    assert overhead_pct < 10.0, (
+        f"single-tenant fair-share overhead {overhead_pct:.2f}% exceeds 10%"
+    )

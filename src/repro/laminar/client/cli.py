@@ -540,6 +540,17 @@ class LaminarCLI(cmd.Cmd):
                 f"rejected {queue.get('rejected', 0)}), "
                 f"workers {workers.get('busy', 0)}/{workers.get('size', 0)} busy"
             )
+        tenants = body.get("tenants")
+        if tenants:
+            self._p("tenants:")
+            for name, row in sorted(tenants.items()):
+                self._p(
+                    f"  {name:<16} {row['requests']:>5} req  "
+                    f"{row['errors']:>3} err  "
+                    f"{row['jobs_finished']:>3} jobs  "
+                    f"wait {row['mean_wait_ms']:.1f} ms  "
+                    f"run {row['mean_run_ms']:.1f} ms"
+                )
 
     def do_index(self, arg: str) -> None:
         """index stats|save [path] — inspect or persist the search indexes.
@@ -646,6 +657,58 @@ class LaminarCLI(cmd.Cmd):
         for shard in cluster.get("shards", []):
             self._p(f"  {shard['shardId']:<6} {shard['host']}:{shard['port']}")
 
+    # -- accounts -------------------------------------------------------------------------------
+
+    def do_register(self, arg: str) -> None:
+        """register <user> <password> — create an account."""
+        parts = shlex.split(arg)
+        if len(parts) != 2:
+            self._p("usage: register <user> <password>")
+            return
+        body = self.client.register(parts[0], parts[1])
+        self._p(f"registered {body['userName']} (ID {body['userId']})")
+
+    def do_login(self, arg: str) -> None:
+        """login <user> <password> — authenticate; later commands carry
+        the session token."""
+        parts = shlex.split(arg)
+        if len(parts) != 2:
+            self._p("usage: login <user> <password>")
+            return
+        body = self.client.login(parts[0], parts[1])
+        self._p(f"logged in as {parts[0]}")
+        if body.get("expiresIn"):
+            self._p(f"session expires in {body['expiresIn']:.0f}s")
+
+    def do_logout(self, arg: str) -> None:
+        """logout — revoke the current session token."""
+        body = self.client.logout()
+        self._p("logged out" if body.get("loggedOut") else "no active session")
+
+    def do_whoami(self, arg: str) -> None:
+        """whoami — which account the server sees this session as."""
+        body = self.client.whoami()
+        self._p(f"{body['userName']} (ID {body['userId']})")
+
+    def do_apikey(self, arg: str) -> None:
+        """apikey create [name] | apikey revoke <id> — long-lived credentials.
+
+        ``create`` prints the key once — it is stored hashed server-side
+        and cannot be recovered.  Pass it back with ``laminar --api-key``.
+        """
+        parts = shlex.split(arg)
+        sub = parts[0] if parts else ""
+        if sub == "create":
+            body = self.client.create_Api_Key(" ".join(parts[1:]))
+            self._p(f"key {body['keyId']}: {body['apiKey']}")
+            self._p("(shown once — store it now)")
+            return
+        if sub == "revoke" and len(parts) == 2:
+            body = self.client.revoke_Api_Key(int(parts[1]))
+            self._p(f"revoked key {body['revoked']}")
+            return
+        self._p("usage: apikey create [name] | apikey revoke <id>")
+
     # -- session --------------------------------------------------------------------------------
 
     def do_quit(self, arg: str) -> bool:
@@ -674,6 +737,14 @@ def main(argv: list[str] | None = None) -> int:
         "comma-separated seed list of shard addresses (the authoritative "
         "shard map is fetched from the first shard that answers)",
     )
+    parser.add_argument(
+        "--token",
+        help="session token from a previous login (required-auth servers)",
+    )
+    parser.add_argument(
+        "--api-key",
+        help="long-lived API key minted with 'apikey create'",
+    )
     ns = parser.parse_args(argv)
     if ns.cluster:
         client = _cluster_client(ns.cluster)
@@ -682,6 +753,9 @@ def main(argv: list[str] | None = None) -> int:
         client = LaminarClient.connect(host, int(port))
     else:
         client = LaminarClient()
+    credential = ns.api_key or ns.token
+    if credential:
+        client.use_api_key(credential)
     LaminarCLI(client).cmdloop()
     return 0
 

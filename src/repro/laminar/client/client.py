@@ -62,6 +62,7 @@ __all__ = ["LaminarClient", "RunSummary", "ClientError"]
 _IDEMPOTENT_ACTIONS = frozenset(
     {
         "ping",
+        "whoami",
         "stats",
         "get_pe",
         "get_workflow",
@@ -119,7 +120,7 @@ class RunSummary:
 class LaminarClient:
     """Client façade over a Laminar server."""
 
-    def __init__(self, server=None, transport=None) -> None:
+    def __init__(self, server=None, transport=None, api_key: str | None = None) -> None:
         if transport is not None:
             self._transport = transport
         else:
@@ -128,7 +129,9 @@ class LaminarClient:
 
                 server = LaminarServer()
             self._transport = InProcessTransport(server)
-        self._token: str | None = None
+        # API keys and session tokens travel in the same payload field;
+        # the server routes by the key's prefix.
+        self._token: str | None = api_key
 
     @classmethod
     def connect(
@@ -138,6 +141,7 @@ class LaminarClient:
         timeout: float = 60.0,
         idle_deadline: float | None = None,
         retry_policy=None,
+        api_key: str | None = None,
     ) -> "LaminarClient":
         """Connect to a remote Laminar server over TCP.
 
@@ -145,7 +149,8 @@ class LaminarClient:
         reset it), so a dead server surfaces as a prompt
         :class:`~repro.laminar.transport.tcp.HeartbeatTimeout` instead of
         an indefinite hang; ``retry_policy`` shapes the bounded
-        reconnect-with-backoff applied to idempotent verbs.
+        reconnect-with-backoff applied to idempotent verbs.  An
+        ``api_key`` authenticates every call without a login round-trip.
         """
         return cls(
             transport=TcpClientTransport(
@@ -154,7 +159,8 @@ class LaminarClient:
                 timeout=timeout,
                 idle_deadline=idle_deadline,
                 retry_policy=retry_policy,
-            )
+            ),
+            api_key=api_key,
         )
 
     def close(self) -> None:
@@ -191,6 +197,33 @@ class LaminarClient:
         body = self._call("login", userName=user_name, password=password)
         self._token = body["token"]
         return body
+
+    def logout(self) -> dict:
+        """Revoke the current session token (idempotent)."""
+        body = self._call("logout")
+        self._token = None
+        return body
+
+    def whoami(self) -> dict:
+        """The account the server resolves this client's credential to."""
+        return self._call("whoami")
+
+    def use_api_key(self, api_key: str | None) -> None:
+        """Authenticate subsequent calls with a long-lived API key
+        (``None`` clears the credential)."""
+        self._token = api_key
+
+    def create_Api_Key(self, name: str = "") -> dict:
+        """Mint an API key for the logged-in user.
+
+        The plaintext key is returned exactly once; the server stores
+        only its digest.
+        """
+        return self._call("create_api_key", name=name)
+
+    def revoke_Api_Key(self, key_id: int) -> dict:
+        """Revoke one of the logged-in user's API keys by id."""
+        return self._call("revoke_api_key", keyId=key_id)
 
     # -- registration ------------------------------------------------------------
 

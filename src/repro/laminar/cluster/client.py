@@ -69,6 +69,7 @@ class ShardedClient:
         idle_deadline: float | None = None,
         retry_policy=None,
         client_factory: Callable[[str, int], LaminarClient] | None = None,
+        api_key: str | None = None,
     ) -> None:
         self.config = config
         self.router = ShardRouter(config)
@@ -76,6 +77,11 @@ class ShardedClient:
         self._idle_deadline = idle_deadline
         self._retry_policy = retry_policy
         self._factory = client_factory
+        # Credentials are per-shard state (each shard keeps its own User
+        # and session tables), so they are replayed onto every per-shard
+        # connection — including ones opened after a shard restart.
+        self._api_key = api_key
+        self._credentials: tuple[str, str] | None = None
         # shard id → (port connected to, client); the port is remembered
         # so a shard restarted on a new port gets a fresh connection.
         self._clients: dict[str, tuple[int, LaminarClient]] = {}
@@ -103,6 +109,13 @@ class ShardedClient:
             # The supervisor republished this shard on a new port.
             self._drop(shard_id)
         client = self._connect(info.host, info.port)
+        if self._api_key is not None:
+            client.use_api_key(self._api_key)
+        elif self._credentials is not None:
+            try:
+                client.login(*self._credentials)
+            except (OSError, ClientError):
+                pass  # the verb's own failover reports unreachable shards
         self._clients[shard_id] = (info.port, client)
         return client
 
@@ -231,6 +244,87 @@ class ShardedClient:
             except ClientError:
                 degraded.append(shard_id)
         return bodies, degraded
+
+    # -- accounts --------------------------------------------------------------
+
+    def register(self, user_name: str, password: str) -> dict:
+        """Create an account on every shard (accounts are per-shard rows).
+
+        A shard already holding the name answers 409 and is reported as
+        existing rather than failing the call.
+        """
+        shards: dict[str, Any] = {}
+        degraded: list[str] = []
+        for shard_id in self.config.shard_ids:
+            try:
+                shards[shard_id] = self._call_on(
+                    shard_id, "register_user",
+                    userName=user_name, password=password,
+                )
+            except ClientError as exc:
+                if exc.status == 409:
+                    shards[shard_id] = {"existed": True}
+                else:
+                    raise
+            except OSError:
+                self._drop(shard_id)
+                degraded.append(shard_id)
+        merged: dict = {"userName": user_name, "shards": shards}
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    def login(self, user_name: str, password: str) -> dict:
+        """Log in on every shard; each per-shard connection keeps its own
+        session token (tokens are per-shard state).
+
+        The credentials are retained so connections opened later — e.g.
+        after a shard restart — re-authenticate transparently.
+        """
+        self._credentials = (user_name, password)
+        self._api_key = None
+        shards: dict[str, Any] = {}
+        degraded: list[str] = []
+        for shard_id in self.config.shard_ids:
+            try:
+                body = self._client(shard_id).login(user_name, password)
+                shards[shard_id] = {"expiresIn": body.get("expiresIn")}
+            except OSError:
+                self._drop(shard_id)
+                degraded.append(shard_id)
+        if not shards:
+            raise ClientError(503, "no shard accepted the login")
+        merged: dict = {"userName": user_name, "shards": shards}
+        if degraded:
+            merged["degraded"] = degraded
+        return merged
+
+    def logout(self) -> dict:
+        """Revoke the session on every connected shard."""
+        self._credentials = None
+        revoked = 0
+        for shard_id in list(self._clients):
+            try:
+                body = self._clients[shard_id][1].logout()
+                revoked += bool(body.get("loggedOut"))
+            except (OSError, ClientError):
+                self._drop(shard_id)
+        return {"loggedOut": revoked > 0, "shards": revoked}
+
+    def use_api_key(self, api_key: str | None) -> None:
+        """Authenticate every per-shard connection with ``api_key``.
+
+        The key must resolve on every shard — mint it on each shard, or
+        import the account set; per-shard keys differ otherwise.
+        """
+        self._api_key = api_key
+        self._credentials = None
+        for _, client in self._clients.values():
+            client.use_api_key(api_key)
+
+    def whoami(self) -> dict:
+        """The account the first answering shard resolves us to."""
+        return self._first_success("whoami")
 
     # -- registration ----------------------------------------------------------
 

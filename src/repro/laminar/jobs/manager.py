@@ -47,13 +47,17 @@ class JobManager:
         start: bool = True,
         registry=None,
         tracer=None,
+        quotas=None,
     ) -> None:
         """``registry``/``tracer`` are optional observability sinks: live
         queue/worker gauges, per-state duration histograms and a retry
         counter land in ``registry``; job lifecycle span trees
-        (queued → attempts → terminal) land in ``tracer``."""
+        (queued → attempts → terminal) land in ``tracer``.  ``quotas`` is
+        an optional :class:`~repro.laminar.tenancy.QuotaConfig` enforced
+        at admission (queued cap) and dequeue (running cap, weights)."""
         self.store = store if store is not None else InMemoryJobStore()
-        self.queue = JobQueue(capacity=queue_capacity)
+        self.quotas = quotas
+        self.queue = JobQueue(capacity=queue_capacity, quotas=quotas)
         self.default_timeout = default_timeout
         self._user_on_terminal = on_terminal
         self.registry = registry
@@ -71,6 +75,8 @@ class JobManager:
         self._wait_seconds = 0.0
         self._run_seconds = 0.0
         self._retries = 0
+        # Per-tenant terminal accounting: {tenant: [finished, wait_s, run_s]}.
+        self._tenant_totals: dict[str, list[float]] = {}
         self._state_seconds = None
         if registry is not None:
             registry.gauge(
@@ -110,6 +116,10 @@ class JobManager:
         self._wait_seconds += job.queue_seconds
         self._run_seconds += job.run_seconds
         self._retries += job.retries
+        totals = self._tenant_totals.setdefault(job.spec.tenant, [0, 0.0, 0.0])
+        totals[0] += 1
+        totals[1] += job.queue_seconds
+        totals[2] += job.run_seconds
         if self._state_seconds is not None:
             self._state_seconds.labels("queued").observe(job.queue_seconds)
             self._state_seconds.labels("running").observe(job.run_seconds)
@@ -119,12 +129,19 @@ class JobManager:
     # -- submission ----------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> Job:
-        """Admit one job; raises :class:`QueueFull` past the queue bound."""
+        """Admit one job; raises :class:`QueueFull` past the queue bound
+        or past the submitting tenant's queued-job quota."""
         if spec.timeout is None and self.default_timeout is not None:
             spec = dataclasses.replace(spec, timeout=self.default_timeout)
         if self.queue.depth >= self.queue.capacity:
             self.queue.rejected += 1
             raise QueueFull(self.queue.capacity)
+        if self.quotas is not None:
+            tenant = spec.tenant
+            cap = self.quotas.for_tenant(tenant).max_queued_jobs
+            if cap is not None and self.queue.depth_of(tenant) >= cap:
+                self.queue.rejected += 1
+                raise QueueFull(cap, tenant=tenant)
         job = self.store.create(spec)
         try:
             self.queue.put(job)
@@ -197,15 +214,31 @@ class JobManager:
     # -- observability -------------------------------------------------------
 
     def list_jobs(
-        self, state: JobState | str | None = None, limit: int | None = 50
+        self,
+        state: JobState | str | None = None,
+        limit: int | None = 50,
+        user_id: int | None = None,
     ) -> list[dict]:
-        """Newest-first job summaries, optionally filtered by state."""
-        return [job.to_public() for job in self.store.list(state=state, limit=limit)]
+        """Newest-first job summaries, optionally filtered by state and
+        owner (``user_id`` scopes the listing to one tenant's jobs)."""
+        return [
+            job.to_public()
+            for job in self.store.list(state=state, limit=limit, user_id=user_id)
+        ]
 
     def stats(self) -> dict:
         """Queue/worker/terminal accounting for the ``stats`` action."""
         terminal_total = sum(self._terminal_counts.values())
+        tenants = {
+            tenant: {
+                "finished": int(finished),
+                "mean_wait_ms": round(1e3 * wait / finished, 3) if finished else 0.0,
+                "mean_run_ms": round(1e3 * run / finished, 3) if finished else 0.0,
+            }
+            for tenant, (finished, wait, run) in sorted(self._tenant_totals.items())
+        }
         return {
+            "tenants": tenants,
             "queue": self.queue.stats(),
             "workers": {"size": self.pool.size, "busy": self.pool.busy},
             "states": self.store.counts(),

@@ -110,6 +110,7 @@ class JobSpec:
     workflow_id: int | None = None
     entry_point: str | None = None
     user_id: int | None = None
+    user_name: str | None = None
     input: Any = 1
     mapping: str = "simple"
     options: dict = field(default_factory=dict)
@@ -134,6 +135,16 @@ class JobSpec:
     def workflowId(self) -> int | None:
         """Registry id of the workflow this job runs (camelCase alias)."""
         return self.workflow_id
+
+    @property
+    def tenant(self) -> str:
+        """Fair-share lane key: the owner's user name, or a stable
+        fallback so unattributed jobs still share one lane."""
+        if self.user_name:
+            return self.user_name
+        if self.user_id is not None:
+            return f"user{self.user_id}"
+        return "default"
 
 
 @dataclass
@@ -223,6 +234,7 @@ class Job:
                 "state": self.state.value,
                 "workflowId": self.spec.workflow_id,
                 "workflowName": self.spec.workflow_name,
+                "tenant": self.spec.tenant,
                 "mapping": self.spec.mapping,
                 "priority": self.spec.priority,
                 "timeout": self.spec.timeout,

@@ -1,11 +1,27 @@
-"""A bounded, priority-ordered job queue with admission control.
+"""A bounded job queue with per-tenant lanes and weighted fair-share.
 
 The queue is the backpressure point of the jobs subsystem: submissions
 beyond ``capacity`` raise :class:`QueueFull` immediately (the service
 layer maps this to an HTTP-429-style error) instead of letting work pile
-up unboundedly.  Ordering is highest ``priority`` first, FIFO within a
-priority.  Cancelled jobs are dropped lazily at ``get`` time so
-cancellation never has to scan the heap.
+up unboundedly.
+
+Ordering is two-level.  Within a tenant, highest ``priority`` first,
+FIFO within a priority — exactly the old single-heap contract.  *Across*
+tenants, jobs are drained by deficit round-robin over the tenants'
+fair-share weights: each tenant lane accumulates ``weight`` credits when
+its turn comes and spends one credit per dequeued job, so a tenant with
+weight 2 drains twice as fast as a weight-1 tenant under contention, and
+a tenant that floods 500 jobs cannot starve another tenant's single
+submission — the victim's job is at worst one round-robin cycle away
+from the head regardless of the flood's depth.
+
+Optional per-tenant *running* caps (from a
+:class:`~repro.laminar.tenancy.QuotaConfig`) gate the dequeue: a lane
+whose tenant already occupies its quota of workers is skipped until
+:meth:`JobQueue.task_done` releases a slot.
+
+Cancelled jobs are dropped lazily at ``get`` time so cancellation never
+has to scan the heaps.
 """
 
 from __future__ import annotations
@@ -23,65 +39,197 @@ __all__ = ["JobQueue", "QueueFull"]
 class QueueFull(JobError):
     """Admission control rejected a submit: the queue is at capacity."""
 
-    def __init__(self, capacity: int) -> None:
-        super().__init__(
-            f"job queue is full ({capacity} queued); retry after a job finishes"
-        )
+    def __init__(self, capacity: int, tenant: str | None = None) -> None:
+        if tenant is None:
+            message = (
+                f"job queue is full ({capacity} queued); "
+                "retry after a job finishes"
+            )
+        else:
+            message = (
+                f"tenant {tenant!r} is at its queued-job quota ({capacity}); "
+                "retry after a job finishes"
+            )
+        super().__init__(message)
         self.capacity = capacity
+        self.tenant = tenant
+
+
+class _TenantLane:
+    """One tenant's priority-FIFO sub-queue plus its fair-share state."""
+
+    __slots__ = ("heap", "cancelled", "credit", "running", "served")
+
+    def __init__(self) -> None:
+        self.heap: list[tuple[int, int, Job]] = []
+        self.cancelled: set[int] = set()
+        self.credit = 0.0
+        self.running = 0
+        self.served = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self.heap) - len(self.cancelled)
 
 
 class JobQueue:
-    """Bounded max-priority queue of :class:`Job` records."""
+    """Bounded multi-tenant priority queue drained by weighted fair-share."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, quotas=None) -> None:
+        """``quotas`` is an optional :class:`~repro.laminar.tenancy.
+        QuotaConfig` (duck-typed: ``for_tenant(name)`` returning an
+        object with ``weight`` and ``max_running_jobs``)."""
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
         self.capacity = capacity
-        self._heap: list[tuple[int, int, Job]] = []
+        self.quotas = quotas
+        self._lanes: dict[str, _TenantLane] = {}
+        #: Round-robin order over tenants with queued jobs; the head is
+        #: the lane currently spending its credit.
+        self._rr: list[str] = []
         self._cond = threading.Condition()
         self._seq = itertools.count()
-        self._cancelled: set[int] = set()
+        self._size = 0  # live queued jobs across all lanes
         # Accounting for the metrics snapshot.
         self.submitted = 0
         self.rejected = 0
         self.peak_depth = 0
 
+    # -- tenant helpers ------------------------------------------------------
+
+    def _weight(self, tenant: str) -> int:
+        if self.quotas is None:
+            return 1
+        return max(1, int(self.quotas.for_tenant(tenant).weight))
+
+    def _running_cap(self, tenant: str) -> int | None:
+        if self.quotas is None:
+            return None
+        return self.quotas.for_tenant(tenant).max_running_jobs
+
+    def _lane(self, tenant: str) -> _TenantLane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = _TenantLane()
+        return lane
+
     def __len__(self) -> int:
         with self._cond:
-            return len(self._heap) - len(self._cancelled)
+            return self._size
 
     @property
     def depth(self) -> int:
         """Jobs currently queued (excluding lazily-dropped cancellations)."""
         return len(self)
 
+    def depth_of(self, tenant: str) -> int:
+        """Queued jobs of one tenant (the queued-quota check)."""
+        with self._cond:
+            lane = self._lanes.get(tenant)
+            return lane.depth if lane is not None else 0
+
+    def running_of(self, tenant: str) -> int:
+        """Jobs of one tenant handed to workers and not yet finished."""
+        with self._cond:
+            lane = self._lanes.get(tenant)
+            return lane.running if lane is not None else 0
+
+    # -- enqueue -------------------------------------------------------------
+
     def put(self, job: Job) -> None:
         """Enqueue one job; raises :class:`QueueFull` beyond capacity."""
+        tenant = job.spec.tenant
         with self._cond:
-            if len(self._heap) - len(self._cancelled) >= self.capacity:
+            if self._size >= self.capacity:
                 self.rejected += 1
                 raise QueueFull(self.capacity)
-            heapq.heappush(self._heap, (-job.spec.priority, next(self._seq), job))
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                lane = self._lanes[tenant] = _TenantLane()
+            if not lane.heap and tenant not in self._rr:
+                self._rr.append(tenant)
+            heapq.heappush(lane.heap, (-job.spec.priority, next(self._seq), job))
+            self._size += 1
             self.submitted += 1
-            self.peak_depth = max(
-                self.peak_depth, len(self._heap) - len(self._cancelled)
-            )
+            self.peak_depth = max(self.peak_depth, self._size)
             self._cond.notify()
 
+    # -- dequeue (deficit round-robin) ---------------------------------------
+
+    def _drop_cancelled(self, lane: _TenantLane) -> None:
+        while lane.heap and lane.heap[0][2].job_id in lane.cancelled:
+            _, _, job = heapq.heappop(lane.heap)
+            lane.cancelled.discard(job.job_id)
+
+    def _pop_next(self) -> Job | None:
+        """One DRR scan: pop the next fair job, or ``None`` if everything
+        is empty or blocked by a running cap."""
+        # Single-lane fast path: with one unquota'd tenant queued there
+        # is nothing to arbitrate, so skip the credit machinery — the
+        # single-tenant dev server must not pay for fair-share.
+        if self.quotas is None and len(self._rr) == 1:
+            lane = self._lanes[self._rr[0]]
+            if lane.cancelled:
+                self._drop_cancelled(lane)
+            if not lane.heap:
+                self._rr.clear()
+                lane.credit = 0.0
+                return None
+            _, _, job = heapq.heappop(lane.heap)
+            lane.running += 1
+            lane.served += 1
+            self._size -= 1
+            if not lane.heap and not lane.cancelled:
+                self._rr.clear()
+            return job
+        visits = 0
+        while self._rr and visits < len(self._rr):
+            tenant = self._rr[0]
+            lane = self._lanes[tenant]
+            self._drop_cancelled(lane)
+            if not lane.heap:
+                # Lane drained: leave the rotation and forfeit credit so
+                # an idle tenant cannot bank an unbounded burst.
+                self._rr.pop(0)
+                lane.credit = 0.0
+                continue
+            if lane.credit < 1.0:
+                lane.credit += float(self._weight(tenant))
+            cap = self._running_cap(tenant)
+            if cap is not None and lane.running >= cap:
+                # At the concurrent-running quota: skip without spending
+                # credit; task_done() wakes waiters when a slot frees.
+                lane.credit = min(lane.credit, float(self._weight(tenant)))
+                self._rr.append(self._rr.pop(0))
+                visits += 1
+                continue
+            _, _, job = heapq.heappop(lane.heap)
+            lane.credit -= 1.0
+            lane.running += 1
+            lane.served += 1
+            self._size -= 1
+            if not lane.heap and not lane.cancelled:
+                self._rr.pop(0)
+                lane.credit = 0.0
+            elif lane.credit < 1.0:
+                # Credit spent: hand the head to the next tenant.
+                self._rr.append(self._rr.pop(0))
+            return job
+        return None
+
     def get(self, timeout: float | None = None) -> Job | None:
-        """Pop the highest-priority job, waiting up to ``timeout`` seconds.
+        """Pop the next job under fair-share, waiting up to ``timeout``.
 
         Returns ``None`` on timeout.  Jobs whose id was passed to
-        :meth:`discard` are skipped and dropped here.
+        :meth:`discard` are skipped and dropped here.  Callers that
+        enforce running caps must pair every ``get`` with a
+        :meth:`task_done` once the job leaves its worker.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
-                while self._heap:
-                    _, _, job = heapq.heappop(self._heap)
-                    if job.job_id in self._cancelled:
-                        self._cancelled.discard(job.job_id)
-                        continue
+                job = self._pop_next()
+                if job is not None:
                     return job
                 if deadline is None:
                     self._cond.wait()
@@ -91,31 +239,62 @@ class JobQueue:
                         return None
                     self._cond.wait(remaining)
 
+    def task_done(self, job: Job) -> None:
+        """Release the running slot a ``get`` acquired for this job."""
+        tenant = job.spec.tenant
+        with self._cond:
+            lane = self._lanes.get(tenant)
+            if lane is not None and lane.running > 0:
+                lane.running -= 1
+                # A freed slot may unblock a lane the caps were gating.
+                self._cond.notify()
+
     def discard(self, job_id: int) -> bool:
         """Lazily remove a queued job (cancellation); True if it was queued.
 
-        The entry stays in the heap but will be skipped by ``get`` —
-        O(queued cancellations) memory, O(1) time.  Only jobs still in
-        ``QUEUED`` state are discardable: marking an entry whose job has
-        already left the queue's jurisdiction (running or terminal)
-        would double-count it in the ``depth``/capacity accounting.
+        The entry stays in its lane's heap but will be skipped by
+        ``get`` — O(queued cancellations) memory, O(1) time.  Only jobs
+        still in ``QUEUED`` state are discardable: marking an entry whose
+        job has already left the queue's jurisdiction (running or
+        terminal) would double-count it in the ``depth``/capacity
+        accounting.
         """
         with self._cond:
-            for _, _, job in self._heap:
-                if job.job_id == job_id and job.job_id not in self._cancelled:
-                    if job.state is JobState.QUEUED:
-                        self._cancelled.add(job_id)
-                        return True
-                    return False
+            for lane in self._lanes.values():
+                for _, _, job in lane.heap:
+                    if job.job_id == job_id and job.job_id not in lane.cancelled:
+                        if job.state is JobState.QUEUED:
+                            lane.cancelled.add(job_id)
+                            self._size -= 1
+                            return True
+                        return False
             return False
 
+    # -- observability -------------------------------------------------------
+
     def stats(self) -> dict:
-        """JSON-able queue accounting for the metrics snapshot."""
+        """JSON-able queue accounting for the metrics snapshot.
+
+        The flat keys keep the pre-tenancy shape; ``tenants`` adds one
+        row per lane (queued depth, running occupancy, jobs served,
+        fair-share weight).
+        """
         with self._cond:
+            tenants = {}
+            for tenant, lane in self._lanes.items():
+                if not lane.heap and not lane.running and not lane.served:
+                    continue
+                tenants[tenant] = {
+                    "depth": lane.depth,
+                    "running": lane.running,
+                    "served": lane.served,
+                    "weight": self._weight(tenant),
+                }
             return {
-                "depth": len(self._heap) - len(self._cancelled),
+                "depth": self._size,
                 "capacity": self.capacity,
                 "submitted": self.submitted,
                 "rejected": self.rejected,
                 "peak_depth": self.peak_depth,
+                "tenants": tenants,
             }

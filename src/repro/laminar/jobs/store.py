@@ -50,14 +50,19 @@ class InMemoryJobStore:
         """Persist a lifecycle change (no-op: jobs mutate in place)."""
 
     def list(
-        self, state: JobState | str | None = None, limit: int | None = None
+        self,
+        state: JobState | str | None = None,
+        limit: int | None = None,
+        user_id: int | None = None,
     ) -> list[Job]:
-        """Jobs newest-first, optionally filtered by state."""
+        """Jobs newest-first, optionally filtered by state and owner."""
         wanted = JobState(state) if state is not None else None
         with self._lock:
             jobs = sorted(self._jobs.values(), key=lambda j: -j.job_id)
         if wanted is not None:
             jobs = [job for job in jobs if job.state is wanted]
+        if user_id is not None:
+            jobs = [job for job in jobs if job.spec.user_id == user_id]
         return jobs[:limit] if limit else jobs
 
     def counts(self) -> dict[str, int]:

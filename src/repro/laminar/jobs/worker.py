@@ -119,6 +119,9 @@ class WorkerPool:
             try:
                 self._run_job(job)
             finally:
+                # Release the tenant's running slot acquired at get() —
+                # the fair-share queue gates dequeues on this count.
+                self.queue.task_done(job)
                 with self._busy_lock:
                     self._busy -= 1
 

@@ -23,10 +23,17 @@ DUMP_VERSION = 1
 
 
 def export_registry(
-    pes: PERepository, workflows: WorkflowRepository
+    pes: PERepository,
+    workflows: WorkflowRepository,
+    user: UserRecord | None = None,
 ) -> dict[str, Any]:
-    """Serialise the registry's content into a JSON-able dict."""
-    wf_records = workflows.all()
+    """Serialise the registry's content into a JSON-able dict.
+
+    A ``user`` scopes the dump to that tenant's rows; ``None`` exports
+    everything (the unscoped internal/backup path).
+    """
+    user_id = None if user is None else user.userId
+    wf_records = workflows.all(user_id=user_id)
     links = {
         wf.workflowId: [pe.peId for pe in workflows.pes_of(wf.workflowId)]
         for wf in wf_records
@@ -42,7 +49,7 @@ def export_registry(
                 "descEmbedding": pe.descEmbedding,
                 "sptEmbedding": pe.sptEmbedding,
             }
-            for pe in pes.all()
+            for pe in pes.all(user_id=user_id)
         ],
         "workflows": [
             {

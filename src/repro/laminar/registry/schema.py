@@ -35,6 +35,16 @@ TABLES: dict[str, str] = {
         "    createdAt TEXT NOT NULL DEFAULT (datetime('now'))\n"
         ")"
     ),
+    "ApiKey": (
+        "CREATE TABLE IF NOT EXISTS ApiKey (\n"
+        "    keyId INTEGER PRIMARY KEY AUTOINCREMENT,\n"
+        "    userId INTEGER NOT NULL REFERENCES User(userId)\n"
+        "        ON DELETE CASCADE,\n"
+        "    keyDigest TEXT NOT NULL UNIQUE,\n"        # SHA-256, never the key
+        "    name TEXT NOT NULL DEFAULT '',\n"
+        "    createdAt TEXT NOT NULL DEFAULT (datetime('now'))\n"
+        ")"
+    ),
     "Workflow": (
         "CREATE TABLE IF NOT EXISTS Workflow (\n"
         "    workflowId INTEGER PRIMARY KEY AUTOINCREMENT,\n"
@@ -130,6 +140,7 @@ INDEXES: tuple[str, ...] = (
     "CREATE INDEX IF NOT EXISTS idx_job_state ON Job(state)",
     "CREATE INDEX IF NOT EXISTS idx_job_wf ON Job(workflowId)",
     "CREATE INDEX IF NOT EXISTS idx_job_user ON Job(userId)",
+    "CREATE INDEX IF NOT EXISTS idx_apikey_user ON ApiKey(userId)",
 )
 
 SCHEMA_STATEMENTS: tuple[str, ...] = tuple(TABLES.values()) + INDEXES
@@ -141,6 +152,13 @@ def schema_summary() -> list[dict]:
         {
             "table": "User",
             "description": "Stores user information; one user to many workflows.",
+        },
+        {
+            "table": "ApiKey",
+            "description": (
+                "Long-lived API credentials stored as SHA-256 digests; "
+                "linked to a user, revocable individually."
+            ),
         },
         {
             "table": "Workflow",

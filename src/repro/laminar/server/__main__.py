@@ -56,6 +56,19 @@ def main(argv: list[str] | None = None) -> int:
         "on boot when it matches the registry (default none)",
     )
     parser.add_argument(
+        "--require-auth",
+        action="store_true",
+        help="refuse unauthenticated requests instead of falling back to "
+        "the guest account (login / API key required)",
+    )
+    parser.add_argument(
+        "--quota-config",
+        default=None,
+        help="path to a per-tenant quota JSON ({'default': {...}, "
+        "'tenants': {name: {...}}}); limits registry rows, queued and "
+        "running jobs, and sets fair-share weights",
+    )
+    parser.add_argument(
         "--shard-id",
         default=None,
         help="this server's shard id when serving as one member of a "
@@ -80,6 +93,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"--shard-id {ns.shard_id!r} is not in {ns.cluster_config}"
             )
 
+    quotas = None
+    if ns.quota_config is not None:
+        from repro.laminar.tenancy import QuotaConfig
+
+        try:
+            quotas = QuotaConfig.load(ns.quota_config)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--quota-config {ns.quota_config!r}: {exc}")
+
     server = LaminarServer(
         ns.db,
         job_workers=ns.job_workers,
@@ -88,13 +110,17 @@ def main(argv: list[str] | None = None) -> int:
         index_dir=ns.index_dir,
         shard_id=ns.shard_id,
         cluster_config=cluster_config,
+        require_auth=ns.require_auth,
+        quotas=quotas,
     )
     transport = TcpServerTransport(server, host=ns.host, port=ns.port).start()
     host, port = transport.address
     shard_note = f", shard {ns.shard_id}" if ns.shard_id else ""
+    auth_note = ", auth required" if ns.require_auth else ""
     print(
         f"laminar server listening on {host}:{port} (registry: {ns.db}, "
-        f"{ns.job_workers} job workers, queue {ns.job_queue}{shard_note})",
+        f"{ns.job_workers} job workers, queue {ns.job_queue}"
+        f"{shard_note}{auth_note})",
         flush=True,
     )
 

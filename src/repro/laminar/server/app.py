@@ -18,6 +18,7 @@ from repro.laminar.jobs import DatabaseJobStore, Job, JobManager
 from repro.laminar.registry.database import RegistryDatabase
 from repro.laminar.server.controllers import Router
 from repro.laminar.server.dataaccess import (
+    ApiKeyRepository,
     ExecutionRepository,
     JobRepository,
     PERepository,
@@ -47,18 +48,25 @@ class ServerMetrics:
     has always returned, so existing clients see an unchanged shape.
     """
 
+    #: Tenant label used for requests with no resolved user (anonymous
+    #: pings, failed auth) and for intrinsic observability actions.
+    ANON_TENANT = "-"
+
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.started_at = time.monotonic()
+        # Counters carry a ``tenant`` label so per-tenant consumption is
+        # scrapable; the latency histogram deliberately stays per-action
+        # only (actions x tenants histograms would explode cardinality).
         self._requests = self.registry.counter(
             "laminar_server_requests_total",
-            "Requests handled by the server, by action.",
-            ("action",),
+            "Requests handled by the server, by action and tenant.",
+            ("action", "tenant"),
         )
         self._errors = self.registry.counter(
             "laminar_server_request_errors_total",
-            "Requests answered with status >= 400, by action.",
-            ("action",),
+            "Requests answered with status >= 400, by action and tenant.",
+            ("action", "tenant"),
         )
         self._latency = self.registry.histogram(
             "laminar_server_request_seconds",
@@ -67,8 +75,8 @@ class ServerMetrics:
         )
         self._jobs_finished = self.registry.counter(
             "laminar_jobs_finished_total",
-            "Jobs that reached a terminal state, by state.",
-            ("state",),
+            "Jobs that reached a terminal state, by state and tenant.",
+            ("state", "tenant"),
         )
         self._job_retries = self.registry.counter(
             "laminar_job_retries_total",
@@ -76,60 +84,107 @@ class ServerMetrics:
         )
         self._job_wait = self.registry.histogram(
             "laminar_job_wait_seconds",
-            "Queue wait (submit to first run) of finished jobs.",
+            "Queue wait (submit to first run) of finished jobs, by tenant.",
+            ("tenant",),
         )
         self._job_run = self.registry.histogram(
             "laminar_job_run_seconds",
-            "Cumulative running time of finished jobs.",
+            "Cumulative running time of finished jobs, by tenant.",
+            ("tenant",),
         )
         self.registry.gauge(
             "laminar_server_uptime_seconds",
             "Seconds since this server was constructed.",
         ).set_function(lambda: time.monotonic() - self.started_at)
 
-    def record(self, action: str, elapsed: float, ok: bool) -> None:
+    def record(
+        self, action: str, elapsed: float, ok: bool, tenant: str | None = None
+    ) -> None:
         """Account one handled request."""
-        self._requests.labels(action).inc()
+        tenant = tenant or self.ANON_TENANT
+        self._requests.labels(action, tenant).inc()
         self._latency.labels(action).observe(elapsed)
         if not ok:
-            self._errors.labels(action).inc()
+            self._errors.labels(action, tenant).inc()
 
     def record_job(self, job: Job) -> None:
         """Account one job reaching a terminal state."""
-        self._jobs_finished.labels(job.state.value).inc()
-        self._job_wait.observe(job.queue_seconds)
-        self._job_run.observe(job.run_seconds)
+        tenant = job.spec.tenant
+        self._jobs_finished.labels(job.state.value, tenant).inc()
+        self._job_wait.labels(tenant).observe(job.queue_seconds)
+        self._job_run.labels(tenant).observe(job.run_seconds)
         if job.retries:
             self._job_retries.inc(job.retries)
 
     def snapshot(self) -> dict:
-        """JSON-able metrics summary (the ``stats`` action body)."""
-        by_action = {}
-        for (action,), counter in self._requests.collect():
+        """JSON-able metrics summary (the ``stats`` action body).
+
+        ``by_action`` and ``jobs`` keep their pre-tenancy shape by
+        aggregating over the tenant label; ``tenants`` adds one row per
+        tenant (request/error totals, finished jobs, mean waits).
+        """
+        by_action: dict[str, dict] = {}
+        tenants: dict[str, dict] = {}
+
+        def tenant_row(tenant: str) -> dict:
+            return tenants.setdefault(
+                tenant,
+                {
+                    "requests": 0,
+                    "errors": 0,
+                    "jobs_finished": 0,
+                    "mean_wait_ms": 0.0,
+                    "mean_run_ms": 0.0,
+                },
+            )
+
+        for (action, tenant), counter in self._requests.collect():
             count = int(counter.value)
+            errors = int(self._errors.labels(action, tenant).value)
+            entry = by_action.setdefault(
+                action, {"requests": 0, "errors": 0, "mean_ms": 0.0}
+            )
+            entry["requests"] += count
+            entry["errors"] += errors
+            row = tenant_row(tenant)
+            row["requests"] += count
+            row["errors"] += errors
+        for action, entry in by_action.items():
             latency = self._latency.labels(action)
-            by_action[action] = {
-                "requests": count,
-                "errors": int(self._errors.labels(action).value),
-                "mean_ms": round(1e3 * latency.sum / count, 3) if count else 0.0,
-            }
-        finished_by_state = {
-            state: int(counter.value)
-            for (state,), counter in self._jobs_finished.collect()
-        }
+            count = entry["requests"]
+            entry["mean_ms"] = round(1e3 * latency.sum / count, 3) if count else 0.0
+
+        finished_by_state: dict[str, int] = {}
+        for (state, tenant), counter in self._jobs_finished.collect():
+            value = int(counter.value)
+            finished_by_state[state] = finished_by_state.get(state, 0) + value
+            tenant_row(tenant)["jobs_finished"] += value
+        for (tenant,), wait in self._job_wait.collect():
+            if wait.count:
+                tenant_row(tenant)["mean_wait_ms"] = round(
+                    1e3 * wait.sum / wait.count, 3
+                )
+        for (tenant,), run in self._job_run.collect():
+            if run.count:
+                tenant_row(tenant)["mean_run_ms"] = round(
+                    1e3 * run.sum / run.count, 3
+                )
+
         finished = sum(finished_by_state.values())
-        wait, run = self._job_wait.labels(), self._job_run.labels()
+        wait_sum = sum(child.sum for _, child in self._job_wait.collect())
+        run_sum = sum(child.sum for _, child in self._job_run.collect())
         return {
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "total_requests": sum(a["requests"] for a in by_action.values()),
             "by_action": by_action,
+            "tenants": tenants,
             "jobs": {
                 "finished": finished_by_state,
                 "retries": int(self._job_retries.value),
-                "mean_wait_ms": round(1e3 * wait.sum / finished, 3)
+                "mean_wait_ms": round(1e3 * wait_sum / finished, 3)
                 if finished
                 else 0.0,
-                "mean_run_ms": round(1e3 * run.sum / finished, 3)
+                "mean_run_ms": round(1e3 * run_sum / finished, 3)
                 if finished
                 else 0.0,
             },
@@ -149,7 +204,14 @@ class LaminarServer:
         shard_id: str | None = None,
         cluster_config=None,
         broker=None,
+        require_auth: bool = False,
+        quotas=None,
     ) -> None:
+        """``require_auth`` disables the anonymous guest fallback (every
+        request must carry a session token or API key); ``quotas`` is an
+        optional :class:`~repro.laminar.tenancy.QuotaConfig` bounding
+        each tenant's registry rows, queued jobs, running jobs and
+        fair-share weight."""
         # Cluster identity: a shard knows its own id and (when given the
         # shared ClusterConfig) verifies key ownership per request — a
         # misrouted keyed request is answered 421 with the true owner
@@ -163,18 +225,26 @@ class LaminarServer:
             self._shard_router = ShardRouter(cluster_config)
         self.db = RegistryDatabase(db_path)
         self.users = UserRepository(self.db)
+        self.api_keys = ApiKeyRepository(self.db)
         self.pes = PERepository(self.db)
         self.workflows = WorkflowRepository(self.db)
         self.executions = ExecutionRepository(self.db)
         self.responses = ResponseRepository(self.db)
         self.job_rows = JobRepository(self.db)
+        self.quotas = quotas
 
-        self.auth = AuthService(self.users)
+        self.auth = AuthService(
+            self.users, api_keys=self.api_keys, require_auth=require_auth
+        )
         # ``index_dir`` enables warm starts: semantic indexes persisted
         # there (``index_save``) are memmap-loaded on boot instead of
         # rebuilt from every stored embedding.
         self.registry = RegistryService(
-            self.pes, self.workflows, index_dir=index_dir, shard_id=shard_id
+            self.pes,
+            self.workflows,
+            index_dir=index_dir,
+            shard_id=shard_id,
+            quotas=quotas,
         )
         # Per-server observability sinks: a private registry/tracer so
         # several servers in one process (tests!) never mix metrics.
@@ -197,6 +267,7 @@ class LaminarServer:
             on_terminal=self.metrics.record_job,
             registry=self.obs_registry,
             tracer=self.tracer,
+            quotas=quotas,
         )
         self.jobs = JobService(self.registry, self.job_manager)
         self.router = Router(self.auth, self.registry, self.execution, self.jobs)
@@ -216,17 +287,67 @@ class LaminarServer:
         else:
             self._misdirected = None
 
-    def handle(self, payload: Any) -> dict:
-        """Process one request payload into a ``{status, body}`` envelope."""
-        if not isinstance(payload, dict):
-            return {"status": 400, "body": {"error": "payload must be an object"}}
-        action = str(payload.get("action"))
+    #: Intrinsic observability actions: unauthenticated (a scraper needs
+    #: no account), served outside the router, but accounted and
+    #: exception-wrapped like every other action.
+    _INTRINSIC_ACTIONS = frozenset(
+        {"stats", "get_metrics", "get_trace", "cluster_info"}
+    )
+
+    def _handle_intrinsic(self, action: str, payload: dict) -> dict:
         if action == "cluster_info":
             body = {"shardId": self.shard_id, "cluster": None}
             if self.cluster_config is not None:
                 body["cluster"] = self.cluster_config.to_dict()
             return {"status": 200, "body": body}
-        if self._shard_router is not None:
+        if action == "stats":
+            body = self.metrics.snapshot()
+            # Live queue/worker gauges come from the manager; the counters
+            # above only see jobs that already finished.
+            body["jobs"].update(self.job_manager.stats())
+            return {"status": 200, "body": body}
+        if action == "get_metrics":
+            # Raw exposition of the server's whole registry — requests,
+            # jobs, mapping runs, broker gauges — in Prometheus text
+            # format (default) or as the JSON snapshot dump.
+            if str(payload.get("format", "text")) == "json":
+                return {
+                    "status": 200,
+                    "body": {"metrics": self.obs_registry.snapshot()},
+                }
+            return {
+                "status": 200,
+                "body": {
+                    "content_type": "text/plain; version=0.0.4",
+                    "text": self.obs_registry.render_text(),
+                },
+            }
+        # get_trace
+        trace_id = payload.get("trace_id")
+        fmt = str(payload.get("format", "tree"))
+        if fmt == "chrome":
+            body = {"trace": self.tracer.to_chrome(trace_id)}
+        elif fmt == "spans":
+            body = {"spans": self.tracer.export(trace_id)}
+        else:
+            body = {"trace": self.tracer.tree(trace_id)}
+        body["dropped_spans"] = self.tracer.dropped
+        if payload.get("clear"):
+            self.tracer.clear()
+        return {"status": 200, "body": body}
+
+    def handle(self, payload: Any) -> dict:
+        """Process one request payload into a ``{status, body}`` envelope.
+
+        Every action — including the intrinsic observability ones — runs
+        inside the same accounting/try-except: an exception anywhere
+        returns a structured 500 (never kills the transport exchange)
+        and lands in ``laminar_server_*`` metrics.
+        """
+        if not isinstance(payload, dict):
+            return {"status": 400, "body": {"error": "payload must be an object"}}
+        action = str(payload.get("action"))
+        if self._shard_router is not None and action != "cluster_info":
             hint = self._shard_router.misdirected(self.shard_id, action, payload)
             if hint is not None:
                 self._misdirected.labels(action).inc()
@@ -240,42 +361,28 @@ class LaminarServer:
                         **hint,
                     },
                 }
-        if action == "stats":
-            body = self.metrics.snapshot()
-            # Live queue/worker gauges come from the manager; the counters
-            # above only see jobs that already finished.
-            body["jobs"].update(self.job_manager.stats())
-            return {"status": 200, "body": body}
-        if action == "get_metrics":
-            # Raw exposition of the server's whole registry — requests,
-            # jobs, mapping runs, broker gauges — in Prometheus text
-            # format (default) or as the JSON snapshot dump.
-            if str(payload.get("format", "text")) == "json":
-                return {"status": 200, "body": {"metrics": self.obs_registry.snapshot()}}
-            return {
-                "status": 200,
-                "body": {
-                    "content_type": "text/plain; version=0.0.4",
-                    "text": self.obs_registry.render_text(),
-                },
-            }
-        if action == "get_trace":
-            trace_id = payload.get("trace_id")
-            fmt = str(payload.get("format", "tree"))
-            if fmt == "chrome":
-                body = {"trace": self.tracer.to_chrome(trace_id)}
-            elif fmt == "spans":
-                body = {"spans": self.tracer.export(trace_id)}
-            else:
-                body = {"trace": self.tracer.tree(trace_id)}
-            body["dropped_spans"] = self.tracer.dropped
-            if payload.get("clear"):
-                self.tracer.clear()
-            return {"status": 200, "body": body}
         started = time.monotonic()
+        tenant = None
         try:
-            body = self.router.dispatch(payload)
-            response = {"status": 200, "body": body}
+            if action in self._INTRINSIC_ACTIONS:
+                # Intrinsic actions stay unauthenticated (a scraper needs
+                # no account), but a presented credential still
+                # attributes the request to its tenant.
+                token = payload.get("token")
+                if token:
+                    try:
+                        user = self.auth.resolve(token)
+                        tenant = user.userName if user is not None else None
+                    except ServiceError:
+                        pass
+                response = self._handle_intrinsic(action, payload)
+            else:
+                # Resolve here (not in dispatch) so the request metrics
+                # carry the tenant label even when the handler fails.
+                user = self.router.resolve_user(payload)
+                tenant = user.userName if user is not None else None
+                body = self.router.dispatch(payload, user=user)
+                response = {"status": 200, "body": body}
         except ServiceError as exc:
             response = {"status": exc.status, "body": {"error": exc.message}}
         except Exception:
@@ -284,7 +391,10 @@ class LaminarServer:
                 "body": {"error": traceback.format_exc(limit=3)},
             }
         self.metrics.record(
-            action, time.monotonic() - started, ok=response["status"] < 400
+            action,
+            time.monotonic() - started,
+            ok=response["status"] < 400,
+            tenant=tenant,
         )
         return response
 

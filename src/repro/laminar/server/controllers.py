@@ -20,7 +20,22 @@ from repro.laminar.server.services import (
     ServiceError,
 )
 
-__all__ = ["Router"]
+__all__ = ["Router", "ANONYMOUS_ACTIONS"]
+
+#: Actions servable without a credential even under ``--require-auth``:
+#: the login bootstrap (you cannot present a token before you have one)
+#: and liveness pings (the cluster supervisor health checks are
+#: tokenless).  Every other action requires a resolved user.
+ANONYMOUS_ACTIONS = frozenset(
+    {"ping", "schema", "register_user", "login", "logout"}
+)
+
+#: The subset of anonymous actions that additionally tolerate a *stale*
+#: credential in the payload: a client re-logging-in after its session
+#: expired still sends the dead token, and revoking an expired token via
+#: logout must not 401.  A bad token on any other action — anonymous or
+#: not — fails closed.
+CREDENTIAL_REPAIR_ACTIONS = frozenset({"register_user", "login", "logout"})
 
 
 def _require(params: dict, *names: str) -> list[Any]:
@@ -51,6 +66,10 @@ class Router:
             "schema": self._schema,
             "register_user": self._register_user,
             "login": self._login,
+            "logout": self._logout,
+            "create_api_key": self._create_api_key,
+            "revoke_api_key": self._revoke_api_key,
+            "whoami": self._whoami,
             "register_pe": self._register_pe,
             "register_workflow": self._register_workflow,
             "get_pe": self._get_pe,
@@ -92,19 +111,44 @@ class Router:
         """Sorted names of every routable action."""
         return sorted(self._handlers)
 
-    def dispatch(self, payload: dict) -> Any:
-        """Resolve the caller, route the action, return the body."""
+    def resolve_user(self, payload: dict):
+        """Resolve the payload's credential under the anonymous-action
+        rules; ``None`` for a permitted anonymous caller.
+
+        Tokenless anonymous actions pass (the supervisor's health pings
+        carry no token); a *presented* invalid token fails closed except
+        on credential-repair actions, where the stale token is the very
+        thing being replaced or revoked.
+        """
+        action = payload.get("action")
+        token = payload.get("token")
+        try:
+            return self.auth.resolve(token)
+        except ServiceError:
+            if action in ANONYMOUS_ACTIONS and (
+                not token or action in CREDENTIAL_REPAIR_ACTIONS
+            ):
+                return None
+            raise
+
+    def dispatch(self, payload: dict, user=None) -> Any:
+        """Resolve the caller, route the action, return the body.
+
+        A pre-resolved ``user`` skips resolution (the app passes one so
+        request metrics carry the tenant label).
+        """
         action = payload.get("action")
         handler = self._handlers.get(action)
         if handler is None:
             raise ServiceError(404, f"unknown action {action!r}")
-        user = self.auth.resolve(payload.get("token"))
+        if user is None:
+            user = self.resolve_user(payload)
         return handler(user, payload)
 
     # -- handlers ------------------------------------------------------------
 
     def _ping(self, user, params):
-        return {"pong": True, "user": user.userName}
+        return {"pong": True, "user": user.userName if user else None}
 
     def _schema(self, user, params):
         return {"tables": schema_summary()}
@@ -116,6 +160,19 @@ class Router:
     def _login(self, user, params):
         name, password = _require(params, "userName", "password")
         return self.auth.login(name, password)
+
+    def _logout(self, user, params):
+        return self.auth.logout(params.get("token"))
+
+    def _create_api_key(self, user, params):
+        return self.auth.create_api_key(user, name=str(params.get("name", "")))
+
+    def _revoke_api_key(self, user, params):
+        (key_id,) = _require(params, "keyId")
+        return self.auth.revoke_api_key(user, key_id)
+
+    def _whoami(self, user, params):
+        return user.to_public()
 
     def _register_pe(self, user, params):
         (code,) = _require(params, "code")
@@ -140,53 +197,61 @@ class Router:
 
     def _get_pe(self, user, params):
         (ident,) = _require(params, "id")
-        return self.registry.get_pe(ident).to_public()
+        return self.registry.get_pe(ident, user=user).to_public()
 
     def _get_workflow(self, user, params):
         (ident,) = _require(params, "id")
-        return self.registry.get_workflow(ident).to_public()
+        return self.registry.get_workflow(ident, user=user).to_public()
 
     def _get_pes_by_workflow(self, user, params):
         (ident,) = _require(params, "id")
-        workflow = self.registry.get_workflow(ident)
+        workflow = self.registry.get_workflow(ident, user=user)
         pes = self.registry.workflows.pes_of(workflow.workflowId)
         return [pe.to_public(include_code=False) for pe in pes]
 
     def _get_registry(self, user, params):
-        return self.registry.registry_listing()
+        return self.registry.registry_listing(user=user)
 
     def _describe(self, user, params):
         kind, ident = _require(params, "kind", "id")
         if kind == "pe":
-            return self.registry.get_pe(ident).to_public(include_code=True)
+            return self.registry.get_pe(ident, user=user).to_public(
+                include_code=True
+            )
         if kind == "workflow":
-            return self.registry.get_workflow(ident).to_public(include_code=True)
+            return self.registry.get_workflow(ident, user=user).to_public(
+                include_code=True
+            )
         raise ServiceError(400, f"kind must be 'pe' or 'workflow', got {kind!r}")
 
     def _update_pe_description(self, user, params):
         ident, description = _require(params, "id", "description")
-        return self.registry.update_pe_description(ident, description).to_public()
+        return self.registry.update_pe_description(
+            ident, description, user=user
+        ).to_public()
 
     def _update_workflow_description(self, user, params):
         ident, description = _require(params, "id", "description")
         return self.registry.update_workflow_description(
-            ident, description
+            ident, description, user=user
         ).to_public()
 
     def _remove_pe(self, user, params):
         (ident,) = _require(params, "id")
-        return self.registry.remove_pe(ident)
+        return self.registry.remove_pe(ident, user=user)
 
     def _remove_workflow(self, user, params):
         (ident,) = _require(params, "id")
-        return self.registry.remove_workflow(ident)
+        return self.registry.remove_workflow(ident, user=user)
 
     def _remove_all(self, user, params):
-        return self.registry.remove_all()
+        return self.registry.remove_all(user=user)
 
     def _search_literal(self, user, params):
         (term,) = _require(params, "term")
-        return self.registry.literal_search(term, kind=params.get("kind", "all"))
+        return self.registry.literal_search(
+            term, kind=params.get("kind", "all"), user=user
+        )
 
     def _search_semantic(self, user, params):
         (query,) = _require(params, "query")
@@ -194,6 +259,7 @@ class Router:
             query,
             kind=params.get("kind", "pe"),
             top_k=int(params.get("topK", 5)),
+            user=user,
         )
 
     def _index_stats(self, user, params):
@@ -210,6 +276,7 @@ class Router:
             embedding_type=params.get("embeddingType", "spt"),
             top_k=int(params.get("topK", 5)),
             threshold=params.get("threshold"),
+            user=user,
         )
 
     def _code_completion(self, user, params):
@@ -218,6 +285,7 @@ class Router:
             snippet,
             embedding_type=params.get("embeddingType", "spt"),
             top_k=int(params.get("topK", 3)),
+            user=user,
         )
 
     def _check_resources(self, user, params):
@@ -230,12 +298,12 @@ class Router:
 
     def _visualize(self, user, params):
         (ident,) = _require(params, "id")
-        return self.execution.visualize_workflow(ident)
+        return self.execution.visualize_workflow(ident, user=user)
 
     def _export_registry(self, user, params):
         from repro.laminar.registry.portability import export_registry
 
-        return export_registry(self.registry.pes, self.registry.workflows)
+        return export_registry(self.registry.pes, self.registry.workflows, user=user)
 
     def _import_registry(self, user, params):
         from repro.laminar.registry.portability import import_registry
@@ -267,23 +335,25 @@ class Router:
 
     def _job_status(self, user, params):
         (job_id,) = _require(params, "jobId")
-        return self.jobs.status(job_id)
+        return self.jobs.status(job_id, user=user)
 
     def _job_result(self, user, params):
         (job_id,) = _require(params, "jobId")
-        return self.jobs.result(job_id)
+        return self.jobs.result(job_id, user=user)
 
     def _job_logs(self, user, params):
         (job_id,) = _require(params, "jobId")
-        return self.jobs.logs(job_id)
+        return self.jobs.logs(job_id, user=user)
 
     def _cancel_job(self, user, params):
         (job_id,) = _require(params, "jobId")
-        return self.jobs.cancel(job_id)
+        return self.jobs.cancel(job_id, user=user)
 
     def _list_jobs(self, user, params):
         return self.jobs.list_jobs(
-            state=params.get("state"), limit=int(params.get("limit", 50))
+            state=params.get("state"),
+            limit=int(params.get("limit", 50)),
+            user=user,
         )
 
     def _run(self, user, params):

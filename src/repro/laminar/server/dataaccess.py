@@ -11,6 +11,7 @@ import json
 
 from repro.laminar.registry.database import RegistryDatabase
 from repro.laminar.server.models import (
+    ApiKeyRecord,
     ExecutionRecord,
     JobRecord,
     PERecord,
@@ -21,6 +22,7 @@ from repro.laminar.server.models import (
 
 __all__ = [
     "UserRepository",
+    "ApiKeyRepository",
     "PERepository",
     "WorkflowRepository",
     "ExecutionRepository",
@@ -53,6 +55,46 @@ class UserRepository:
             "SELECT * FROM User WHERE userName = ?", (user_name,)
         )
         return UserRecord(**row) if row else None
+
+
+class ApiKeyRepository:
+    """SQL access for ApiKey rows (long-lived credentials, digest-only)."""
+
+    def __init__(self, db: RegistryDatabase) -> None:
+        self.db = db
+
+    def create(self, user_id: int, key_digest: str, name: str = "") -> ApiKeyRecord:
+        """Insert one row; returns the stored record."""
+        key_id = self.db.execute(
+            "INSERT INTO ApiKey (userId, keyDigest, name) VALUES (?, ?, ?)",
+            (user_id, key_digest, name),
+        )
+        return self.get(key_id)
+
+    def get(self, key_id: int) -> ApiKeyRecord | None:
+        """Fetch by primary key, or ``None``."""
+        row = self.db.query_one("SELECT * FROM ApiKey WHERE keyId = ?", (key_id,))
+        return ApiKeyRecord(**row) if row else None
+
+    def by_digest(self, key_digest: str) -> ApiKeyRecord | None:
+        """Fetch by key digest (the resolve path), or ``None``."""
+        row = self.db.query_one(
+            "SELECT * FROM ApiKey WHERE keyDigest = ?", (key_digest,)
+        )
+        return ApiKeyRecord(**row) if row else None
+
+    def for_user(self, user_id: int) -> list[ApiKeyRecord]:
+        """One user's keys, id-ordered."""
+        rows = self.db.query(
+            "SELECT * FROM ApiKey WHERE userId = ? ORDER BY keyId", (user_id,)
+        )
+        return [ApiKeyRecord(**row) for row in rows]
+
+    def delete(self, key_id: int) -> bool:
+        """Revoke (delete) by id; returns whether the row existed."""
+        existed = self.get(key_id) is not None
+        self.db.execute("DELETE FROM ApiKey WHERE keyId = ?", (key_id,))
+        return existed
 
 
 class PERepository:
@@ -94,10 +136,27 @@ class PERepository:
         )
         return PERecord(**row) if row else None
 
-    def all(self) -> list[PERecord]:
-        """Every row, id-ordered."""
-        rows = self.db.query("SELECT * FROM ProcessingElement ORDER BY peId")
+    def all(self, user_id: int | None = None) -> list[PERecord]:
+        """Every row, id-ordered; one tenant's when ``user_id`` is given."""
+        if user_id is not None:
+            rows = self.db.query(
+                "SELECT * FROM ProcessingElement WHERE userId = ? ORDER BY peId",
+                (user_id,),
+            )
+        else:
+            rows = self.db.query("SELECT * FROM ProcessingElement ORDER BY peId")
         return [PERecord(**row) for row in rows]
+
+    def count(self, user_id: int | None = None) -> int:
+        """Row count, optionally for one tenant (the quota check)."""
+        if user_id is not None:
+            row = self.db.query_one(
+                "SELECT COUNT(*) AS n FROM ProcessingElement WHERE userId = ?",
+                (user_id,),
+            )
+        else:
+            row = self.db.query_one("SELECT COUNT(*) AS n FROM ProcessingElement")
+        return row["n"]
 
     def update_description(
         self, pe_id: int, description: str, desc_embedding: str
@@ -116,20 +175,35 @@ class PERepository:
         self.db.execute("DELETE FROM ProcessingElement WHERE peId = ?", (pe_id,))
         return existed
 
-    def delete_all(self) -> int:
-        """Delete every row; returns how many there were."""
-        count = self.db.query_one("SELECT COUNT(*) AS n FROM ProcessingElement")["n"]
-        self.db.execute("DELETE FROM ProcessingElement")
+    def delete_all(self, user_id: int | None = None) -> int:
+        """Delete every row (one tenant's when scoped); returns the count."""
+        count = self.count(user_id)
+        if user_id is not None:
+            self.db.execute(
+                "DELETE FROM ProcessingElement WHERE userId = ?", (user_id,)
+            )
+        else:
+            self.db.execute("DELETE FROM ProcessingElement")
         return count
 
-    def literal_search(self, term: str) -> list[PERecord]:
+    def literal_search(
+        self, term: str, user_id: int | None = None
+    ) -> list[PERecord]:
         """Substring match over names and descriptions (§V-A)."""
         like = f"%{term}%"
-        rows = self.db.query(
-            "SELECT * FROM ProcessingElement "
-            "WHERE peName LIKE ? OR description LIKE ? ORDER BY peId",
-            (like, like),
-        )
+        if user_id is not None:
+            rows = self.db.query(
+                "SELECT * FROM ProcessingElement "
+                "WHERE (peName LIKE ? OR description LIKE ?) AND userId = ? "
+                "ORDER BY peId",
+                (like, like, user_id),
+            )
+        else:
+            rows = self.db.query(
+                "SELECT * FROM ProcessingElement "
+                "WHERE peName LIKE ? OR description LIKE ? ORDER BY peId",
+                (like, like),
+            )
         return [PERecord(**row) for row in rows]
 
 
@@ -173,10 +247,26 @@ class WorkflowRepository:
         )
         return WorkflowRecord(**row) if row else None
 
-    def all(self) -> list[WorkflowRecord]:
-        """Every row, id-ordered."""
-        rows = self.db.query("SELECT * FROM Workflow ORDER BY workflowId")
+    def all(self, user_id: int | None = None) -> list[WorkflowRecord]:
+        """Every row, id-ordered; one tenant's when ``user_id`` is given."""
+        if user_id is not None:
+            rows = self.db.query(
+                "SELECT * FROM Workflow WHERE userId = ? ORDER BY workflowId",
+                (user_id,),
+            )
+        else:
+            rows = self.db.query("SELECT * FROM Workflow ORDER BY workflowId")
         return [WorkflowRecord(**row) for row in rows]
+
+    def count(self, user_id: int | None = None) -> int:
+        """Row count, optionally for one tenant (the quota check)."""
+        if user_id is not None:
+            row = self.db.query_one(
+                "SELECT COUNT(*) AS n FROM Workflow WHERE userId = ?", (user_id,)
+            )
+        else:
+            row = self.db.query_one("SELECT COUNT(*) AS n FROM Workflow")
+        return row["n"]
 
     def update_description(
         self, wf_id: int, description: str, desc_embedding: str
@@ -195,20 +285,34 @@ class WorkflowRepository:
         self.db.execute("DELETE FROM Workflow WHERE workflowId = ?", (wf_id,))
         return existed
 
-    def delete_all(self) -> int:
-        """Delete every row; returns how many there were."""
-        count = self.db.query_one("SELECT COUNT(*) AS n FROM Workflow")["n"]
-        self.db.execute("DELETE FROM Workflow")
+    def delete_all(self, user_id: int | None = None) -> int:
+        """Delete every row (one tenant's when scoped); returns the count."""
+        count = self.count(user_id)
+        if user_id is not None:
+            self.db.execute("DELETE FROM Workflow WHERE userId = ?", (user_id,))
+        else:
+            self.db.execute("DELETE FROM Workflow")
         return count
 
-    def literal_search(self, term: str) -> list[WorkflowRecord]:
+    def literal_search(
+        self, term: str, user_id: int | None = None
+    ) -> list[WorkflowRecord]:
         """Substring match over names and descriptions."""
         like = f"%{term}%"
-        rows = self.db.query(
-            "SELECT * FROM Workflow "
-            "WHERE workflowName LIKE ? OR description LIKE ? ORDER BY workflowId",
-            (like, like),
-        )
+        if user_id is not None:
+            rows = self.db.query(
+                "SELECT * FROM Workflow "
+                "WHERE (workflowName LIKE ? OR description LIKE ?) "
+                "AND userId = ? ORDER BY workflowId",
+                (like, like, user_id),
+            )
+        else:
+            rows = self.db.query(
+                "SELECT * FROM Workflow "
+                "WHERE workflowName LIKE ? OR description LIKE ? "
+                "ORDER BY workflowId",
+                (like, like),
+            )
         return [WorkflowRecord(**row) for row in rows]
 
     # -- workflow <-> PE association ------------------------------------------

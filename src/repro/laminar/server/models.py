@@ -12,6 +12,7 @@ from dataclasses import asdict, dataclass, field
 
 __all__ = [
     "UserRecord",
+    "ApiKeyRecord",
     "PERecord",
     "WorkflowRecord",
     "ExecutionRecord",
@@ -31,6 +32,25 @@ class UserRecord:
     def to_public(self) -> dict:
         """Client-facing dict (embeddings and secrets omitted)."""
         return {"userId": self.userId, "userName": self.userName}
+
+
+@dataclass
+class ApiKeyRecord:
+    """One ApiKey row: a long-lived credential, stored by digest only."""
+    keyId: int
+    userId: int
+    keyDigest: str = ""
+    name: str = ""
+    createdAt: str = ""
+
+    def to_public(self) -> dict:
+        """Client-facing dict — never includes the digest."""
+        return {
+            "keyId": self.keyId,
+            "userId": self.userId,
+            "name": self.name,
+            "createdAt": self.createdAt,
+        }
 
 
 @dataclass

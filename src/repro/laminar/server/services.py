@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import hmac
 import json
 import secrets
 import time
@@ -84,12 +85,42 @@ class ServiceError(Exception):
         self.message = message
 
 
-class AuthService:
-    """Registration, login and token resolution."""
+#: Credential prefix that routes ``resolve`` to the API-key table
+#: instead of the in-memory session map.
+API_KEY_PREFIX = "lmk_"
 
-    def __init__(self, users: UserRepository) -> None:
+#: Default sliding session lifetime (seconds).
+DEFAULT_TOKEN_TTL = 24 * 3600.0
+
+
+class AuthService:
+    """Registration, login, logout and credential resolution.
+
+    Two credential kinds share the ``token`` request field:
+
+    * **session tokens** — minted by :meth:`login`, in-memory, with a
+      *sliding* TTL (each successful resolve extends the expiry);
+    * **API keys** — minted by :meth:`create_api_key`, ``lmk_``-prefixed,
+      stored as SHA-256 digests in the registry database, long-lived
+      until revoked, and valid across server restarts.
+
+    With ``require_auth`` set, tokenless requests are rejected with 401
+    instead of falling back to the shared guest account.
+    """
+
+    def __init__(
+        self,
+        users: UserRepository,
+        api_keys=None,
+        require_auth: bool = False,
+        token_ttl: float = DEFAULT_TOKEN_TTL,
+    ) -> None:
         self.users = users
-        self._tokens: dict[str, int] = {}
+        self.api_keys = api_keys
+        self.require_auth = require_auth
+        self.token_ttl = float(token_ttl)
+        #: token → (user_id, expires_at epoch seconds).
+        self._tokens: dict[str, tuple[int, float]] = {}
         self._guest: UserRecord | None = None
 
     @staticmethod
@@ -99,7 +130,10 @@ class AuthService:
     @staticmethod
     def _verify(password: str, stored: str) -> bool:
         salt, _, _digest = stored.partition(":")
-        return AuthService._hash(password, salt) == stored
+        # Constant-time comparison: with `==`, response timing leaks how
+        # many digest characters matched — exactly the co-residency
+        # side channel the Shadow-Hunting threat model exploits.
+        return hmac.compare_digest(AuthService._hash(password, salt), stored)
 
     def register(self, user_name: str, password: str) -> dict:
         """Create an account; 409 when the name is taken."""
@@ -111,29 +145,92 @@ class AuthService:
         return user.to_public()
 
     def login(self, user_name: str, password: str) -> dict:
-        """Verify credentials; returns a session token."""
+        """Verify credentials; returns a session token (sliding TTL)."""
         user = self.users.by_name(user_name)
         if user is None or not self._verify(password, user.passwordHash):
             raise ServiceError(401, "invalid credentials")
         token = secrets.token_hex(16)
-        self._tokens[token] = user.userId
-        return {"token": token, **user.to_public()}
+        self._tokens[token] = (user.userId, time.time() + self.token_ttl)
+        return {"token": token, "expiresIn": self.token_ttl, **user.to_public()}
+
+    def logout(self, token: str | None) -> dict:
+        """Revoke a session token (idempotent)."""
+        revoked = bool(token) and self._tokens.pop(token, None) is not None
+        return {"loggedOut": revoked}
+
+    def _evict_expired(self, now: float) -> None:
+        expired = [t for t, (_, exp) in self._tokens.items() if exp <= now]
+        for token in expired:
+            del self._tokens[token]
+
+    # -- API keys ------------------------------------------------------------
+
+    @staticmethod
+    def _key_digest(key: str) -> str:
+        return hashlib.sha256(key.encode()).hexdigest()
+
+    def create_api_key(self, user: UserRecord, name: str = "") -> dict:
+        """Mint a long-lived API key for ``user``.
+
+        The plaintext key is returned exactly once; only its SHA-256
+        digest is stored, so a leaked database does not leak keys.
+        """
+        if self.api_keys is None:
+            raise ServiceError(501, "API keys are not enabled on this server")
+        key = API_KEY_PREFIX + secrets.token_hex(20)
+        record = self.api_keys.create(user.userId, self._key_digest(key), name)
+        return {"apiKey": key, "keyId": record.keyId, "name": record.name}
+
+    def revoke_api_key(self, user: UserRecord, key_id: int) -> dict:
+        """Revoke one of the caller's own API keys (404 otherwise)."""
+        if self.api_keys is None:
+            raise ServiceError(501, "API keys are not enabled on this server")
+        record = self.api_keys.get(int(key_id))
+        if record is None or record.userId != user.userId:
+            raise ServiceError(404, f"no API key {key_id!r}")
+        self.api_keys.delete(record.keyId)
+        return {"revoked": record.keyId}
+
+    def _resolve_api_key(self, key: str) -> UserRecord:
+        if self.api_keys is None:
+            raise ServiceError(401, "invalid or expired token")
+        record = self.api_keys.by_digest(self._key_digest(key))
+        if record is None:
+            raise ServiceError(401, "invalid or expired token")
+        user = self.users.get(record.userId)
+        if user is None:  # pragma: no cover - key for a deleted user
+            raise ServiceError(401, "user no longer exists")
+        return user
+
+    # -- resolution ----------------------------------------------------------
 
     def resolve(self, token: str | None) -> UserRecord:
-        """Map a token to its user; tokenless requests act as guest.
+        """Map a credential to its user; tokenless requests act as guest.
 
         The guest account keeps single-user workflows friction-free (the
         paper's CLI examples never log in) while the schema still records
-        ownership.
+        ownership — unless the server runs with ``require_auth``, in
+        which case anonymous requests answer 401.
         """
+        now = time.time()
+        self._evict_expired(now)
         if token:
-            user_id = self._tokens.get(token)
-            if user_id is None:
+            if token.startswith(API_KEY_PREFIX):
+                return self._resolve_api_key(token)
+            entry = self._tokens.get(token)
+            if entry is None:
                 raise ServiceError(401, "invalid or expired token")
+            user_id, _expires = entry
+            # Sliding TTL: activity keeps the session alive.
+            self._tokens[token] = (user_id, now + self.token_ttl)
             user = self.users.get(user_id)
             if user is None:  # pragma: no cover - token for a deleted user
                 raise ServiceError(401, "user no longer exists")
             return user
+        if self.require_auth:
+            raise ServiceError(
+                401, "authentication required: log in or present an API key"
+            )
         if self._guest is None:
             self._guest = self.users.by_name("guest") or self.users.create(
                 "guest", self._hash("", secrets.token_hex(8))
@@ -175,9 +272,13 @@ class RegistryService:
         reacc: ReACCRetriever | None = None,
         index_dir: str | Path | None = None,
         shard_id: str | None = None,
+        quotas=None,
     ) -> None:
         self.pes = pes
         self.workflows = workflows
+        #: Optional :class:`~repro.laminar.tenancy.QuotaConfig`; bounds
+        #: each tenant's registry rows (PEs + workflows) at registration.
+        self.quotas = quotas
         self.describer = describer or CodeT5Describer()
         self.embedder = embedder or UniXcoderEmbedder()
         self.reacc = reacc or ReACCRetriever()
@@ -468,11 +569,28 @@ class RegistryService:
                     found.append((node.name, segment))
         return found
 
+    def _check_registry_quota(self, user: UserRecord, adding: int = 1) -> None:
+        """429 when registering ``adding`` rows would exceed the tenant's
+        registry-row quota (PEs + workflows combined)."""
+        if self.quotas is None or user is None:
+            return
+        cap = self.quotas.for_tenant(user.userName).max_registry_rows
+        if cap is None:
+            return
+        held = self.pes.count(user.userId) + self.workflows.count(user.userId)
+        if held + adding > cap:
+            raise ServiceError(
+                429,
+                f"tenant {user.userName!r} is at its registry quota "
+                f"({held}/{cap} rows); remove entries before registering more",
+            )
+
     def register_pe(
         self, user: UserRecord, code: str, name: str | None = None,
         description: str | None = None,
     ) -> PERecord:
         """Register one PE; generates description/embeddings when absent."""
+        self._check_registry_quota(user)
         classes = self.extract_pe_classes(code)
         if classes:
             class_name, class_source = classes[0]
@@ -508,6 +626,7 @@ class RegistryService:
     ) -> tuple[WorkflowRecord, list[PERecord]]:
         """Register a workflow and every PE it defines (paper Fig 5a)."""
         classes = self.extract_pe_classes(code)
+        self._check_registry_quota(user, adding=len(classes) + 1)
         pe_records = [
             self.pes.create(
                 user_id=user.userId,
@@ -545,42 +664,63 @@ class RegistryService:
 
     # -- lookup --------------------------------------------------------------------
 
-    def get_pe(self, ident: int | str) -> PERecord:
-        """Resolve a PE by numeric id or name (404 when absent)."""
+    @staticmethod
+    def _owned(record, user: UserRecord | None) -> bool:
+        """Tenant check: ``user=None`` means an unscoped (internal) caller.
+
+        Cross-tenant access answers 404, not 403 — a 403 would confirm
+        the entity exists, handing other tenants an enumeration oracle.
+        """
+        return user is None or record.userId == user.userId
+
+    def get_pe(self, ident: int | str, user: UserRecord | None = None) -> PERecord:
+        """Resolve a PE by numeric id or name, scoped to ``user`` (404
+        when absent or owned by another tenant)."""
         record = (
             self.pes.get(int(ident))
             if str(ident).isdigit()
             else self.pes.by_name(str(ident))
         )
-        if record is None:
+        if record is None or not self._owned(record, user):
             raise ServiceError(404, f"no PE {ident!r}")
         return record
 
-    def get_workflow(self, ident: int | str) -> WorkflowRecord:
-        """Resolve a workflow by numeric id or name (404 when absent)."""
+    def get_workflow(
+        self, ident: int | str, user: UserRecord | None = None
+    ) -> WorkflowRecord:
+        """Resolve a workflow by numeric id or name, scoped to ``user``
+        (404 when absent or owned by another tenant)."""
         record = (
             self.workflows.get(int(ident))
             if str(ident).isdigit()
             else self.workflows.by_name(str(ident))
         )
-        if record is None:
+        if record is None or not self._owned(record, user):
             raise ServiceError(404, f"no workflow {ident!r}")
         return record
 
-    def registry_listing(self) -> dict:
-        """Every PE and workflow, without code bodies."""
+    def registry_listing(self, user: UserRecord | None = None) -> dict:
+        """The caller's PEs and workflows, without code bodies (every
+        tenant's when unscoped)."""
+        user_id = None if user is None else user.userId
         return {
-            "pes": [pe.to_public(include_code=False) for pe in self.pes.all()],
+            "pes": [
+                pe.to_public(include_code=False)
+                for pe in self.pes.all(user_id=user_id)
+            ],
             "workflows": [
-                wf.to_public(include_code=False) for wf in self.workflows.all()
+                wf.to_public(include_code=False)
+                for wf in self.workflows.all(user_id=user_id)
             ],
         }
 
     # -- description updates ----------------------------------------------------------
 
-    def update_pe_description(self, ident: int | str, description: str) -> PERecord:
+    def update_pe_description(
+        self, ident: int | str, description: str, user: UserRecord | None = None
+    ) -> PERecord:
         """Replace a PE's description and re-embed it."""
-        pe = self.get_pe(ident)
+        pe = self.get_pe(ident, user=user)
         self.pes.update_description(
             pe.peId, description, self._desc_embedding(description)
         )
@@ -590,10 +730,10 @@ class RegistryService:
         return updated
 
     def update_workflow_description(
-        self, ident: int | str, description: str
+        self, ident: int | str, description: str, user: UserRecord | None = None
     ) -> WorkflowRecord:
         """Replace a workflow's description and re-embed it."""
-        wf = self.get_workflow(ident)
+        wf = self.get_workflow(ident, user=user)
         self.workflows.update_description(
             wf.workflowId, description, self._desc_embedding(description)
         )
@@ -604,24 +744,34 @@ class RegistryService:
 
     # -- search -------------------------------------------------------------------------
 
-    def literal_search(self, term: str, kind: str = "all") -> dict:
-        """Substring search over names and descriptions (§V-A, Fig 7)."""
+    def literal_search(
+        self, term: str, kind: str = "all", user: UserRecord | None = None
+    ) -> dict:
+        """Substring search over names and descriptions (§V-A, Fig 7),
+        scoped to the caller's rows when a ``user`` is given."""
         started = time.monotonic()
+        user_id = None if user is None else user.userId
         result: dict[str, list] = {}
         if kind in ("all", "pe"):
             result["pes"] = [
                 pe.to_public(include_code=False)
-                for pe in self.pes.literal_search(term)
+                for pe in self.pes.literal_search(term, user_id=user_id)
             ]
         if kind in ("all", "workflow"):
             result["workflows"] = [
                 wf.to_public(include_code=False)
-                for wf in self.workflows.literal_search(term)
+                for wf in self.workflows.literal_search(term, user_id=user_id)
             ]
         self._record_query("literal", kind, started)
         return result
 
-    def semantic_search(self, query: str, kind: str = "pe", top_k: int = DEFAULT_TOP_K) -> list[dict]:
+    def semantic_search(
+        self,
+        query: str,
+        kind: str = "pe",
+        top_k: int = DEFAULT_TOP_K,
+        user: UserRecord | None = None,
+    ) -> list[dict]:
         """Text-to-code search by embedding cosine (§V-B, Fig 8).
 
         Served from the kind's persistent incremental index
@@ -635,11 +785,20 @@ class RegistryService:
         if not state.by_id:
             self._record_query("semantic", kind, started)
             return []
+        # Tenancy: the vector index is shared across tenants; scoped
+        # queries over-fetch (the whole corpus) and filter by owner so a
+        # tenant's top-k is never diluted by rows it cannot see.
+        fetch = len(state.search) if user is not None else top_k
         out = []
-        for rid, sim in state.search.search(query, top_k=top_k):
-            entry = state.by_id[rid].to_public(include_code=False)
+        for rid, sim in state.search.search(query, top_k=fetch):
+            record = state.by_id[rid]
+            if not self._owned(record, user):
+                continue
+            entry = record.to_public(include_code=False)
             entry["cosine_similarity"] = float(round(sim, 6))
             out.append(entry)
+            if len(out) >= top_k:
+                break
         gauge = self._metric("candidates")
         if gauge:
             gauge.labels(kind).set(len(state.search))
@@ -653,6 +812,7 @@ class RegistryService:
         embedding_type: str = "spt",
         top_k: int = DEFAULT_TOP_K,
         threshold: float | None = None,
+        user: UserRecord | None = None,
     ) -> list[dict]:
         """Code-to-code recommendation (§VI-A, Fig 9).
 
@@ -690,7 +850,11 @@ class RegistryService:
                 hits = index.search_llm(snippet, top_k=wide, threshold=cut)
         except ParseFailure as exc:
             raise ServiceError(400, f"snippet does not parse: {exc}") from exc
-        scored = [(score, by_id[pe_id]) for pe_id, score in hits]
+        scored = [
+            (score, by_id[pe_id])
+            for pe_id, score in hits
+            if self._owned(by_id[pe_id], user)
+        ]
 
         if kind == "pe":
             out = []
@@ -707,6 +871,8 @@ class RegistryService:
         wf_by_id: dict[int, WorkflowRecord] = {}
         for score, pe in scored:
             for wf in self.workflows.workflows_of_pe(pe.peId):
+                if not self._owned(wf, user):
+                    continue
                 occurrences[wf.workflowId] += 1
                 best_scores[wf.workflowId] = max(
                     best_scores.get(wf.workflowId, 0.0), float(score)
@@ -729,6 +895,7 @@ class RegistryService:
         snippet: str,
         embedding_type: str = "spt",
         top_k: int = 3,
+        user: UserRecord | None = None,
     ) -> list[dict]:
         """Complete a partial snippet from the best-matching PEs (§I).
 
@@ -741,6 +908,7 @@ class RegistryService:
         hits = self.code_recommendation(
             snippet, kind="pe", embedding_type=embedding_type,
             top_k=max(top_k * 2, top_k), threshold=1.0 if embedding_type == "spt" else None,
+            user=user,
         )
         query_lines = [line.strip() for line in snippet.splitlines() if line.strip()]
         completions = []
@@ -770,29 +938,32 @@ class RegistryService:
 
     # -- removal -----------------------------------------------------------------------
 
-    def remove_pe(self, ident: int | str) -> dict:
-        """Delete a PE by id or name."""
-        pe = self.get_pe(ident)
+    def remove_pe(self, ident: int | str, user: UserRecord | None = None) -> dict:
+        """Delete a PE by id or name (the caller's own when scoped)."""
+        pe = self.get_pe(ident, user=user)
         self.pes.delete(pe.peId)
         self._mutated_with_deltas()
         self._index_remove("pe", pe.peId)
         return {"removed": pe.peName, "peId": pe.peId}
 
-    def remove_workflow(self, ident: int | str) -> dict:
-        """Delete a workflow by id or name."""
-        wf = self.get_workflow(ident)
+    def remove_workflow(
+        self, ident: int | str, user: UserRecord | None = None
+    ) -> dict:
+        """Delete a workflow by id or name (the caller's own when scoped)."""
+        wf = self.get_workflow(ident, user=user)
         self.workflows.delete(wf.workflowId)
         self._mutated_with_deltas()
         self._index_remove("workflow", wf.workflowId)
         return {"removed": wf.workflowName, "workflowId": wf.workflowId}
 
-    def remove_all(self) -> dict:
-        """Delete every PE and workflow; returns counts."""
+    def remove_all(self, user: UserRecord | None = None) -> dict:
+        """Delete every PE and workflow (the caller's own when scoped)."""
+        user_id = None if user is None else user.userId
         self._mutated()
         self._sem_states = {}
         return {
-            "pes_removed": self.pes.delete_all(),
-            "workflows_removed": self.workflows.delete_all(),
+            "pes_removed": self.pes.delete_all(user_id=user_id),
+            "workflows_removed": self.workflows.delete_all(user_id=user_id),
         }
 
 
@@ -822,9 +993,11 @@ class ExecutionService:
         digest = self.engine.cache.put(data)
         return {"digest": digest, "bytes": len(data)}
 
-    def visualize_workflow(self, ident: int | str) -> dict:
+    def visualize_workflow(
+        self, ident: int | str, user: UserRecord | None = None
+    ) -> dict:
         """Graph renderings (text/DOT) of a registered workflow."""
-        workflow = self.registry.get_workflow(ident)
+        workflow = self.registry.get_workflow(ident, user=user)
         try:
             return self.engine.inspect(
                 workflow.workflowCode, graph_name=workflow.entryPoint or None
@@ -847,7 +1020,7 @@ class ExecutionService:
         Raises :class:`ServiceError` 428 when declared resources are not
         yet cached (the client uploads them and retries).
         """
-        workflow = self.registry.get_workflow(ident)
+        workflow = self.registry.get_workflow(ident, user=user)
         if resources:
             missing = self.check_resources(resources)["missing"]
             if missing:
@@ -919,13 +1092,14 @@ class JobService:
         """Queue a run of a registered workflow; returns the QUEUED job."""
         if mapping not in MAPPINGS:
             raise ServiceError(400, f"unknown mapping {mapping!r}")
-        workflow = self.registry.get_workflow(ident)
+        workflow = self.registry.get_workflow(ident, user=user)
         spec = JobSpec(
             workflow_code=workflow.workflowCode,
             workflow_name=workflow.workflowName,
             workflow_id=workflow.workflowId,
             entry_point=workflow.entryPoint or None,
             user_id=user.userId,
+            user_name=user.userName,
             input=input,
             mapping=mapping,
             options=dict(options or {}),
@@ -939,47 +1113,61 @@ class JobService:
             raise ServiceError(429, str(exc)) from exc
         return job.to_public()
 
-    def _job(self, job_id: int):
+    def _job(self, job_id: int, user: UserRecord | None = None):
+        """Fetch a job, scoped to its owner (404 for another tenant's —
+        the same anti-enumeration choice as the registry lookups)."""
         try:
-            return self.manager.get(int(job_id))
+            job = self.manager.get(int(job_id))
         except (UnknownJob, ValueError) as exc:
             raise ServiceError(404, f"no job {job_id!r}") from exc
+        if user is not None and job.spec.user_id != user.userId:
+            raise ServiceError(404, f"no job {job_id!r}")
+        return job
 
-    def status(self, job_id: int) -> dict:
+    def status(self, job_id: int, user: UserRecord | None = None) -> dict:
         """Current lifecycle state of one job."""
-        return self._job(job_id).to_public()
+        return self._job(job_id, user=user).to_public()
 
-    def result(self, job_id: int) -> dict:
+    def result(self, job_id: int, user: UserRecord | None = None) -> dict:
         """Terminal state plus outcome; 409 while the job is still live."""
-        job = self._job(job_id)
+        job = self._job(job_id, user=user)
         if not job.terminal:
             raise ServiceError(
                 409, f"job {job.job_id} not finished (state {job.state.value})"
             )
         return job.to_public(include_result=True)
 
-    def logs(self, job_id: int) -> dict:
+    def logs(self, job_id: int, user: UserRecord | None = None) -> dict:
         """Output lines captured so far (usable mid-run)."""
-        job = self._job(job_id)
+        job = self._job(job_id, user=user)
         return {
             "jobId": job.job_id,
             "state": job.state.value,
             "lines": job.log_snapshot(),
         }
 
-    def cancel(self, job_id: int) -> dict:
+    def cancel(self, job_id: int, user: UserRecord | None = None) -> dict:
         """Cooperatively cancel a queued or running job (409 when final)."""
-        self._job(job_id)
+        self._job(job_id, user=user)
         try:
             return self.manager.cancel(int(job_id)).to_public()
         except InvalidTransition as exc:
             raise ServiceError(409, str(exc)) from exc
 
-    def list_jobs(self, state: str | None = None, limit: int = 50) -> list[dict]:
-        """Newest-first job summaries, optionally filtered by state."""
+    def list_jobs(
+        self,
+        state: str | None = None,
+        limit: int = 50,
+        user: UserRecord | None = None,
+    ) -> list[dict]:
+        """Newest-first job summaries (the caller's own when scoped)."""
         if state is not None:
             try:
                 state = JobState(str(state).upper())
             except ValueError as exc:
                 raise ServiceError(400, f"unknown job state {state!r}") from exc
-        return self.manager.list_jobs(state=state, limit=int(limit))
+        return self.manager.list_jobs(
+            state=state,
+            limit=int(limit),
+            user_id=None if user is None else user.userId,
+        )

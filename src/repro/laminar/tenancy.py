@@ -1,0 +1,110 @@
+"""Per-tenant quotas and scheduling weights.
+
+Multi-tenancy turns the registry's ``User`` rows into *tenants*: every
+request is resolved to a user, every read is scoped to that user's rows,
+and this module holds the knobs that bound what one tenant can consume —
+
+* **registry rows** — how many PEs + workflows a tenant may register;
+* **queued jobs** — how many submissions may wait in the job queue;
+* **running jobs** — how many may occupy workers concurrently;
+* **weight** — the tenant's share of the fair-share dequeue (a weight-2
+  tenant drains twice as fast as a weight-1 tenant under contention).
+
+A :class:`QuotaConfig` is one default :class:`TenantQuota` plus named
+per-tenant overrides, loadable from a JSON file via the server CLI
+(``--quota-config``)::
+
+    {
+      "default": {"max_queued_jobs": 32, "weight": 1},
+      "tenants": {
+        "batch-team": {"weight": 4, "max_running_jobs": 8},
+        "guest": {"max_registry_rows": 100}
+      }
+    }
+
+Limits are ``None`` (unlimited) unless set.  Weights are clamped to
+integers >= 1 so the deficit round-robin in
+:class:`~repro.laminar.jobs.queue.JobQueue` always makes progress.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["TenantQuota", "QuotaConfig"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource bounds for one tenant (``None`` means unlimited)."""
+
+    max_registry_rows: int | None = None
+    max_queued_jobs: int | None = None
+    max_running_jobs: int | None = None
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weight", max(1, int(self.weight)))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (the ``quota`` rows of per-tenant stats)."""
+        return {
+            "max_registry_rows": self.max_registry_rows,
+            "max_queued_jobs": self.max_queued_jobs,
+            "max_running_jobs": self.max_running_jobs,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TenantQuota":
+        """Build from a JSON object; unknown keys are rejected loudly."""
+        known = {"max_registry_rows", "max_queued_jobs", "max_running_jobs", "weight"}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown quota keys: {sorted(extra)}")
+        return cls(**data)
+
+
+@dataclass
+class QuotaConfig:
+    """A default quota plus per-tenant (by user name) overrides."""
+
+    default: TenantQuota = field(default_factory=TenantQuota)
+    tenants: dict[str, TenantQuota] = field(default_factory=dict)
+
+    def for_tenant(self, tenant: str | None) -> TenantQuota:
+        """The effective quota for a tenant name (default when unnamed)."""
+        if tenant is not None and tenant in self.tenants:
+            return self.tenants[tenant]
+        return self.default
+
+    def weight_of(self, tenant: str | None) -> int:
+        """Fair-share weight for a tenant (>= 1)."""
+        return self.for_tenant(tenant).weight
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form, inverse of :meth:`from_dict`."""
+        return {
+            "default": self.default.to_dict(),
+            "tenants": {name: q.to_dict() for name, q in self.tenants.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QuotaConfig":
+        """Build from the documented JSON shape."""
+        if not isinstance(data, dict):
+            raise ValueError("quota config must be a JSON object")
+        default = TenantQuota.from_dict(data.get("default") or {})
+        tenants = {
+            str(name): TenantQuota.from_dict(quota or {})
+            for name, quota in (data.get("tenants") or {}).items()
+        }
+        return cls(default=default, tenants=tenants)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QuotaConfig":
+        """Read a quota config JSON file (the ``--quota-config`` flag)."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

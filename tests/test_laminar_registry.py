@@ -55,10 +55,11 @@ def test_clob_columns_present(db):
 
 def test_schema_summary_matches_table2():
     # Table II's five entities, plus the Job table the async-run subsystem
-    # adds on top of the paper's schema.
+    # adds and the ApiKey table backing long-lived credentials.
     tables = {row["table"] for row in schema_summary()}
     assert tables == {
         "User",
+        "ApiKey",
         "Workflow",
         "ProcessingElement",
         "Execution",

@@ -1,0 +1,469 @@
+"""Multi-tenant enforcement tests.
+
+Covers the four tenancy pillars end to end:
+
+* **Auth** — constant-time password verification, sliding-TTL session
+  tokens with logout and eviction, long-lived API keys, and the
+  ``require_auth`` mode that disables the guest fallback.
+* **Isolation** — every read is scoped to the caller's rows and every
+  cross-tenant read/mutation/job verb answers 404 (not 403: existence
+  must not leak).
+* **Quotas** — per-tenant registry-row, queued-job and running-job caps
+  answering 429 at the service layer.
+* **Fair share** — deficit round-robin over tenant weights at the queue,
+  proven by a starvation bound: a tenant flooding 500 jobs cannot push
+  another tenant's p95 queue wait beyond 3x its unloaded baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.laminar.client.client import ClientError, LaminarClient
+from repro.laminar.jobs import Job, JobManager, JobQueue, JobSpec, QueueFull
+from repro.laminar.server.app import LaminarServer
+from repro.laminar.server.services import ServiceError
+from repro.laminar.tenancy import QuotaConfig, TenantQuota
+
+WF = """
+class Producer(ProducerPE):
+    def _process(self, inputs):
+        return 10
+class AddOne(IterativePE):
+    def _process(self, value):
+        print("adding to", value)
+        return value + 1
+graph = WorkflowGraph()
+graph.connect(Producer("P"), "output", AddOne("A"), "input")
+"""
+
+PE_CODE = """
+class WordCounter(IterativePE):
+    def _process(self, value):
+        return len(value.split())
+"""
+
+
+class _FakeOutcome:
+    status = "success"
+    error = None
+
+    @staticmethod
+    def to_public():
+        return {"status": "success", "outputs": {}}
+
+
+class _FakeStream:
+    def __iter__(self):
+        return iter(())
+
+    def close(self):
+        pass
+
+
+class FakeEngine:
+    """Engine stub with a fixed service time — fairness tests need
+    thousands of enactments, not real workflow runs."""
+
+    def __init__(self, delay: float = 0.002) -> None:
+        self.delay = delay
+
+    def execute_streaming(self, code, **kwargs):
+        time.sleep(self.delay)
+        return _FakeStream(), _FakeOutcome()
+
+
+@pytest.fixture
+def server():
+    srv = LaminarServer(require_auth=True)
+    yield srv
+    srv.close()
+
+
+def login(server, name: str, password: str = "pw") -> LaminarClient:
+    client = LaminarClient(server=server)
+    client.register(name, password)
+    client.login(name, password)
+    return client
+
+
+# -- auth: hashing, sessions, API keys ----------------------------------------
+
+def test_password_verify_is_constant_time(server, monkeypatch):
+    """The salted-hash comparison must go through hmac.compare_digest —
+    ``==`` short-circuits on the first differing byte (timing oracle)."""
+    import repro.laminar.server.services as services
+
+    calls = []
+    real = services.hmac.compare_digest
+
+    def spy(a, b):
+        calls.append((a, b))
+        return real(a, b)
+
+    monkeypatch.setattr(services.hmac, "compare_digest", spy)
+    client = login(server, "alice")
+    assert calls, "login verified a password without compare_digest"
+    calls.clear()
+    with pytest.raises(ClientError) as err:
+        client.login("alice", "wrong-password")
+    assert err.value.status == 401
+    assert calls, "a rejected password bypassed compare_digest"
+
+
+def test_session_token_expires_and_is_evicted(server, monkeypatch):
+    client = login(server, "alice")
+    assert client.whoami()["userName"] == "alice"
+    now = time.time()
+    monkeypatch.setattr(time, "time", lambda: now + server.auth.token_ttl + 1)
+    with pytest.raises(ClientError) as err:
+        client.whoami()
+    assert err.value.status == 401
+    assert not server.auth._tokens  # expired tokens are swept, not leaked
+
+
+def test_session_ttl_slides_on_use(server, monkeypatch):
+    client = login(server, "alice")
+    token = client._token
+    _, first_expiry = server.auth._tokens[token]
+    now = time.time()
+    half_life = server.auth.token_ttl / 2
+    monkeypatch.setattr(time, "time", lambda: now + half_life)
+    assert client.whoami()["userName"] == "alice"
+    _, restamped = server.auth._tokens[token]
+    assert restamped > first_expiry  # activity pushed the expiry out
+
+
+def test_logout_revokes_token(server):
+    client = login(server, "alice")
+    assert client.logout()["loggedOut"] is True
+    with pytest.raises(ClientError) as err:
+        client.whoami()
+    assert err.value.status == 401
+    assert client.logout()["loggedOut"] is False  # idempotent
+
+
+def test_api_key_lifecycle(server):
+    client = login(server, "alice")
+    minted = client.create_Api_Key("ci")
+    assert minted["apiKey"].startswith("lmk_")
+    client.logout()
+
+    client.use_api_key(minted["apiKey"])
+    assert client.whoami()["userName"] == "alice"
+    # Only the digest is stored: the table never holds the plaintext.
+    record = server.api_keys.get(minted["keyId"])
+    assert minted["apiKey"] not in (record.keyDigest, record.name)
+
+    assert client.revoke_Api_Key(minted["keyId"])["revoked"] == minted["keyId"]
+    with pytest.raises(ClientError) as err:
+        client.whoami()
+    assert err.value.status == 401
+
+
+def test_require_auth_rejects_guests(server):
+    anonymous = LaminarClient(server=server)
+    with pytest.raises(ClientError) as err:
+        anonymous.register_PE(PE_CODE)
+    assert err.value.status == 401
+    # Liveness stays anonymous (the supervisor pings without a token)...
+    assert anonymous._call("ping")["pong"] is True
+    # ...but a *presented* bad credential fails closed even on ping.
+    anonymous._token = "forged"
+    with pytest.raises(ClientError) as err:
+        anonymous._call("ping")
+    assert err.value.status == 401
+
+
+def test_guest_fallback_still_works_without_require_auth():
+    srv = LaminarServer()
+    try:
+        client = LaminarClient(server=srv)
+        body = client.register_PE(PE_CODE)
+        assert body["peName"] == "WordCounter"
+    finally:
+        srv.close()
+
+
+# -- isolation: reads, mutations, jobs, search --------------------------------
+
+def test_cross_tenant_reads_answer_404(server):
+    alice = login(server, "alice")
+    bob = login(server, "bob")
+    pe = alice.register_PE(PE_CODE)
+    wf = alice.register_Workflow(WF, name="pipeline")["workflow"]
+
+    for call in (
+        lambda: bob.get_PE(pe["peId"]),
+        lambda: bob.get_Workflow(wf["workflowId"]),
+        lambda: bob.describe(pe["peId"], kind="pe"),
+        lambda: bob.visualize_Workflow(wf["workflowId"]),
+    ):
+        with pytest.raises(ClientError) as err:
+            call()
+        assert err.value.status == 404  # not 403: existence must not leak
+
+    listing = bob.get_Registry()
+    assert listing["pes"] == [] and listing["workflows"] == []
+    assert {p["peName"] for p in alice.get_Registry()["pes"]} >= {"WordCounter"}
+
+
+def test_cross_tenant_mutations_answer_404(server):
+    alice = login(server, "alice")
+    bob = login(server, "bob")
+    pe = alice.register_PE(PE_CODE)
+
+    for call in (
+        lambda: bob.update_PE_Description(pe["peId"], "hijacked"),
+        lambda: bob.remove_PE(pe["peId"]),
+    ):
+        with pytest.raises(ClientError) as err:
+            call()
+        assert err.value.status == 404
+
+    bob.remove_All()  # scoped: removes bob's (empty) rows only
+    assert alice.get_PE(pe["peId"])["description"] != "hijacked"
+
+
+def test_cross_tenant_job_verbs_answer_404(server):
+    alice = login(server, "alice")
+    bob = login(server, "bob")
+    alice.register_Workflow(WF, name="pipeline")
+    job = alice.submit_Job("pipeline")
+
+    for call in (
+        lambda: bob.job_Status(job["jobId"]),
+        lambda: bob.job_Result(job["jobId"]),
+        lambda: bob.cancel_Job(job["jobId"]),
+    ):
+        with pytest.raises(ClientError) as err:
+            call()
+        assert err.value.status == 404
+    assert bob.list_Jobs() == []
+    assert alice.wait_For_Job(job["jobId"])["state"] == "SUCCEEDED"
+    assert all(j["tenant"] == "alice" for j in alice.list_Jobs())
+
+
+def test_search_is_scoped_to_tenant(server):
+    alice = login(server, "alice")
+    bob = login(server, "bob")
+    alice.register_PE(PE_CODE, description="count words in a stream")
+
+    assert bob.search_Registry_Literal("word")["pes"] == []
+    assert bob.search_Registry_Semantic("count words", kind="pe") == []
+    assert bob.code_Recommendation(PE_CODE, kind="pe") == []
+    hits = alice.search_Registry_Semantic("count words", kind="pe")
+    assert any(hit["peName"] == "WordCounter" for hit in hits)
+
+
+# -- quotas -------------------------------------------------------------------
+
+def test_registry_row_quota_429():
+    quotas = QuotaConfig(default=TenantQuota(max_registry_rows=2))
+    srv = LaminarServer(require_auth=True, quotas=quotas)
+    try:
+        alice = login(srv, "alice")
+        alice.register_PE(PE_CODE)
+        alice.register_PE(PE_CODE.replace("WordCounter", "CharCounter"))
+        with pytest.raises(ClientError) as err:
+            alice.register_PE(PE_CODE.replace("WordCounter", "LineCounter"))
+        assert err.value.status == 429
+        # Workflow registration counts the workflow plus its PEs.
+        with pytest.raises(ClientError) as err:
+            alice.register_Workflow(WF, name="pipeline")
+        assert err.value.status == 429
+        # Quotas are per tenant: bob is unaffected by alice's consumption.
+        login(srv, "bob").register_PE(PE_CODE)
+    finally:
+        srv.close()
+
+
+def test_queued_job_quota_429():
+    quotas = QuotaConfig(default=TenantQuota(max_queued_jobs=2))
+    manager = JobManager(
+        engine=FakeEngine(delay=0.5), workers=1, queue_capacity=64, quotas=quotas
+    )
+    try:
+        spec = lambda: JobSpec(workflow_code="", user_name="alice")  # noqa: E731
+        manager.submit(spec())  # occupies the single worker
+        deadline = time.monotonic() + 5
+        while manager.queue.depth_of("alice") and time.monotonic() < deadline:
+            time.sleep(0.005)
+        manager.submit(spec())
+        manager.submit(spec())
+        with pytest.raises(QueueFull) as err:
+            manager.submit(spec())
+        assert "alice" in str(err.value)
+        assert err.value.tenant == "alice"
+    finally:
+        manager.shutdown(wait=False)
+
+
+def test_running_cap_gates_dequeue():
+    quotas = QuotaConfig(default=TenantQuota(max_running_jobs=1))
+    q = JobQueue(capacity=8, quotas=quotas)
+    first = Job(job_id=1, spec=JobSpec(workflow_code="", user_name="alice"))
+    second = Job(job_id=2, spec=JobSpec(workflow_code="", user_name="alice"))
+    q.put(first)
+    q.put(second)
+    assert q.get(timeout=0.1) is first
+    assert q.get(timeout=0.05) is None  # lane gated at its running cap
+    assert q.running_of("alice") == 1
+    q.task_done(first)
+    assert q.get(timeout=0.1) is second
+
+
+def test_running_cap_does_not_block_other_tenants():
+    quotas = QuotaConfig(default=TenantQuota(max_running_jobs=1))
+    q = JobQueue(capacity=8, quotas=quotas)
+    a1 = Job(job_id=1, spec=JobSpec(workflow_code="", user_name="a"))
+    a2 = Job(job_id=2, spec=JobSpec(workflow_code="", user_name="a"))
+    b1 = Job(job_id=3, spec=JobSpec(workflow_code="", user_name="b"))
+    for job in (a1, a2, b1):
+        q.put(job)
+    assert q.get(timeout=0.1) is a1
+    assert q.get(timeout=0.1) is b1  # a's cap must not gate b
+
+
+def test_quota_config_roundtrip_and_load(tmp_path):
+    config = QuotaConfig(
+        default=TenantQuota(max_queued_jobs=10),
+        tenants={"alice": TenantQuota(max_registry_rows=5, weight=3)},
+    )
+    again = QuotaConfig.from_dict(config.to_dict())
+    assert again.for_tenant("alice").max_registry_rows == 5
+    assert again.weight_of("alice") == 3
+    assert again.for_tenant("bob").max_queued_jobs == 10
+
+    path = tmp_path / "quotas.json"
+    path.write_text(
+        '{"default": {"max_queued_jobs": 4}, '
+        '"tenants": {"bulk": {"weight": 0}}}'
+    )
+    loaded = QuotaConfig.load(str(path))
+    assert loaded.for_tenant("x").max_queued_jobs == 4
+    assert loaded.weight_of("bulk") == 1  # weights clamp to >= 1
+
+    with pytest.raises(ValueError):
+        TenantQuota.from_dict({"max_queued_jobs": 1, "nope": 2})
+
+
+# -- fair share ---------------------------------------------------------------
+
+def _job(job_id: int, tenant: str, priority: int = 0) -> Job:
+    return Job(
+        job_id=job_id,
+        spec=JobSpec(workflow_code="", user_name=tenant, priority=priority),
+    )
+
+
+def test_drr_alternates_equal_weights():
+    q = JobQueue(capacity=32)
+    for i in range(3):
+        q.put(_job(i, "a"))
+    for i in range(3, 6):
+        q.put(_job(i, "b"))
+    order = [q.get(timeout=0.1).spec.tenant for _ in range(6)]
+    assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_drr_respects_weights():
+    quotas = QuotaConfig(
+        default=TenantQuota(),
+        tenants={"heavy": TenantQuota(weight=2)},
+    )
+    q = JobQueue(capacity=32, quotas=quotas)
+    for i in range(4):
+        q.put(_job(i, "heavy"))
+    for i in range(4, 6):
+        q.put(_job(i, "light"))
+    order = [q.get(timeout=0.1).spec.tenant for _ in range(6)]
+    assert order == ["heavy", "heavy", "light", "heavy", "heavy", "light"]
+
+
+def test_priority_fifo_preserved_within_tenant():
+    q = JobQueue(capacity=32)
+    q.put(_job(1, "a", priority=0))
+    q.put(_job(2, "a", priority=5))
+    q.put(_job(3, "a", priority=5))
+    order = [q.get(timeout=0.1).job_id for _ in range(3)]
+    assert order == [2, 3, 1]  # highest priority first, FIFO within it
+
+
+def _p95(values: list[float]) -> float:
+    ranked = sorted(values)
+    return ranked[min(len(ranked) - 1, int(0.95 * len(ranked)))]
+
+
+def test_flooding_tenant_cannot_starve_another():
+    """Tenant A floods 500 jobs; B's p95 queue wait stays within 3x its
+    unloaded baseline (floored — sub-millisecond baselines are noise)."""
+
+    def measure(flood: int) -> float:
+        manager = JobManager(
+            engine=FakeEngine(delay=0.002), workers=2, queue_capacity=600
+        )
+        try:
+            for i in range(flood):
+                manager.submit(JobSpec(workflow_code="", user_name="flooder"))
+            victims = [
+                manager.submit(JobSpec(workflow_code="", user_name="victim"))
+                for _ in range(20)
+            ]
+            waits = []
+            for job in victims:
+                done = manager.wait(job.job_id, timeout=60)
+                assert done.terminal
+                waits.append(done.queue_seconds)
+            return _p95(waits)
+        finally:
+            manager.shutdown(wait=False)
+
+    baseline = max(measure(flood=0), 0.05)
+    loaded = measure(flood=500)
+    assert loaded <= 3 * baseline, (
+        f"victim p95 wait {loaded:.3f}s exceeds 3x baseline {baseline:.3f}s"
+    )
+
+
+# -- per-tenant observability -------------------------------------------------
+
+def test_stats_and_metrics_carry_tenant_rows(server):
+    alice = login(server, "alice")
+    bob = login(server, "bob")
+    alice.register_Workflow(WF, name="pipeline")
+    job = alice.submit_Job("pipeline")
+    alice.wait_For_Job(job["jobId"])
+    bob.get_Registry()
+
+    stats = server.handle({"action": "stats"})["body"]
+    assert stats["tenants"]["alice"]["requests"] > 0
+    assert stats["tenants"]["bob"]["requests"] > 0
+    assert stats["tenants"]["alice"]["jobs_finished"] == 1
+    assert stats["jobs"]["queue"]["tenants"]["alice"]["served"] == 1
+
+    exposition = server.handle(
+        {"action": "get_metrics", "token": alice._token}
+    )["body"]["text"]
+    assert 'tenant="alice"' in exposition
+
+    # Intrinsic actions are attributed to a presented credential's
+    # tenant, while tokenless (or stale-token) scrapes stay anonymous
+    # and never 401 — a scraper needs no account even under
+    # require-auth.  Snapshots exclude their own in-flight call, so the
+    # token'd call below is visible one snapshot later.
+    before = server.handle({"action": "stats"})["body"]
+    server.handle({"action": "stats", "token": alice._token})
+    after = server.handle({"action": "stats", "token": "stale"})
+    assert after["status"] == 200
+    assert (
+        after["body"]["tenants"]["alice"]["requests"]
+        == before["tenants"]["alice"]["requests"] + 1
+    )
+
+
+def test_service_error_shape_for_quota():
+    err = ServiceError(429, "tenant 'a' is at its queued-job quota (2)")
+    assert err.status == 429 and "quota" in err.message
